@@ -1,0 +1,94 @@
+// E1 (Theorem 7 / Lemma 6): M0's access cost is O(log r + 1) — it grows
+// with the recency rank r of the access and is independent of the map size
+// n for fixed r, unlike a balanced BST whose cost is Θ(log n) everywhere.
+//
+// Method: build an M0 map (and an AVL baseline) with n items; drive a
+// round-robin working set of w keys so that steady-state accesses all have
+// rank ~w; report ns/op. Expect: M0 rows roughly constant down each column
+// (n-independence), increasing along each row (rank-dependence); AVL rows
+// increase with n and are flat across w; M0 beats AVL at small w, crossover
+// near w ~ n.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/avl_map.hpp"
+#include "bench_util.hpp"
+#include "core/m0_map.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using pwss::bench::WallTimer;
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+template <typename MapT, typename SearchFn>
+double ns_per_access(MapT& map, SearchFn&& do_search, std::size_t n,
+                     std::size_t w, std::size_t accesses) {
+  // Warm up: bring the working set into steady state.
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t k = 0; k < w; ++k) g_sink += do_search(map, k);
+  }
+  WallTimer t;
+  std::size_t done = 0;
+  std::uint64_t acc = 0;
+  while (done < accesses) {
+    for (std::size_t k = 0; k < w && done < accesses; ++k, ++done) {
+      acc += do_search(map, k);
+    }
+  }
+  const double ns = t.ns() / static_cast<double>(accesses);
+  g_sink += acc;
+  (void)n;
+  return ns;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> sizes = {1u << 12, 1u << 15, 1u << 18};
+  const std::vector<std::size_t> ranks = {2, 8, 64, 512, 4096};
+  constexpr std::size_t kAccesses = 200000;
+
+  std::vector<std::string> cols = {"n \\ w"};
+  for (auto w : ranks) cols.push_back(std::to_string(w));
+  cols.push_back("AVL(any w)");
+
+  pwss::bench::print_header(
+      "E1: M0 ns/access vs working-set size w (rows: map size n)", cols);
+
+  std::vector<double> log_w, m0_time;
+  for (const auto n : sizes) {
+    pwss::core::M0Map<std::uint64_t, std::uint64_t> m0;
+    pwss::baseline::AvlMap<std::uint64_t, std::uint64_t> avl;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m0.insert(i, i);
+      avl.insert(i, i);
+    }
+    pwss::bench::print_cell(std::to_string(n));
+    for (const auto w : ranks) {
+      const double ns = ns_per_access(
+          m0, [](auto& m, std::uint64_t k) { return m.search(k).value_or(0); },
+          n, w, kAccesses);
+      pwss::bench::print_cell(ns);
+      if (n == sizes.back()) {
+        log_w.push_back(std::log2(static_cast<double>(w)));
+        m0_time.push_back(ns);
+      }
+    }
+    const double avl_ns = ns_per_access(
+        avl, [](auto& m, std::uint64_t k) { return m.search(k).value_or(0); },
+        n, 4096, kAccesses);
+    pwss::bench::print_cell(avl_ns);
+    pwss::bench::end_row();
+  }
+
+  const auto fit = pwss::util::fit_linear(log_w, m0_time);
+  std::printf(
+      "\nM0 (n=%zu): time ~ %.1f + %.1f*log2(w) ns, R^2=%.3f "
+      "(working-set bound shape: positive slope, good fit)\n",
+      sizes.back(), fit.intercept, fit.slope, fit.r2);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E3 (Theorem 33): PESort does O(n·H + n) work with O(log^2 n) span: its
+// single-thread time tracks the entropy like ESort, and it self-relatively
+// speeds up with workers. Also ablates the deterministic PPivot against the
+// randomized quartile pivot (the Remark after Lemma 34) — shapes should
+// match.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sched/scheduler.hpp"
+#include "sort/pesort.hpp"
+#include "util/workload.hpp"
+
+namespace {
+
+double run_ms(std::vector<std::uint64_t> data, pwss::sched::Scheduler* s,
+              bool random_pivot) {
+  pwss::sort::PESortOptions opts;
+  opts.random_pivot = random_pivot;
+  pwss::bench::WallTimer t;
+  pwss::sort::pesort(
+      data, [](std::uint64_t x) { return x; }, s, opts);
+  return t.seconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 1u << 21;
+  pwss::bench::print_header(
+      "E3: PESort ms, n=2^21 (rows: theta; cols: workers)",
+      {"theta", "H bits", "seq", "p=2", "p=4", "p=8", "rand-pivot p=4"});
+
+  for (const double theta : {0.0, 0.99, 1.3}) {
+    const auto keys = pwss::util::zipf_keys(1u << 18, theta, kN, 21);
+    const double h = pwss::util::empirical_entropy_bits(keys);
+    pwss::bench::print_cell(theta);
+    pwss::bench::print_cell(h);
+    pwss::bench::print_cell(run_ms(keys, nullptr, false));
+    for (const unsigned p : {2u, 4u, 8u}) {
+      pwss::sched::Scheduler s(p);
+      pwss::bench::print_cell(run_ms(keys, &s, false));
+    }
+    {
+      pwss::sched::Scheduler s(4);
+      pwss::bench::print_cell(run_ms(keys, &s, true));
+    }
+    pwss::bench::end_row();
+  }
+  std::printf(
+      "\nShape: each row's times shrink with p (span O(log^2 n) << work); "
+      "rows with lower H are absolutely faster (entropy bound).\n");
+  return 0;
+}

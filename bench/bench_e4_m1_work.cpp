@@ -1,0 +1,86 @@
+// E4 (Lemma 10 / Theorem 12): combining duplicate operations in a batch is
+// what keeps M1 inside the working-set bound. A batch with b operations on
+// one hot key should cost O(log n + b) total — near-constant marginal cost
+// per duplicate — whereas executing the same operations without combining
+// (one singleton batch each) pays Θ(log n) every time.
+//
+// Ablation: "no-combine" = the same M1 structure fed singleton batches.
+// Shape: combined ns/op falls sharply as the duplicate fraction grows;
+// no-combine stays flat.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/m1_map.hpp"
+#include "util/workload.hpp"
+
+namespace {
+
+using Map = pwss::core::M1Map<std::uint64_t, std::uint64_t>;
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+
+Map build_map(std::size_t n) {
+  Map m;
+  std::vector<IntOp> warm;
+  warm.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) warm.push_back(IntOp::insert(i, i));
+  m.execute_batch(warm);
+  return m;
+}
+
+std::vector<IntOp> make_batch(std::size_t size, double dup_fraction,
+                              std::size_t universe, std::uint64_t seed) {
+  const auto raw =
+      pwss::util::duplicate_heavy_batch(universe, size, dup_fraction, seed);
+  std::vector<IntOp> ops;
+  ops.reserve(raw.size());
+  for (const auto& k : raw) ops.push_back(IntOp::search(k.key));
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMapSize = 1u << 18;
+  constexpr std::size_t kBatch = 4096;
+  constexpr int kReps = 40;
+
+  pwss::bench::print_header(
+      "E4: M1 ns/op vs duplicate fraction (batch=4096, n=2^18)",
+      {"dup frac", "combined", "no-combine", "speedup"});
+
+  for (const double dup : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    Map combined = build_map(kMapSize);
+    Map naive = build_map(kMapSize);
+
+    double combined_ns = 0, naive_ns = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto batch =
+          make_batch(kBatch, dup, kMapSize, static_cast<std::uint64_t>(rep));
+      {
+        pwss::bench::WallTimer t;
+        combined.execute_batch(batch);
+        combined_ns += t.ns();
+      }
+      {
+        pwss::bench::WallTimer t;
+        for (const auto& op : batch) {
+          naive.execute_batch(std::vector<IntOp>{op});
+        }
+        naive_ns += t.ns();
+      }
+    }
+    const double per_combined = combined_ns / (kReps * kBatch);
+    const double per_naive = naive_ns / (kReps * kBatch);
+    pwss::bench::print_cell(dup);
+    pwss::bench::print_cell(per_combined);
+    pwss::bench::print_cell(per_naive);
+    pwss::bench::print_cell(per_naive / per_combined);
+    pwss::bench::end_row();
+  }
+  std::printf(
+      "\nShape: combined ns/op drops as duplicates grow (group-operations); "
+      "no-combine stays roughly flat at Theta(log n) per op.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E5 (Theorem 3): throughput of the implicitly-batched M1 scales with
+// worker count and adapts to temporal locality, and it beats a coarse-
+// locked balanced tree under concurrent skewed access.
+//
+// Method: T client threads issue blocking ops through AsyncMap<M1> for a
+// fixed wall time; report Mops/s. Baseline: LockedMap (mutex around AVL).
+// Shape: M1 throughput grows with clients (batching amortizes), locked map
+// saturates; the gap widens under skew (theta=0.99) because hot items sit
+// in tiny front segments.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baseline/locked_map.hpp"
+#include "bench_util.hpp"
+#include "core/async_map.hpp"
+#include "core/m1_map.hpp"
+#include "util/workload.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+constexpr std::size_t kUniverse = 1u << 16;
+constexpr double kRunSeconds = 0.5;
+
+template <typename SearchInsert>
+double mops(unsigned clients, double theta, SearchInsert&& op_fn) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      pwss::util::Xoshiro256 rng(t + 1);
+      pwss::util::ZipfGenerator zipf(kUniverse, theta);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = zipf(rng);
+        if (rng.bounded(10) == 0) {
+          op_fn(key, true);
+        } else {
+          op_fn(key, false);
+        }
+        ++n;
+      }
+      total.fetch_add(n);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop = true;
+  for (auto& th : threads) th.join();
+  return static_cast<double>(total.load()) / kRunSeconds / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  pwss::bench::print_header(
+      "E5: throughput Mops/s, 90% search 10% insert (universe 2^16)",
+      {"theta", "clients", "M1 async", "locked AVL"});
+
+  for (const double theta : {0.0, 0.99}) {
+    for (const unsigned clients : {1u, 2u, 4u, 8u}) {
+      double m1_mops, locked_mops;
+      {
+        pwss::sched::Scheduler scheduler(4);
+        pwss::core::AsyncMap<std::uint64_t, std::uint64_t,
+                             pwss::core::M1Map<std::uint64_t, std::uint64_t>>
+            amap(pwss::core::M1Map<std::uint64_t, std::uint64_t>(&scheduler),
+                 scheduler);
+        // Pre-populate half the universe.
+        for (std::uint64_t i = 0; i < kUniverse; i += 2) amap.insert(i, i);
+        m1_mops = mops(clients, theta, [&](std::uint64_t k, bool ins) {
+          if (ins) {
+            amap.insert(k, k);
+          } else {
+            amap.search(k);
+          }
+        });
+      }
+      {
+        pwss::baseline::LockedMap<std::uint64_t, std::uint64_t> locked;
+        for (std::uint64_t i = 0; i < kUniverse; i += 2) locked.insert(i, i);
+        locked_mops = mops(clients, theta, [&](std::uint64_t k, bool ins) {
+          if (ins) {
+            locked.insert(k, k);
+          } else {
+            locked.search(k);
+          }
+        });
+      }
+      pwss::bench::print_cell(theta);
+      pwss::bench::print_cell(std::to_string(clients));
+      pwss::bench::print_cell(m1_mops);
+      pwss::bench::print_cell(locked_mops);
+      pwss::bench::end_row();
+    }
+  }
+  std::printf(
+      "\nShape: M1 column grows with clients (implicit batching amortizes "
+      "structure passes); locked column flattens/declines under contention.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the substrates: join-tree point
+// and batch ops, segment batch ops, PESort, scheduler fork/join overhead.
+// These are regression guards rather than paper experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/segment.hpp"
+#include "sched/scheduler.hpp"
+#include "sort/pesort.hpp"
+#include "tree/jtree.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace {
+
+void BM_JTreeInsertErase(benchmark::State& state) {
+  pwss::tree::JTree<std::uint64_t, std::uint64_t> t;
+  pwss::util::Xoshiro256 rng(1);
+  const std::uint64_t universe = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < universe / 2; ++i) t.insert(i * 2, i);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.bounded(universe);
+    t.insert(k, k);
+    benchmark::DoNotOptimize(t.erase(k));
+  }
+}
+BENCHMARK(BM_JTreeInsertErase)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_JTreeMultiInsert(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    pwss::tree::JTree<std::uint64_t, std::uint64_t> t;
+    for (std::uint64_t i = 0; i < (1u << 16); i += 2) t.insert(i, i);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+    for (std::size_t i = 0; i < batch; ++i) {
+      items.emplace_back(i * 4 + 1, i);
+    }
+    state.ResumeTiming();
+    t.multi_insert(items);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_JTreeMultiInsert)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SegmentExtractByKeys(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    pwss::core::Segment<std::uint64_t, std::uint64_t> seg;
+    for (std::uint64_t i = 0; i < (1u << 14); ++i) {
+      seg.insert_front({i, i, 0});
+    }
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < batch; ++i) {
+      keys.push_back(static_cast<std::uint64_t>(i * 3));
+    }
+    state.ResumeTiming();
+    auto out = seg.extract_by_keys(keys);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SegmentExtractByKeys)->Arg(64)->Arg(1024);
+
+void BM_PESortSequential(benchmark::State& state) {
+  const double theta = static_cast<double>(state.range(0)) / 100.0;
+  const auto base =
+      pwss::util::zipf_keys(1u << 14, theta, 1u << 16, 3);
+  for (auto _ : state) {
+    auto copy = base;
+    pwss::sort::pesort(copy, [](std::uint64_t x) { return x; });
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_PESortSequential)->Arg(0)->Arg(99)->Arg(130);
+
+void BM_SchedulerForkJoin(benchmark::State& state) {
+  pwss::sched::Scheduler s(4);
+  for (auto _ : state) {
+    std::atomic<int> n{0};
+    s.parallel_for(0, 1024, 16, [&](std::size_t lo, std::size_t hi) {
+      n.fetch_add(static_cast<int>(hi - lo), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(n.load());
+  }
+}
+BENCHMARK(BM_SchedulerForkJoin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

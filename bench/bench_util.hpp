@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the experiment harnesses (bench/bench_e*.cpp): wall
+// timing and aligned table printing. Each harness prints the series its
+// experiment row in DESIGN.md promises; EXPERIMENTS.md records the shapes.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pwss::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double ns() const { return seconds() * 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+inline void print_cell(double v) { std::printf("%16.2f", v); }
+inline void print_cell(const std::string& s) {
+  std::printf("%16s", s.c_str());
+}
+inline void end_row() { std::printf("\n"); }
+
+}  // namespace pwss::bench

@@ -1,0 +1,67 @@
+// Quickstart: the three ways to use the library.
+//
+//  1. M0Map    — sequential working-set map (Section 5): a drop-in
+//                self-adjusting dictionary.
+//  2. M1Map    — batched parallel map (Section 6): submit batches, get
+//                per-op results; internally entropy-sorted, combined, and
+//                swept through the segments in parallel.
+//  3. M2Map    — pipelined parallel map (Section 7): thread-safe blocking
+//                calls from any thread; batching, filtering and pipelining
+//                happen behind the scenes.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/m0_map.hpp"
+#include "core/m1_map.hpp"
+#include "core/m2_map.hpp"
+#include "sched/scheduler.hpp"
+
+int main() {
+  // ---- 1. Sequential working-set map -----------------------------------
+  pwss::core::M0Map<std::string, int> phone_book;
+  phone_book.insert("alice", 1111);
+  phone_book.insert("bob", 2222);
+  phone_book.insert("carol", 3333);
+  if (auto v = phone_book.search("bob")) {
+    std::printf("M0: bob -> %d (map size %zu)\n", *v, phone_book.size());
+  }
+  // Repeated accesses are cheap: "bob" now lives in the front segment.
+  for (int i = 0; i < 3; ++i) phone_book.search("bob");
+  std::printf("M0: bob sits in segment %zu after repeated access\n",
+              *phone_book.segment_of("bob"));
+
+  // ---- 2. Batched parallel map ------------------------------------------
+  pwss::sched::Scheduler scheduler;  // work-stealing pool, hw threads
+  pwss::core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
+
+  using Op = pwss::core::Op<std::uint64_t, std::uint64_t>;
+  std::vector<Op> batch;
+  for (std::uint64_t i = 0; i < 10000; ++i) batch.push_back(Op::insert(i, i * i));
+  batch.push_back(Op::search(64));
+  batch.push_back(Op::erase(99));
+  batch.push_back(Op::search(99));  // same batch: sees the erase
+
+  const auto results = m1.execute_batch(batch);
+  std::printf("M1: search(64) -> %llu; search(99) after erase found=%d\n",
+              static_cast<unsigned long long>(*results[10000].value),
+              static_cast<int>(results[10002].success));
+  std::printf("M1: %zu items across %zu segments\n", m1.size(),
+              m1.segment_count());
+
+  // ---- 3. Pipelined concurrent map ---------------------------------------
+  pwss::core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+  m2.insert(7, 49);
+  m2.insert(8, 64);
+  if (auto v = m2.search(7)) {
+    std::printf("M2: search(7) -> %llu (first slab width %zu, p=%u)\n",
+                static_cast<unsigned long long>(*v), m2.first_slab_width(),
+                m2.p());
+  }
+  m2.erase(8);
+  m2.quiesce();
+  std::printf("M2: size after erase = %zu\n", m2.size());
+  return 0;
+}

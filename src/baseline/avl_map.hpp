@@ -1,0 +1,36 @@
+#pragma once
+// Non-adjusting balanced-BST baseline: a thin point-operation facade over
+// the join-based AVL tree. Every access costs Θ(log n) regardless of the
+// access distribution — the comparator the working-set structures must beat
+// under skew and roughly match under uniform access (experiment E8).
+
+#include <cstddef>
+#include <optional>
+
+#include "tree/jtree.hpp"
+
+namespace pwss::baseline {
+
+template <typename K, typename V>
+class AvlMap {
+ public:
+  std::size_t size() const noexcept { return tree_.size(); }
+  bool empty() const noexcept { return tree_.empty(); }
+
+  std::optional<V> search(const K& key) const {
+    const V* v = tree_.find(key);
+    if (!v) return std::nullopt;
+    return *v;
+  }
+
+  bool insert(const K& key, V value) {
+    return tree_.insert(key, std::move(value));
+  }
+
+  std::optional<V> erase(const K& key) { return tree_.erase(key); }
+
+ private:
+  tree::JTree<K, V> tree_;
+};
+
+}  // namespace pwss::baseline

@@ -1,0 +1,140 @@
+#pragma once
+// Iacono's working-set structure [29]: a sequence of balanced trees
+// t_1, t_2, ... where t_i holds 2^(2^i) items, maintaining the invariant
+// that the r most recently accessed items live in the first O(log log r)
+// trees. An access found in t_k moves the item to the front of t_1 and
+// demotes one least-recently-used item from each of t_1..t_{k-1} to the
+// next tree. Every operation on an item with recency r costs O(log r + 1).
+//
+// Used both as the sequential baseline for E8 and as the dictionary inside
+// ESort (Definition 29), whose entropy bound (Theorem 30) depends on
+// exactly this working-set property.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/segment.hpp"
+
+namespace pwss::baseline {
+
+template <typename K, typename V>
+class IaconoMap {
+ public:
+  using Item = typename core::Segment<K, V>::Item;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Search with the working-set move-to-front: promotes the found item to
+  /// the most recent position. Returns a pointer to the value (stable until
+  /// the next operation), or nullptr.
+  V* search(const K& key) {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      auto item = segments_[k].extract(key);
+      if (!item) continue;
+      promote_to_front(std::move(*item));
+      rebalance_after_promotion(k);
+      return &segments_[0].peek(key)->first;
+    }
+    return nullptr;
+  }
+
+  /// Search without self-adjustment (for tests and read-only probes).
+  const V* peek(const K& key) const {
+    for (const auto& seg : segments_) {
+      if (const auto* e = seg.peek(key)) return &e->first;
+    }
+    return nullptr;
+  }
+
+  /// Inserts (or overwrites) a key; the item becomes the most recent.
+  /// Returns true iff newly inserted.
+  bool insert(const K& key, V value) {
+    // Overwrite in place counts as an access.
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      auto item = segments_[k].extract(key);
+      if (!item) continue;
+      item->value = std::move(value);
+      promote_to_front(std::move(*item));
+      rebalance_after_promotion(k);
+      return false;
+    }
+    promote_to_front(Item{key, std::move(value), 0});
+    ++size_;
+    rebalance_after_promotion(segments_.size() - 1);
+    return true;
+  }
+
+  /// Removes a key; holes are filled by pulling the most recent item of
+  /// each later segment forward (the working-set structure's deletion
+  /// repair). Returns the removed value.
+  std::optional<V> erase(const K& key) {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      auto item = segments_[k].extract(key);
+      if (!item) continue;
+      --size_;
+      for (std::size_t i = k; i + 1 < segments_.size(); ++i) {
+        auto pulled = segments_[i + 1].extract_most_recent();
+        if (!pulled) break;
+        segments_[i].insert_back(std::move(*pulled));
+      }
+      while (!segments_.empty() && segments_.back().empty()) {
+        segments_.pop_back();
+      }
+      return std::move(item->value);
+    }
+    return std::nullopt;
+  }
+
+  /// Segments in order; each segment's contents sorted by key. Used by
+  /// ESort's merge phase and by invariant checks.
+  const std::vector<core::Segment<K, V>>& segments() const {
+    return segments_;
+  }
+
+  /// Validation: every segment structurally sound, all segments full to
+  /// capacity except possibly the last.
+  bool check_invariants() const {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (!segments_[k].check_invariants()) return false;
+      if (segments_[k].size() > core::segment_capacity(k)) return false;
+      if (k + 1 < segments_.size() &&
+          segments_[k].size() != core::segment_capacity(k)) {
+        return false;  // only the last segment may be under-full
+      }
+    }
+    return true;
+  }
+
+ private:
+  void promote_to_front(Item item) {
+    if (segments_.empty()) segments_.emplace_back();
+    segments_[0].insert_front(std::move(item));
+  }
+
+  /// After inserting at the front, cascade demotions: any over-full segment
+  /// among S[0..k] demotes its least recent item to the next segment.
+  void rebalance_after_promotion(std::size_t touched) {
+    for (std::size_t i = 0; i <= touched && i < segments_.size(); ++i) {
+      if (segments_[i].size() <= core::segment_capacity(i)) break;
+      auto demoted = segments_[i].extract_least_recent();
+      if (i + 1 == segments_.size()) segments_.emplace_back();
+      segments_[i + 1].insert_front(std::move(*demoted));
+    }
+    // An over-full last segment can cascade past `touched`.
+    while (!segments_.empty() &&
+           segments_.back().size() >
+               core::segment_capacity(segments_.size() - 1)) {
+      auto demoted = segments_.back().extract_least_recent();
+      segments_.emplace_back();
+      segments_.back().insert_front(std::move(*demoted));
+    }
+  }
+
+  std::vector<core::Segment<K, V>> segments_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwss::baseline

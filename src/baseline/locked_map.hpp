@@ -1,0 +1,42 @@
+#pragma once
+// Coarse-grained concurrent baseline: a single mutex around the AVL map.
+// This is the "software combining without the combining" strawman — every
+// parallel caller serializes on the lock, so it bounds what a naive
+// concurrent map achieves in E5/E8's multi-threaded comparisons.
+
+#include <mutex>
+#include <optional>
+
+#include "baseline/avl_map.hpp"
+
+namespace pwss::baseline {
+
+template <typename K, typename V>
+class LockedMap {
+ public:
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+
+  std::optional<V> search(const K& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.search(key);
+  }
+
+  bool insert(const K& key, V value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.insert(key, std::move(value));
+  }
+
+  std::optional<V> erase(const K& key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.erase(key);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  AvlMap<K, V> map_;
+};
+
+}  // namespace pwss::baseline

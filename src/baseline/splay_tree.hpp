@@ -1,0 +1,148 @@
+#pragma once
+// Bottom-up splay tree (Sleator–Tarjan [37]) — the classical self-adjusting
+// baseline. Satisfies the working-set bound amortized, so E8 compares it
+// head-to-head with M0/M1/M2 under skewed access.
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace pwss::baseline {
+
+template <typename K, typename V>
+class SplayTree {
+ public:
+  SplayTree() = default;
+  SplayTree(const SplayTree&) = delete;
+  SplayTree& operator=(const SplayTree&) = delete;
+  ~SplayTree() { destroy(root_); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Self-adjusting search: splays the accessed (or closest) node to the
+  /// root. Returns the value if found.
+  std::optional<V> search(const K& key) {
+    root_ = splay(root_, key);
+    if (root_ && root_->key == key) return root_->value;
+    return std::nullopt;
+  }
+
+  /// Insert or overwrite; returns true iff newly inserted.
+  bool insert(const K& key, V value) {
+    if (!root_) {
+      root_ = new Node(key, std::move(value));
+      size_ = 1;
+      return true;
+    }
+    root_ = splay(root_, key);
+    if (root_->key == key) {
+      root_->value = std::move(value);
+      return false;
+    }
+    auto* n = new Node(key, std::move(value));
+    if (key < root_->key) {
+      n->left = root_->left;
+      n->right = root_;
+      root_->left = nullptr;
+    } else {
+      n->right = root_->right;
+      n->left = root_;
+      root_->right = nullptr;
+    }
+    root_ = n;
+    ++size_;
+    return true;
+  }
+
+  /// Remove; returns the removed value.
+  std::optional<V> erase(const K& key) {
+    if (!root_) return std::nullopt;
+    root_ = splay(root_, key);
+    if (root_->key != key) return std::nullopt;
+    std::optional<V> out = std::move(root_->value);
+    Node* old = root_;
+    if (!root_->left) {
+      root_ = root_->right;
+    } else {
+      Node* left = splay(root_->left, key);  // max of left subtree to root
+      left->right = root_->right;
+      root_ = left;
+    }
+    delete old;
+    --size_;
+    return out;
+  }
+
+  /// Height of the tree (for tests demonstrating that splay trees do not
+  /// maintain worst-case balance).
+  std::size_t height() const { return height_rec(root_); }
+
+ private:
+  struct Node {
+    Node(const K& k, V v) : key(k), value(std::move(v)) {}
+    K key;
+    V value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  /// Top-down splay (Sleator–Tarjan's simplified version).
+  static Node* splay(Node* t, const K& key) {
+    if (!t) return nullptr;
+    Node header{key, V{}};
+    Node* left_max = &header;
+    Node* right_min = &header;
+    for (;;) {
+      if (key < t->key) {
+        if (!t->left) break;
+        if (key < t->left->key) {  // zig-zig: rotate right
+          Node* l = t->left;
+          t->left = l->right;
+          l->right = t;
+          t = l;
+          if (!t->left) break;
+        }
+        right_min->left = t;  // link right
+        right_min = t;
+        t = t->left;
+      } else if (t->key < key) {
+        if (!t->right) break;
+        if (t->right->key < key) {  // zag-zag: rotate left
+          Node* r = t->right;
+          t->right = r->left;
+          r->left = t;
+          t = r;
+          if (!t->right) break;
+        }
+        left_max->right = t;  // link left
+        left_max = t;
+        t = t->right;
+      } else {
+        break;
+      }
+    }
+    left_max->right = t->left;
+    right_min->left = t->right;
+    t->left = header.right;
+    t->right = header.left;
+    return t;
+  }
+
+  static void destroy(Node* t) noexcept {
+    if (!t) return;
+    destroy(t->left);
+    destroy(t->right);
+    delete t;
+  }
+
+  static std::size_t height_rec(const Node* t) noexcept {
+    if (!t) return 0;
+    return 1 + std::max(height_rec(t->left), height_rec(t->right));
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwss::baseline

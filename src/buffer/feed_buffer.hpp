@@ -1,0 +1,74 @@
+#pragma once
+// Feed buffer (Section 6.1): a queue of *bunches*, each of size `bunch_cap`
+// (= p^2) except possibly the last. An input batch is cut so that its first
+// piece tops up the last bunch and the rest append as fresh bunches — O(1)
+// work per element and O(1) per batch beyond that, matching the paper's
+// bunch structure (a set with O(1) batch-add and O(log b)-span conversion).
+//
+// Single-consumer: only the data structure's interface (which is guarded by
+// its activation gate) touches the feed buffer, so no internal locking.
+
+#include <cstddef>
+#include <deque>
+#include <iterator>
+#include <vector>
+
+namespace pwss::buffer {
+
+template <typename T>
+class FeedBuffer {
+ public:
+  explicit FeedBuffer(std::size_t bunch_cap) : bunch_cap_(bunch_cap ? bunch_cap : 1) {}
+
+  bool empty() const noexcept { return bunches_.empty(); }
+  std::size_t size() const noexcept { return total_; }
+  std::size_t bunch_count() const noexcept { return bunches_.size(); }
+  std::size_t bunch_capacity() const noexcept { return bunch_cap_; }
+
+  /// Cuts `input` into the last bunch + fresh bunches (Section 6.1's "cut
+  /// and store" step).
+  void append(std::vector<T> input) {
+    total_ += input.size();
+    std::size_t offset = 0;
+    if (!bunches_.empty() && bunches_.back().size() < bunch_cap_) {
+      const std::size_t room = bunch_cap_ - bunches_.back().size();
+      const std::size_t take = std::min(room, input.size());
+      auto& last = bunches_.back();
+      last.insert(last.end(), std::make_move_iterator(input.begin()),
+                  std::make_move_iterator(input.begin() + static_cast<std::ptrdiff_t>(take)));
+      offset = take;
+    }
+    while (offset < input.size()) {
+      const std::size_t take = std::min(bunch_cap_, input.size() - offset);
+      bunches_.emplace_back(
+          std::make_move_iterator(input.begin() + static_cast<std::ptrdiff_t>(offset)),
+          std::make_move_iterator(input.begin() + static_cast<std::ptrdiff_t>(offset + take)));
+      offset += take;
+    }
+  }
+
+  /// Removes up to `n` bunches from the front and concatenates them into
+  /// one cut batch (M1 takes ceil(log n / p) bunches, M2 takes one).
+  std::vector<T> take_bunches(std::size_t n) {
+    std::vector<T> out;
+    for (std::size_t i = 0; i < n && !bunches_.empty(); ++i) {
+      auto& front = bunches_.front();
+      total_ -= front.size();
+      if (out.empty()) {
+        out = std::move(front);
+      } else {
+        out.insert(out.end(), std::make_move_iterator(front.begin()),
+                   std::make_move_iterator(front.end()));
+      }
+      bunches_.pop_front();
+    }
+    return out;
+  }
+
+ private:
+  std::size_t bunch_cap_;
+  std::deque<std::vector<T>> bunches_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pwss::buffer

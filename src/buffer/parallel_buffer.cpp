@@ -1,0 +1,12 @@
+#include "buffer/parallel_buffer.hpp"
+
+namespace pwss::buffer {
+
+std::size_t this_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace pwss::buffer

@@ -1,0 +1,92 @@
+#pragma once
+// Parallel buffer (Appendix A.1, Figure 4): the implicit-batching front end
+// that absorbs concurrent data-structure calls into per-thread sub-buffers
+// and flushes them as one batch when the structure is ready for input.
+//
+// The paper's submitters walk a static BBT of test-and-set flags to decide
+// who activates the interface; we substitute the AsyncGate three-state
+// latch (one CAS per submit once an owner is active) for the flag tree —
+// identical O(1) submit cost and O(p + b) / O(log p + log b) flush bounds,
+// without the tree's epoch-swap subtleties (see DESIGN.md substitutions;
+// the gate lives with the consumer, e.g. core/async_map.hpp).
+//
+// Each sub-buffer is padded to its own cache line and guarded by a tiny
+// test-and-set spinlock: a submitter contends only with the flusher and
+// with same-slot threads (slot = hashed thread id), matching the QRMW
+// model's per-cell FIFO queue behaviour.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "sync/nonblocking_lock.hpp"
+
+namespace pwss::buffer {
+
+/// Returns a small dense id for the calling thread (stable for its
+/// lifetime), used to pick a sub-buffer slot.
+std::size_t this_thread_slot();
+
+template <typename T>
+class ParallelBuffer {
+ public:
+  explicit ParallelBuffer(std::size_t slots = 0) {
+    if (slots == 0) {
+      slots = std::thread::hardware_concurrency();
+      if (slots == 0) slots = 8;
+    }
+    slots_ = std::vector<Slot>(slots);
+  }
+
+  /// O(1) amortized; callable from any thread concurrently.
+  void submit(T item) {
+    Slot& slot = slots_[this_thread_slot() % slots_.size()];
+    slot.lock_spin();
+    slot.items.push_back(std::move(item));
+    slot.lock.unlock();
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Approximate number of buffered items (exact when quiescent).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps out every sub-buffer and concatenates: O(p + b). Items submitted
+  /// concurrently with a flush land in this batch or the next (the paper's
+  /// guarantee).
+  std::vector<T> flush() {
+    std::vector<T> out;
+    for (auto& slot : slots_) {
+      std::vector<T> taken;
+      slot.lock_spin();
+      taken.swap(slot.items);
+      slot.lock.unlock();
+      if (!taken.empty()) {
+        pending_.fetch_sub(taken.size(), std::memory_order_release);
+        if (out.empty()) {
+          out = std::move(taken);
+        } else {
+          out.insert(out.end(), std::make_move_iterator(taken.begin()),
+                     std::make_move_iterator(taken.end()));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    sync::NonBlockingLock lock;
+    std::vector<T> items;
+    void lock_spin() {
+      while (!lock.try_lock()) std::this_thread::yield();
+    }
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace pwss::buffer

@@ -1,0 +1,146 @@
+#pragma once
+// AsyncMap — the implicit-batching front end of Section 4 / Appendix A.1
+// wrapped around a batched map (M1Map, or M0Map for a sequential-combining
+// baseline). Client threads call search/insert/erase as blocking black-box
+// operations, exactly the programming model the paper targets; the runtime
+// glue (parallel buffer -> feed buffer of p^2 bunches -> cut batches of
+// ceil(log n / p) bunches -> execute_batch) happens behind the scenes on
+// the scheduler's workers.
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "buffer/feed_buffer.hpp"
+#include "buffer/parallel_buffer.hpp"
+#include "core/ops.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/async_gate.hpp"
+
+namespace pwss::core {
+
+/// Completion slot for one asynchronous operation. Lives on the caller's
+/// stack; the interface fulfills it and wakes the caller.
+template <typename V>
+struct OpTicket {
+  std::atomic<bool> ready{false};
+  Result<V> result;
+
+  void fulfill(Result<V> r) {
+    result = std::move(r);
+    ready.store(true, std::memory_order_release);
+    ready.notify_all();
+  }
+  Result<V> wait() {
+    // Short spin for the common fast path, then futex-wait.
+    for (int i = 0; i < 128; ++i) {
+      if (ready.load(std::memory_order_acquire)) return result;
+    }
+    ready.wait(false, std::memory_order_acquire);
+    return result;
+  }
+};
+
+/// MapT must provide execute_batch(span<const Op<K,V>>) -> vector<Result<V>>
+/// and size(). The wrapper owns the map.
+template <typename K, typename V, typename MapT>
+class AsyncMap {
+ public:
+  AsyncMap(MapT map, sched::Scheduler& scheduler)
+      : map_(std::move(map)),
+        scheduler_(scheduler),
+        p_(std::max(1u, scheduler.worker_count())),
+        input_(),
+        feed_(static_cast<std::size_t>(p_) * p_) {}
+
+  ~AsyncMap() { quiesce(); }
+
+  MapT& map() { return map_; }  // safe only when quiescent
+
+  std::optional<V> search(const K& key) {
+    return run_op(Op<K, V>::search(key)).value;
+  }
+  bool insert(const K& key, V value) {
+    return run_op(Op<K, V>::insert(key, std::move(value))).success;
+  }
+  std::optional<V> erase(const K& key) {
+    return run_op(Op<K, V>::erase(key)).value;
+  }
+
+  /// Submits without blocking; caller later waits on the ticket.
+  void submit(Op<K, V> op, OpTicket<V>* ticket) {
+    input_.submit(Submission{std::move(op), ticket});
+    in_flight_.fetch_add(1, std::memory_order_release);
+    poke();
+  }
+
+  /// Blocks until every submitted operation has completed.
+  void quiesce() {
+    while (in_flight_.load(std::memory_order_acquire) != 0 ||
+           gate_.active()) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  struct Submission {
+    Op<K, V> op;
+    OpTicket<V>* ticket;
+  };
+
+  Result<V> run_op(Op<K, V> op) {
+    OpTicket<V> ticket;
+    submit(std::move(op), &ticket);
+    return ticket.wait();
+  }
+
+  void poke() {
+    if (gate_.begin()) {
+      scheduler_.spawn([this] { drive(); }, sched::Priority::kLow);
+    }
+  }
+
+  /// Owner loop: runs on a scheduler worker; processes cut batches until
+  /// the buffers drain (then re-checks the gate's pending mark).
+  void drive() {
+    for (;;) {
+      while (input_.pending() > 0 || !feed_.empty()) {
+        feed_.append(take_submissions());
+        process_one_cut_batch();
+      }
+      if (!gate_.finish()) return;
+    }
+  }
+
+  std::vector<Submission> take_submissions() { return input_.flush(); }
+
+  void process_one_cut_batch() {
+    // M1's cut size: ceil(log2(n) / p) bunches of p^2 ops each, >= 1.
+    const double n = static_cast<double>(map_.size() + 2);
+    const std::size_t bunches = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(std::log2(n) / static_cast<double>(p_))));
+    std::vector<Submission> batch = feed_.take_bunches(bunches);
+    if (batch.empty()) return;
+    std::vector<Op<K, V>> ops;
+    ops.reserve(batch.size());
+    for (auto& s : batch) ops.push_back(std::move(s.op));
+    std::vector<Result<V>> results = map_.execute_batch(ops);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].ticket->fulfill(std::move(results[i]));
+    }
+    in_flight_.fetch_sub(batch.size(), std::memory_order_release);
+  }
+
+  MapT map_;
+  sched::Scheduler& scheduler_;
+  unsigned p_;
+  buffer::ParallelBuffer<Submission> input_;
+  buffer::FeedBuffer<Submission> feed_;
+  sync::AsyncGate gate_;
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace pwss::core

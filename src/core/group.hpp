@@ -1,0 +1,96 @@
+#pragma once
+// Group-operations (Section 6.1): after entropy-sorting a batch, all
+// operations on the same key are combined into one group-operation that is
+// "treated as a single operation with the same effect as the whole group of
+// operations in the given order". Resolving a group against the key's state
+// at the moment the group meets the item yields every individual result
+// plus the group's net effect (present-with-value / absent).
+//
+// This is the mechanism that turns b duplicate accesses into O(log n + b)
+// work instead of Ω(b log n) (Section 3).
+//
+// The delivery `Target` is a template parameter: M1 delivers results by
+// batch index (size_t), M2 by per-operation ticket pointer.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/ops.hpp"
+
+namespace pwss::core {
+
+/// One client operation in flight through a batched map, carrying where its
+/// result must be delivered.
+template <typename K, typename V, typename Target>
+struct PendingOp {
+  OpType type;
+  K key;
+  V value{};
+  Target target{};
+};
+
+/// All pending operations on one key within a batch, in program order.
+template <typename K, typename V, typename Target>
+struct GroupOp {
+  K key;
+  std::vector<PendingOp<K, V, Target>> ops;
+
+  /// Arrival sequence within the batch (used to order fresh insertions).
+  std::size_t seq = 0;
+
+  // M2 bookkeeping: a deletion that already succeeded in an earlier segment
+  // is tagged and keeps flowing to the terminal segment (Section 7.1 step 3:
+  // "Successful deletions are tagged to indicate success").
+  bool deletion_succeeded = false;
+};
+
+/// Applies `ops` in order against `initial` (the key's value where the
+/// group met the item, or nullopt if absent), emitting one Result per op
+/// through `emit(target, Result<V>)`. Returns the net final state.
+template <typename K, typename V, typename Target, typename Emit>
+std::optional<V> resolve_ops(std::optional<V> initial,
+                             const std::vector<PendingOp<K, V, Target>>& ops,
+                             Emit&& emit) {
+  std::optional<V> cur = std::move(initial);
+  for (const auto& op : ops) {
+    Result<V> r;
+    switch (op.type) {
+      case OpType::kSearch:
+        r.success = cur.has_value();
+        r.value = cur;
+        break;
+      case OpType::kInsert:
+        r.success = !cur.has_value();  // true = newly inserted, false = update
+        cur = op.value;
+        break;
+      case OpType::kErase:
+        r.success = cur.has_value();
+        r.value = std::move(cur);
+        cur.reset();
+        break;
+    }
+    emit(op.target, std::move(r));
+  }
+  return cur;
+}
+
+/// Coalesces a key-sorted batch (per-key program order preserved — callers
+/// use the stable PESort) into GroupOps, numbering them by arrival order.
+template <typename K, typename V, typename Target>
+std::vector<GroupOp<K, V, Target>> coalesce_sorted(
+    std::vector<PendingOp<K, V, Target>> sorted) {
+  std::vector<GroupOp<K, V, Target>> groups;
+  for (auto& op : sorted) {
+    if (groups.empty() || !(groups.back().key == op.key)) {
+      GroupOp<K, V, Target> g;
+      g.key = op.key;
+      g.seq = groups.size();
+      groups.push_back(std::move(g));
+    }
+    groups.back().ops.push_back(std::move(op));
+  }
+  return groups;
+}
+
+}  // namespace pwss::core

@@ -1,0 +1,173 @@
+#pragma once
+// M0 — the amortized sequential working-set map of Section 5. Like
+// Iacono's structure it keeps segments S[0..l] with |S[k]| = 2^(2^k), every
+// segment full except possibly the last; unlike Iacono it localizes the
+// self-adjustment:
+//   * a search hit in S[k] (k > 0) moves the item only to the front of
+//     S[k-1] (not all the way to S[0]), and the least recent item of
+//     S[k-1] is shifted back to the front of S[k];
+//   * an insertion goes to the *back* of the last segment;
+//   * a deletion pulls the most recent item of each later segment back by
+//     one segment to refill the hole.
+// Theorem 7: the total cost satisfies the working-set bound. This localized
+// scheme is exactly what M2 pipelines, so M0 doubles as the reference
+// implementation ("model") in M1/M2 equivalence tests.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "core/segment.hpp"
+
+namespace pwss::core {
+
+template <typename K, typename V>
+class M0Map {
+ public:
+  using Item = typename Segment<K, V>::Item;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Search with self-adjustment. Returns the value if found.
+  std::optional<V> search(const K& key) {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      auto item = segments_[k].extract(key);
+      if (!item) continue;
+      V result = item->value;
+      if (k == 0) {
+        segments_[0].insert_front(std::move(*item));
+      } else {
+        // Promote by one segment; the least recent item of S[k-1] swaps
+        // back to the *front* of S[k] (it is more recent, in the abstract
+        // list R, than everything already in S[k]).
+        auto demoted = segments_[k - 1].extract_least_recent();
+        segments_[k - 1].insert_front(std::move(*item));
+        if (demoted) segments_[k].insert_front(std::move(*demoted));
+      }
+      return result;
+    }
+    return std::nullopt;
+  }
+
+  /// Read-only lookup (no self-adjustment).
+  const V* peek(const K& key) const {
+    for (const auto& seg : segments_) {
+      if (const auto* e = seg.peek(key)) return &e->first;
+    }
+    return nullptr;
+  }
+
+  /// Insert at the back of the last segment; an existing key is treated as
+  /// an update-access (M1's rule, Section 6.1). Returns true iff new.
+  bool insert(const K& key, V value) {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (auto* e = segments_[k].peek(key)) {
+        (void)e;
+        // Update = access: run the search promotion, then overwrite.
+        search(key);
+        overwrite(key, std::move(value));
+        return false;
+      }
+    }
+    if (segments_.empty()) segments_.emplace_back();
+    std::size_t last = segments_.size() - 1;
+    if (segments_[last].size() >= segment_capacity(last)) {
+      segments_.emplace_back();
+      ++last;
+    }
+    segments_[last].insert_back(Item{key, std::move(value), 0});
+    ++size_;
+    return true;
+  }
+
+  /// Deletion with hole repair: the most recent item of each later segment
+  /// moves to the back of the previous one. Returns the removed value.
+  std::optional<V> erase(const K& key) {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      auto item = segments_[k].extract(key);
+      if (!item) continue;
+      --size_;
+      for (std::size_t i = k; i + 1 < segments_.size(); ++i) {
+        auto pulled = segments_[i + 1].extract_most_recent();
+        if (!pulled) break;
+        segments_[i].insert_back(std::move(*pulled));
+      }
+      while (!segments_.empty() && segments_.back().empty()) {
+        segments_.pop_back();
+      }
+      return std::move(item->value);
+    }
+    return std::nullopt;
+  }
+
+  /// Executes a batch sequentially (reference semantics for M1/M2 tests).
+  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+    std::vector<Result<V>> results;
+    results.reserve(ops.size());
+    for (const auto& op : ops) {
+      Result<V> r;
+      switch (op.type) {
+        case OpType::kSearch: {
+          auto v = search(op.key);
+          r.success = v.has_value();
+          r.value = std::move(v);
+          break;
+        }
+        case OpType::kInsert:
+          r.success = insert(op.key, op.value);
+          break;
+        case OpType::kErase: {
+          auto v = erase(op.key);
+          r.success = v.has_value();
+          r.value = std::move(v);
+          break;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
+
+  /// Index of the segment currently holding `key` (for rank-invariant
+  /// tests), or nullopt.
+  std::optional<std::size_t> segment_of(const K& key) const {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (segments_[k].peek(key)) return k;
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<Segment<K, V>>& segments() const { return segments_; }
+
+  /// Validation: segment structure sound, capacities respected (all full
+  /// but the last).
+  bool check_invariants() const {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (!segments_[k].check_invariants()) return false;
+      if (segments_[k].size() > segment_capacity(k)) return false;
+      if (k + 1 < segments_.size() &&
+          segments_[k].size() != segment_capacity(k)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void overwrite(const K& key, V value) {
+    for (auto& seg : segments_) {
+      if (auto* e = seg.peek(key)) {
+        e->first = std::move(value);
+        return;
+      }
+    }
+  }
+
+  std::vector<Segment<K, V>> segments_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwss::core

@@ -1,0 +1,256 @@
+#pragma once
+// M1 — the simple batched parallel working-set map (Section 6).
+//
+// A batch is processed as:
+//   1. parallel-entropy-sort the batch by key (stable: per-key program
+//      order preserved) and coalesce duplicate keys into group-operations;
+//   2. sweep the segments S[0]..S[l]: at S[k], batch-extract the groups'
+//      keys; groups that find their item resolve there (successful
+//      searches/updates shift to the front of S[k-1], net deletions remove
+//      the item); then the capacity invariant of S[0..k-1] is restored by
+//      transfers across segment boundaries; unfinished groups continue;
+//   3. groups that reach the end unfound resolve against an absent item;
+//      their net insertions append at the back of the last segment,
+//      overflowing into newly created segments.
+//
+// Theorems 12/13: total work O(W_L + e_L log p), span
+// O(N/p + d((log p)^2 + log n)). This class is the synchronous batch core;
+// the implicit-batching front end (parallel buffer + feed buffer of
+// p^2-sized bunches, cut batches of ceil(log n / p) bunches) lives in
+// core/async_map.hpp.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/ops.hpp"
+#include "core/segment.hpp"
+#include "sched/scheduler.hpp"
+#include "sort/pesort.hpp"
+#include "tree/jtree.hpp"
+
+namespace pwss::core {
+
+template <typename K, typename V>
+class M1Map {
+ public:
+  /// scheduler may be null for a fully sequential map (used in tests to
+  /// differentiate logic bugs from concurrency bugs).
+  explicit M1Map(sched::Scheduler* scheduler = nullptr)
+      : scheduler_(scheduler) {
+    ctx_.scheduler = scheduler;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Executes one batch; results returned in submission order. Operations
+  /// on the same key take effect in submission order; operations on
+  /// different keys commute (they are on distinct items), so this realizes
+  /// a legal linearization of the batch (Definition 8).
+  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<Result<V>> results(ops.size());
+    if (ops.empty()) return results;
+
+    // Tag with result indices, entropy-sort by key, coalesce.
+    std::vector<PendingOp<K, V, std::size_t>> tagged;
+    tagged.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      tagged.push_back({ops[i].type, ops[i].key, ops[i].value, i});
+    }
+    sort::pesort(
+        tagged, [](const PendingOp<K, V, std::size_t>& p) { return p.key; },
+        scheduler_);
+    std::vector<GroupOp<K, V, std::size_t>> groups =
+        coalesce_sorted(std::move(tagged));
+
+    process_groups(std::move(groups), results);
+    return results;
+  }
+
+  /// Convenience point ops (each a singleton batch) — for tests/examples.
+  std::optional<V> search(const K& key) {
+    auto r = execute_batch(std::vector<Op<K, V>>{Op<K, V>::search(key)});
+    return r[0].value;
+  }
+  bool insert(const K& key, V value) {
+    auto r = execute_batch(
+        std::vector<Op<K, V>>{Op<K, V>::insert(key, std::move(value))});
+    return r[0].success;
+  }
+  std::optional<V> erase(const K& key) {
+    auto r = execute_batch(std::vector<Op<K, V>>{Op<K, V>::erase(key)});
+    return r[0].value;
+  }
+
+  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+    return execute_batch(std::span<const Op<K, V>>(ops));
+  }
+
+  /// Segment index holding `key` (for invariant tests).
+  std::optional<std::size_t> segment_of(const K& key) const {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (segments_[k].peek(key)) return k;
+    }
+    return std::nullopt;
+  }
+
+  /// Validation: segments sound; every prefix S[0..i] is exactly at
+  /// capacity or the suffix beyond it is empty.
+  bool check_invariants() const {
+    std::size_t total = 0;
+    for (const auto& seg : segments_) {
+      if (!seg.check_invariants()) return false;
+      total += seg.size();
+    }
+    if (total != size_) return false;
+    std::size_t cum = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      cum += segments_[i].size();
+      const std::size_t cap_prefix = capacity_prefix(i + 1);
+      if (cum != std::min<std::size_t>(size_, cap_prefix) &&
+          !(cum == size_ && segments_[i].size() > 0)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  using Item = typename Segment<K, V>::Item;
+
+  static std::size_t capacity_prefix(std::size_t count) {
+    std::size_t cum = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint64_t c = segment_capacity(j);
+      if (c > (~std::size_t{0}) - cum) return ~std::size_t{0};
+      cum += static_cast<std::size_t>(c);
+    }
+    return cum;
+  }
+
+  void process_groups(std::vector<GroupOp<K, V, std::size_t>> groups,
+                      std::vector<Result<V>>& results) {
+    auto emit = [&](std::size_t idx, Result<V> r) {
+      results[idx] = std::move(r);
+    };
+
+    std::vector<GroupOp<K, V, std::size_t>> pending = std::move(groups);
+    for (std::size_t k = 0; k < segments_.size() && !pending.empty(); ++k) {
+      // Batch-extract the groups' keys from S[k].
+      std::vector<K> keys;
+      keys.reserve(pending.size());
+      for (const auto& g : pending) keys.push_back(g.key);
+      std::vector<Item> found = segments_[k].extract_by_keys(keys, ctx_);
+
+      // found is key-sorted, as is pending: walk them together.
+      std::vector<GroupOp<K, V, std::size_t>> unfinished;
+      std::vector<Item> to_promote;  // successful searches/updates
+      std::size_t fi = 0;
+      for (auto& g : pending) {
+        if (fi < found.size() && found[fi].key == g.key) {
+          Item item = std::move(found[fi++]);
+          std::optional<V> fin =
+              resolve_ops<K, V, std::size_t>(std::move(item.value), g.ops, emit);
+          if (fin) {
+            item.value = std::move(*fin);
+            to_promote.push_back(std::move(item));  // keeps S[k] stamp order
+          }
+          // Net deletion: item stays removed; group finished.
+        } else {
+          unfinished.push_back(std::move(g));
+        }
+      }
+
+      // Shift found items to the front of the previous segment, keeping
+      // their relative (recency) order.
+      if (!to_promote.empty()) {
+        const std::size_t dest = k == 0 ? 0 : k - 1;
+        segments_[dest].insert_front_batch(std::move(to_promote), ctx_);
+      }
+      restore_capacity(k);
+      pending = std::move(unfinished);
+    }
+
+    // Groups whose keys are absent everywhere.
+    std::vector<Item> to_insert;
+    for (auto& g : pending) {
+      std::optional<V> fin =
+          resolve_ops<K, V, std::size_t>(std::nullopt, g.ops, emit);
+      if (fin) {
+        // M0's rule: each insertion goes *behind* the previous one, so an
+        // earlier batch position is more recent. The inverted batch index
+        // is restamped at insertion but preserves that relative order.
+        to_insert.push_back(
+            Item{g.key, std::move(*fin), ~g.ops.front().target});
+      }
+    }
+    append_new_items(std::move(to_insert));
+    restore_capacity(segments_.size());
+    while (!segments_.empty() && segments_.back().empty()) {
+      segments_.pop_back();
+    }
+  }
+
+  /// Appends fresh items at the back of the last segment, creating new
+  /// segments for overflow (Section 6.1's final insertion step).
+  void append_new_items(std::vector<Item> items) {
+    if (items.empty()) return;
+    size_ += items.size();
+    if (segments_.empty()) segments_.emplace_back();
+    std::size_t last = segments_.size() - 1;
+    segments_[last].insert_back_batch(std::move(items), ctx_);
+    // Carve overflow into new segments back-to-front.
+    while (segments_[last].size() > segment_capacity(last)) {
+      const std::size_t excess =
+          segments_[last].size() -
+          static_cast<std::size_t>(segment_capacity(last));
+      std::vector<Item> spill = segments_[last].extract_least_recent(excess, ctx_);
+      segments_.emplace_back();
+      ++last;
+      segments_[last].insert_front_batch(std::move(spill), ctx_);
+    }
+  }
+
+  /// Restores the capacity invariant for prefixes S[0..i-1], boundaries
+  /// i = upto down to 1: transfer between the back of S[i-1] and the front
+  /// of S[i] until the prefix is exactly at capacity or S[i] is empty.
+  void restore_capacity(std::size_t upto) {
+    size_ = recompute_size();  // group resolution may have deleted items
+    upto = std::min(upto, segments_.empty() ? 0 : segments_.size() - 1);
+    for (std::size_t i = upto; i >= 1; --i) {
+      const std::size_t target = capacity_prefix(i);
+      std::size_t prefix = 0;
+      for (std::size_t j = 0; j < i; ++j) prefix += segments_[j].size();
+      if (prefix > target) {
+        // Demote the excess: back of S[i-1] -> front of S[i].
+        std::vector<Item> moved =
+            segments_[i - 1].extract_least_recent(prefix - target, ctx_);
+        segments_[i].insert_front_batch(std::move(moved), ctx_);
+      } else if (prefix < target) {
+        // Pull forward: front of S[i] -> back of S[i-1].
+        const std::size_t want = target - prefix;
+        std::vector<Item> moved = segments_[i].extract_most_recent(
+            std::min(want, segments_[i].size()), ctx_);
+        segments_[i - 1].insert_back_batch(std::move(moved), ctx_);
+      }
+    }
+  }
+
+  std::size_t recompute_size() const {
+    std::size_t total = 0;
+    for (const auto& seg : segments_) total += seg.size();
+    return total;
+  }
+
+  std::vector<Segment<K, V>> segments_;
+  sched::Scheduler* scheduler_;
+  tree::ParCtx ctx_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwss::core

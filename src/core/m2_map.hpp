@@ -1,0 +1,762 @@
+#pragma once
+// M2 — the pipelined parallel working-set map (Section 7, Figures 2–3).
+//
+// Structure (Figure 2):
+//
+//   input -> feed buffer --p^2 cut batch--> [ESort+Combine]
+//         -> FIRST SLAB  S[0..m-1]   (m = ceil(log log 2p^2) + 1)
+//         -> FILTER  (capacity Θ(p^2); one in-flight group per key)
+//         -> FINAL SLAB  S[m] -> S[m+1] -> ... -> S[l]   (pipelined)
+//
+// The interface (an asynchronous activation) is ready iff input is pending
+// and the filter holds at most p^2 keys. Each run takes ONE p^2-sized
+// bunch, sorts and combines it, sweeps the first slab like M1 (successful
+// searches/updates finish immediately; successful deletions are tagged and
+// continue; everything else continues), then — holding the neighbour-lock
+// B[0] shared with S[m] and the front-lock FL[0] — processes S[m-1], passes
+// the unfinished groups through the filter and hands them to S[m].
+//
+// Final-slab segments are pipeline stages. Stage k runs under its two
+// neighbour-locks; finished items are shifted to the front of S[m'] with
+// m' = min(k-1, m) under the front-lock chain FL[k-m]..FL[0] (Figure 3),
+// which also guards the filter and the contents of S[m]. Stage activations
+// and everything they spawn run at HIGH priority; the interface runs LOW —
+// the weak-priority discipline of Section 7.2.
+//
+// All locks are the paper's dedicated locks (Definition 37) used in
+// continuation-passing style: a stage run never blocks an OS thread. Lock
+// acquisition follows the global order B[0] < B[1] < ... < FL[max] < ... <
+// FL[0], so the CPS chains cannot deadlock.
+//
+// Simplifications vs. the paper, documented in DESIGN.md:
+//  * segments/locks are preallocated up to kMaxStages (capacities are
+//    doubly exponential, so 12 final-slab stages cover any feasible n);
+//    empty terminal segments are kept instead of removed (step 5);
+//  * batch work inside a stage runs through the shared scheduler rather
+//    than dedicated processors — exactly the Section 8 adaptation.
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "buffer/feed_buffer.hpp"
+#include "buffer/parallel_buffer.hpp"
+#include "core/async_map.hpp"
+#include "core/group.hpp"
+#include "core/ops.hpp"
+#include "core/segment.hpp"
+#include "sched/scheduler.hpp"
+#include "sort/pesort.hpp"
+#include "sync/async_gate.hpp"
+#include "sync/dedicated_lock.hpp"
+
+namespace pwss::core {
+
+template <typename K, typename V>
+class M2Map {
+ public:
+  /// p defaults to the scheduler's worker count. The filter capacity and
+  /// bunch size are p^2; the first slab has m = ceil(log2 log2 (2 p^2)) + 1
+  /// segments.
+  explicit M2Map(sched::Scheduler& scheduler, unsigned p = 0)
+      : scheduler_(scheduler),
+        p_(p ? p : std::max(1u, scheduler.worker_count())),
+        bunch_(static_cast<std::size_t>(p_) * p_),
+        m_(first_slab_segments_for(p_)),
+        feed_(bunch_),
+        first_slab_(m_),
+        stages_(kMaxStages) {
+    for (std::size_t j = 0; j <= kMaxStages; ++j) {
+      // B[j]: key 0 = left user (interface for j==0, stage j-1 otherwise),
+      // key 1 = stage j.
+      nlocks_.push_back(std::make_unique<sync::DedicatedLock>(2));
+    }
+    for (std::size_t j = 0; j < kMaxStages; ++j) {
+      // FL[j]: key 0 = adjacent stage j, key 1 = pass-through holder of
+      // FL[j+1], key 2 (FL[0] only) = the interface.
+      flocks_.push_back(std::make_unique<sync::DedicatedLock>(j == 0 ? 3 : 2));
+    }
+  }
+
+  ~M2Map() { quiesce(); }
+  M2Map(const M2Map&) = delete;
+  M2Map& operator=(const M2Map&) = delete;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  unsigned p() const noexcept { return p_; }
+  std::size_t first_slab_width() const noexcept { return m_; }
+  std::size_t filter_occupancy() const noexcept {
+    return filter_size_.load(std::memory_order_acquire);
+  }
+
+  /// Asynchronous submission: the ticket is fulfilled when the operation
+  /// finishes (possibly deep in the pipeline). Thread-safe.
+  void submit(Op<K, V> op, OpTicket<V>* ticket) {
+    in_flight_.fetch_add(1, std::memory_order_release);
+    input_.submit(POp{op.type, std::move(op.key), std::move(op.value), ticket});
+    activate_interface();
+  }
+
+  /// Blocking convenience: submits the whole batch and waits for every
+  /// result. Per-key program order is preserved within the batch.
+  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<OpTicket<V>> tickets(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      submit(ops[i], &tickets[i]);
+    }
+    std::vector<Result<V>> results(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      results[i] = tickets[i].wait();
+    }
+    return results;
+  }
+  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+    return execute_batch(std::span<const Op<K, V>>(ops));
+  }
+
+  std::optional<V> search(const K& key) {
+    OpTicket<V> t;
+    submit(Op<K, V>::search(key), &t);
+    return t.wait().value;
+  }
+  bool insert(const K& key, V value) {
+    OpTicket<V> t;
+    submit(Op<K, V>::insert(key, std::move(value)), &t);
+    return t.wait().success;
+  }
+  std::optional<V> erase(const K& key) {
+    OpTicket<V> t;
+    submit(Op<K, V>::erase(key), &t);
+    return t.wait().value;
+  }
+
+  /// Blocks until every submitted operation has completed and the pipeline
+  /// is idle.
+  void quiesce() {
+    while (in_flight_.load(std::memory_order_acquire) != 0 || pipeline_busy()) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Structural validation; callable only when quiescent. M2's balance
+  /// invariants (Lemma 16) are lenient: final-slab segment S[k] holds at
+  /// most 3·2^(2^k) items and prefixes are at most 2p^2 below capacity.
+  bool check_invariants() {
+    if (pipeline_busy()) return false;
+    if (filter_size_.load() != 0) return false;
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (!first_slab_[k].check_invariants()) return false;
+      total += first_slab_[k].size();
+    }
+    for (std::size_t j = 0; j <= terminal_; ++j) {
+      if (!stages_[j].seg.check_invariants()) return false;
+      const std::size_t k = m_ + j;
+      if (stages_[j].seg.size() > 3 * segment_capacity(k)) return false;
+      total += stages_[j].seg.size();
+    }
+    return total == size_.load();
+  }
+
+  /// Segment index (global numbering S[0..l]) holding `key`; quiescent only.
+  std::optional<std::size_t> segment_of(const K& key) {
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (first_slab_[k].peek(key)) return k;
+    }
+    for (std::size_t j = 0; j <= terminal_; ++j) {
+      if (stages_[j].seg.peek(key)) return m_ + j;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr std::size_t kMaxStages = 12;
+
+  using Ticket = OpTicket<V>*;
+  using POp = PendingOp<K, V, Ticket>;
+  using Group = GroupOp<K, V, Ticket>;
+  using Item = typename Segment<K, V>::Item;
+  using Lock = sync::DedicatedLock;
+
+  static std::size_t first_slab_segments_for(unsigned p) {
+    const double cap = 2.0 * static_cast<double>(p) * static_cast<double>(p);
+    const double inner = std::max(1.0, std::log2(cap));
+    return static_cast<std::size_t>(std::ceil(std::log2(inner))) + 1;
+  }
+
+  struct Stage {
+    Segment<K, V> seg;
+    std::mutex inbox_mu;
+    std::vector<std::vector<Group>> inbox;  // sorted batches, merged on flush
+    sync::AsyncGate gate;
+  };
+
+  struct FilterEntry {
+    std::vector<POp> pending;  // ops that arrived while the key was in flight
+  };
+
+  // ---- activation plumbing -------------------------------------------------
+
+  void activate_interface() {
+    if (interface_gate_.begin()) {
+      scheduler_.spawn([this] { interface_tick(); }, sched::Priority::kLow);
+    }
+  }
+
+  void activate_stage(std::size_t j) {
+    if (stages_[j].gate.begin()) {
+      scheduler_.spawn([this, j] { stage_tick(j); }, sched::Priority::kHigh);
+    }
+  }
+
+  bool pipeline_busy() {
+    if (interface_gate_.active()) return true;
+    for (auto& st : stages_) {
+      if (st.gate.active()) return true;
+    }
+    return false;
+  }
+
+  sync::DedicatedLock::ResumeSink hi_sink() {
+    return scheduler_.resume_sink(sched::Priority::kHigh);
+  }
+  sync::DedicatedLock::ResumeSink lo_sink() {
+    return scheduler_.resume_sink(sched::Priority::kLow);
+  }
+
+  // ---- the interface (Section 7.1 steps 1-6) --------------------------------
+
+  bool interface_ready() {
+    return (input_.pending() > 0 || !feed_.empty()) &&
+           filter_size_.load(std::memory_order_acquire) <=
+               static_cast<std::size_t>(p_) * p_;
+  }
+
+  void interface_tick() {
+    if (!interface_ready()) {
+      if (interface_gate_.finish()) {
+        scheduler_.spawn([this] { interface_tick(); }, sched::Priority::kLow);
+      }
+      return;
+    }
+
+    // Step 1: flush the parallel buffer into the feed buffer; take one
+    // p^2 bunch as the cut batch.
+    {
+      std::vector<POp> in = input_.flush();
+      if (!in.empty()) feed_.append(std::move(in));
+    }
+    std::vector<POp> batch = feed_.take_bunches(1);
+
+    // Step 2: entropy-sort (stable) + combine.
+    sort::pesort(
+        batch, [](const POp& op) { return op.key; }, &scheduler_);
+    std::vector<Group> groups = coalesce_sorted(std::move(batch));
+
+    // Step 3 (part 1): sweep S[0..m-2] — exclusively owned by the interface.
+    groups = first_slab_sweep(std::move(groups));
+
+    // Step 3 (part 2) to step 5: S[m-1], the filter, and S[m]'s buffer are
+    // shared with the final slab, guarded by B[0] and FL[0]. The state
+    // lives on the heap: a parked continuation outlives this frame.
+    auto state = std::make_shared<std::vector<Group>>(std::move(groups));
+    nlocks_[0]->acquire(
+        /*key=*/0,
+        [this, state] {
+          flocks_[0]->acquire(
+              /*key=*/2,
+              [this, state] {
+                std::vector<Group> unfinished =
+                    boundary_segment_sweep(std::move(*state));
+                filter_and_feed_stage0(std::move(unfinished));
+                flocks_[0]->release(lo_sink());
+                nlocks_[0]->release(lo_sink());
+                interface_epilogue();
+              },
+              lo_sink());
+        },
+        lo_sink());
+  }
+
+  /// Step 6: reactivate while ready; otherwise release ownership (the
+  /// pending mark catches concurrent submissions/stage wakeups).
+  void interface_epilogue() {
+    if (interface_ready() || interface_gate_.finish()) {
+      scheduler_.spawn([this] { interface_tick(); }, sched::Priority::kLow);
+    }
+  }
+
+  /// M1-style sweep of S[0..m-2]: resolves groups that find their item.
+  /// Successful searches/updates finish immediately (shifted one segment
+  /// forward); net deletions are tagged and continue; the rest continue.
+  std::vector<Group> first_slab_sweep(std::vector<Group> pending) {
+    for (std::size_t k = 0; k + 1 < m_ && !pending.empty(); ++k) {
+      pending = sweep_segment(first_slab_[k], k, pending);
+      restore_first_slab(k);
+    }
+    return pending;
+  }
+
+  /// Shared logic: extract found keys from `seg` (global index k), resolve
+  /// their groups, shift net-present items to the front of the previous
+  /// segment; returns the groups that continue.
+  std::vector<Group> sweep_segment(Segment<K, V>& seg, std::size_t k,
+                                   std::vector<Group> pending) {
+    std::vector<K> keys;
+    keys.reserve(pending.size());
+    for (const auto& g : pending) keys.push_back(g.key);
+    std::vector<Item> found = seg.extract_by_keys(keys, par_ctx());
+
+    std::vector<Group> unfinished;
+    std::vector<Item> to_promote;
+    std::size_t fi = 0;
+    for (auto& g : pending) {
+      if (fi < found.size() && found[fi].key == g.key) {
+        Item item = std::move(found[fi++]);
+        std::optional<V> fin =
+            resolve_ops<K, V, Ticket>(std::move(item.value), g.ops, emit_fn());
+        if (fin) {
+          item.value = std::move(*fin);
+          to_promote.push_back(std::move(item));
+        } else {
+          // Tagged successful deletion flows to the terminal segment.
+          size_.fetch_sub(1, std::memory_order_release);
+          g.ops.clear();  // results already emitted
+          g.deletion_succeeded = true;
+          unfinished.push_back(std::move(g));
+        }
+      } else {
+        unfinished.push_back(std::move(g));
+      }
+    }
+    if (!to_promote.empty()) {
+      Segment<K, V>& dest = k == 0 ? first_slab_[0] : segment_at(k - 1);
+      dest.insert_front_batch(std::move(to_promote), par_ctx());
+    }
+    return unfinished;
+  }
+
+  Segment<K, V>& segment_at(std::size_t k) {
+    return k < m_ ? first_slab_[k] : stages_[k - m_].seg;
+  }
+
+  /// Restores first-slab prefixes S[0..i-1] for boundaries i = upto..1
+  /// (never touching S[m-1]'s boundary with S[m]; holes accumulate in
+  /// S[m-1] and are repaired by stage 0 — Lemma 16 invariant 2).
+  void restore_first_slab(std::size_t upto) {
+    upto = std::min(upto, m_ - 1);
+    for (std::size_t i = upto; i >= 1; --i) {
+      const std::size_t target = capacity_prefix(i);
+      std::size_t prefix = 0;
+      for (std::size_t j = 0; j < i; ++j) prefix += first_slab_[j].size();
+      if (prefix > target) {
+        std::vector<Item> moved =
+            first_slab_[i - 1].extract_least_recent(prefix - target, par_ctx());
+        first_slab_[i].insert_front_batch(std::move(moved), par_ctx());
+      } else if (prefix < target) {
+        const std::size_t want =
+            std::min(target - prefix, first_slab_[i].size());
+        std::vector<Item> moved =
+            first_slab_[i].extract_most_recent(want, par_ctx());
+        first_slab_[i - 1].insert_back_batch(std::move(moved), par_ctx());
+      }
+    }
+  }
+
+  static std::size_t capacity_prefix(std::size_t count) {
+    std::size_t cum = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      cum += static_cast<std::size_t>(segment_capacity(j));
+    }
+    return cum;
+  }
+
+  /// S[m-1] sweep (under B[0] + FL[0]) plus first-slab capacity repair.
+  std::vector<Group> boundary_segment_sweep(std::vector<Group> pending) {
+    if (!pending.empty()) {
+      pending = sweep_segment(first_slab_[m_ - 1], m_ - 1, pending);
+    }
+    restore_first_slab(m_ - 1);
+    return pending;
+  }
+
+  /// Step 4: pass unfinished groups through the filter; keys already in
+  /// flight get their ops appended to the filter entry, fresh keys enter
+  /// the filter and S[m]'s inbox. Caller holds FL[0].
+  void filter_and_feed_stage0(std::vector<Group> groups) {
+    if (groups.empty()) return;
+    std::vector<Group> admitted;
+    for (auto& g : groups) {
+      if (FilterEntry* entry = filter_.find(g.key)) {
+        // In flight: combine into the existing entry (and account for a
+        // tagged deletion's already-emitted results — only the ops matter).
+        for (auto& op : g.ops) entry->pending.push_back(std::move(op));
+        if (g.deletion_succeeded) {
+          // The in-flight group will observe the deletion through state:
+          // the item is already gone from every segment; nothing to do.
+        }
+      } else {
+        filter_.insert(g.key, FilterEntry{});
+        filter_size_.fetch_add(1, std::memory_order_release);
+        admitted.push_back(std::move(g));
+      }
+    }
+    if (!admitted.empty()) {
+      {
+        std::lock_guard<std::mutex> lk(stages_[0].inbox_mu);
+        stages_[0].inbox.push_back(std::move(admitted));
+      }
+      activate_stage(0);
+    }
+  }
+
+  // ---- final-slab stages (Section 7.1 segment runs) --------------------------
+
+  bool stage_ready(std::size_t j) {
+    std::lock_guard<std::mutex> lk(stages_[j].inbox_mu);
+    return !stages_[j].inbox.empty();
+  }
+
+  void stage_tick(std::size_t j) {
+    if (!stage_ready(j)) {
+      if (stages_[j].gate.finish()) {
+        scheduler_.spawn([this, j] { stage_tick(j); }, sched::Priority::kHigh);
+      }
+      return;
+    }
+    // Acquire neighbour-locks left then right (global order B[j] < B[j+1]).
+    nlocks_[j]->acquire(
+        /*key=*/1,
+        [this, j] {
+          nlocks_[j + 1]->acquire(
+              /*key=*/0,
+              [this, j] {
+                if (j == 0) {
+                  // Stage m holds FL[0] for its whole run (Figure 3: FL[0]
+                  // guards the filter and the contents of S[m]).
+                  flocks_[0]->acquire(
+                      /*key=*/0, [this, j] { stage_body(j); }, hi_sink());
+                } else {
+                  stage_body(j);
+                }
+              },
+              hi_sink());
+        },
+        hi_sink());
+  }
+
+  void stage_body(std::size_t j) {
+    const std::size_t k = m_ + j;  // global segment index
+    Stage& st = stages_[j];
+
+    // Step 3: grow the terminal segment if S[k-1], S[k] exceed capacity.
+    if (terminal_.load(std::memory_order_acquire) == j &&
+        j + 1 < kMaxStages) {
+      const std::size_t left_size =
+          j == 0 ? first_slab_[m_ - 1].size() : stages_[j - 1].seg.size();
+      if (left_size + st.seg.size() >
+          segment_capacity(k - 1) + segment_capacity(k)) {
+        terminal_.store(j + 1, std::memory_order_release);
+      }
+    }
+
+    // Step 4: flush the inbox (batches are key-sorted; merge them).
+    std::vector<Group> batch = flush_inbox(st);
+
+    // 4a: search and detach the accessed items present in S[k].
+    std::vector<K> keys;
+    keys.reserve(batch.size());
+    for (const auto& g : batch) keys.push_back(g.key);
+    std::vector<Item> found = st.seg.extract_by_keys(keys, par_ctx());
+
+    // 4b-4f: the front-locked section (filter + S[m'] access). Stage 0
+    // already holds FL[0]; deeper stages acquire FL[j]..FL[1] descending
+    // then FL[0]. State is heap-shared: a parked continuation outlives
+    // this frame, and DedicatedLock::Continuation requires copyability.
+    auto run = std::make_shared<StageRun>();
+    run->batch = std::move(batch);
+    run->found = std::move(found);
+    acquire_front_chain(j, [this, j, k, run] {
+      front_section(j, k, std::move(run->batch), std::move(run->found));
+    });
+  }
+
+  struct StageRun {
+    std::vector<Group> batch;
+    std::vector<Item> found;
+  };
+
+  /// Acquires FL[j]..FL[0] (descending) for stage j > 0; stage 0 holds
+  /// FL[0] already. Then runs `body`.
+  void acquire_front_chain(std::size_t j, std::function<void()> body) {
+    if (j == 0) {
+      body();
+      return;
+    }
+    acquire_front_from(j, j, std::move(body));
+  }
+
+  void acquire_front_from(std::size_t stage_j, std::size_t lock_i,
+                          std::function<void()> body) {
+    const std::size_t key = lock_i == stage_j ? 0 : 1;
+    flocks_[lock_i]->acquire(
+        key,
+        [this, stage_j, lock_i, body] {
+          if (lock_i == 0) {
+            body();
+          } else {
+            acquire_front_from(stage_j, lock_i - 1, body);
+          }
+        },
+        hi_sink());
+  }
+
+  void release_front_chain(std::size_t j) {
+    // Paper step 4f: release FL[0] up to FL[j] in that order. Stage 0 keeps
+    // FL[0] until the end of its run.
+    if (j == 0) return;
+    for (std::size_t i = 0; i <= j; ++i) flocks_[i]->release(hi_sink());
+  }
+
+  void front_section(std::size_t j, std::size_t k, std::vector<Group> batch,
+                     std::vector<Item> found) {
+    Stage& st = stages_[j];
+    const bool is_terminal = terminal_.load(std::memory_order_acquire) == j;
+    const std::size_t mprime = std::min(k - 1, m_);  // S[m'] destination
+
+    std::vector<Group> unfinished;
+    std::vector<Item> to_front;       // shifted/inserted items for S[m']
+    std::size_t deletions_in_batch = 0;
+
+    std::size_t fi = 0;
+    for (auto& g : batch) {
+      const bool found_here =
+          fi < found.size() && found[fi].key == g.key;
+      std::optional<V> state;
+      if (found_here) {
+        state = std::move(found[fi++].value);
+      }
+      if (g.deletion_succeeded) {
+        assert(!found_here);
+        ++deletions_in_batch;
+        if (!is_terminal) {
+          unfinished.push_back(std::move(g));
+          continue;
+        }
+        // Terminal: finish the tagged deletion — drain the filter entry.
+        finish_group(g, std::nullopt, to_front);
+        continue;
+      }
+      if (found_here) {
+        std::optional<V> fin =
+            resolve_ops<K, V, Ticket>(std::move(state), g.ops, emit_fn());
+        if (fin) {
+          // R': searched/updated — finishes here; item goes to front of
+          // S[m'], and any ops accumulated in the filter resolve now.
+          finish_group_with_value(g, std::move(*fin), to_front);
+        } else {
+          // Became a successful deletion here.
+          size_.fetch_sub(1, std::memory_order_release);
+          ++deletions_in_batch;
+          g.ops.clear();
+          g.deletion_succeeded = true;
+          if (is_terminal) {
+            finish_group(g, std::nullopt, to_front);
+          } else {
+            unfinished.push_back(std::move(g));
+          }
+        }
+        continue;
+      }
+      // Not found here.
+      if (is_terminal) {
+        // Resolve against an absent item; insertions materialize at the
+        // front of S[m'].
+        std::optional<V> fin =
+            resolve_ops<K, V, Ticket>(std::nullopt, g.ops, emit_fn());
+        if (fin) {
+          finish_group_with_value(g, std::move(*fin), to_front, /*fresh=*/true);
+        } else {
+          finish_group(g, std::nullopt, to_front);
+        }
+      } else {
+        unfinished.push_back(std::move(g));
+      }
+    }
+
+    // 4d: insert the finished items at the front of S[m'] (guarded: S[m-1]
+    // by B[0] when j==0; S[m] by FL[0] otherwise).
+    if (!to_front.empty()) {
+      segment_at(mprime).insert_front_batch(std::move(to_front), par_ctx());
+    }
+
+    // 4e: wake the interface when the filter has room again.
+    if (filter_size_.load(std::memory_order_acquire) <=
+        static_cast<std::size_t>(p_) * p_) {
+      activate_interface();
+    }
+
+    release_front_chain(j);
+    after_front(j, k, std::move(unfinished), deletions_in_batch);
+  }
+
+  /// Finishes a group whose final state is `value`: drains the filter
+  /// entry (ops that arrived mid-flight) against that state and queues the
+  /// resulting item (if any) for the front of S[m'].
+  void finish_group_with_value(Group& g, V value, std::vector<Item>& to_front,
+                               bool fresh = false) {
+    std::optional<V> state = std::move(value);
+    state = drain_filter_entry(g.key, std::move(state));
+    if (state) {
+      if (fresh) size_.fetch_add(1, std::memory_order_release);
+      to_front.push_back(Item{g.key, std::move(*state), g.seq});
+    } else if (!fresh) {
+      // A filter-accumulated erase removed it after all.
+      size_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// Finishes a group whose final state is absent.
+  void finish_group(Group& g, std::optional<V> state,
+                    std::vector<Item>& to_front) {
+    state = drain_filter_entry(g.key, std::move(state));
+    if (state) {
+      size_.fetch_add(1, std::memory_order_release);
+      to_front.push_back(Item{g.key, std::move(*state), g.seq});
+    }
+  }
+
+  /// Removes `key` from the filter and resolves its accumulated ops
+  /// against `state`. Caller holds FL[0].
+  std::optional<V> drain_filter_entry(const K& key, std::optional<V> state) {
+    std::optional<FilterEntry> entry = filter_.erase(key);
+    if (!entry) return state;
+    filter_size_.fetch_sub(1, std::memory_order_release);
+    if (entry->pending.empty()) return state;
+    return resolve_ops<K, V, Ticket>(std::move(state), entry->pending,
+                                     emit_fn());
+  }
+
+  /// Steps 4g-4i + 7: capacity repair with the left neighbour, handoff to
+  /// stage j+1, lock release, re-activation.
+  void after_front(std::size_t j, std::size_t k, std::vector<Group> unfinished,
+                   std::size_t deletions_in_batch) {
+    Stage& st = stages_[j];
+    Segment<K, V>& left = j == 0 ? first_slab_[m_ - 1] : stages_[j - 1].seg;
+    const std::size_t left_cap =
+        static_cast<std::size_t>(segment_capacity(k - 1));
+
+    // 4g: rearward transfer — left over-full.
+    if (left.size() > left_cap) {
+      std::vector<Item> moved =
+          left.extract_least_recent(left.size() - left_cap, par_ctx());
+      st.seg.insert_front_batch(std::move(moved), par_ctx());
+    }
+    // 4h: frontward transfer — left under-full, bounded by successful
+    // deletions observed in this batch.
+    if (left.size() < left_cap) {
+      const std::size_t holes = left_cap - left.size();
+      const std::size_t move_n =
+          std::min({holes, st.seg.size(), deletions_in_batch});
+      if (move_n > 0) {
+        std::vector<Item> moved = st.seg.extract_most_recent(move_n, par_ctx());
+        left.insert_back_batch(std::move(moved), par_ctx());
+      }
+    }
+
+    // 4i: pass the unfinished operations to S[k+1].
+    if (!unfinished.empty()) {
+      assert(j + 1 < kMaxStages && "pipeline deeper than kMaxStages");
+      if (terminal_.load(std::memory_order_acquire) == j) {
+        terminal_.store(j + 1, std::memory_order_release);
+      }
+      {
+        std::lock_guard<std::mutex> lk(stages_[j + 1].inbox_mu);
+        stages_[j + 1].inbox.push_back(std::move(unfinished));
+      }
+      activate_stage(j + 1);
+    }
+
+    // Release locks (stage 0 also surrenders FL[0]).
+    if (j == 0) flocks_[0]->release(hi_sink());
+    nlocks_[j + 1]->release(hi_sink());
+    nlocks_[j]->release(hi_sink());
+
+    // Step 7: reactivate while work remains.
+    if (stage_ready(j) || st.gate.finish()) {
+      scheduler_.spawn([this, j] { stage_tick(j); }, sched::Priority::kHigh);
+    }
+  }
+
+  /// Merges the inbox's key-sorted batches into one key-sorted batch.
+  /// Distinct batches never share a key (the filter admits one in-flight
+  /// group per key).
+  std::vector<Group> flush_inbox(Stage& st) {
+    std::vector<std::vector<Group>> batches;
+    {
+      std::lock_guard<std::mutex> lk(st.inbox_mu);
+      batches.swap(st.inbox);
+    }
+    std::vector<Group> merged;
+    for (auto& b : batches) {
+      if (merged.empty()) {
+        merged = std::move(b);
+        continue;
+      }
+      std::vector<Group> next;
+      next.reserve(merged.size() + b.size());
+      std::merge(std::make_move_iterator(merged.begin()),
+                 std::make_move_iterator(merged.end()),
+                 std::make_move_iterator(b.begin()),
+                 std::make_move_iterator(b.end()), std::back_inserter(next),
+                 [](const Group& a, const Group& c) { return a.key < c.key; });
+      merged = std::move(next);
+    }
+    return merged;
+  }
+
+  auto emit_fn() {
+    return [this](Ticket t, Result<V> r) {
+      t->fulfill(std::move(r));
+      in_flight_.fetch_sub(1, std::memory_order_release);
+    };
+  }
+
+  tree::ParCtx par_ctx() { return tree::ParCtx{&scheduler_, 128}; }
+
+  // ---- members ---------------------------------------------------------------
+
+  sched::Scheduler& scheduler_;
+  unsigned p_;
+  std::size_t bunch_;
+  std::size_t m_;
+
+  buffer::ParallelBuffer<POp> input_;
+  buffer::FeedBuffer<POp> feed_;
+  sync::AsyncGate interface_gate_;
+
+  std::vector<Segment<K, V>> first_slab_;  // S[0..m-1]; interface-owned
+  std::vector<Stage> stages_;              // S[m..m+kMaxStages-1]
+  std::atomic<std::size_t> terminal_{0};   // stage index of the terminal seg
+
+  tree::JTree<K, FilterEntry> filter_;     // guarded by FL[0]
+  std::atomic<std::size_t> filter_size_{0};
+
+  std::vector<std::unique_ptr<Lock>> nlocks_;  // B[0..kMaxStages]
+  std::vector<std::unique_ptr<Lock>> flocks_;  // FL[0..kMaxStages-1]
+
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace pwss::core

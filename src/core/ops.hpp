@@ -1,0 +1,36 @@
+#pragma once
+// Operation and result types shared by every map in the library (M0, M1,
+// M2, baselines' batched adapters).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pwss::core {
+
+enum class OpType : std::uint8_t { kSearch, kInsert, kErase };
+
+template <typename K, typename V>
+struct Op {
+  OpType type;
+  K key;
+  V value{};  // payload for inserts
+
+  static Op search(K k) { return {OpType::kSearch, std::move(k), V{}}; }
+  static Op insert(K k, V v) {
+    return {OpType::kInsert, std::move(k), std::move(v)};
+  }
+  static Op erase(K k) { return {OpType::kErase, std::move(k), V{}}; }
+};
+
+/// Result of one operation.
+///  * search: success == found, value == the found value
+///  * insert: success == newly inserted (false means updated in place)
+///  * erase:  success == key was present, value == the removed value
+template <typename V>
+struct Result {
+  bool success = false;
+  std::optional<V> value;
+};
+
+}  // namespace pwss::core

@@ -1,0 +1,284 @@
+#pragma once
+// Segment S[k] of a working-set structure: a set of items ordered two ways,
+// by key (the key-map) and by recency (the recency-map) — Section 5 of the
+// paper. Capacity of segment k is 2^(2^k); the recency order across the
+// whole structure is the concatenation of segments (most recent first
+// within each).
+//
+// Recency within a segment is represented by a 64-bit stamp: larger stamp
+// = more recent. Stamps are strictly *per-segment*: the abstract list R of
+// Lemma 6 orders items by segment first and recency within the segment
+// second, and M0/M2's localized promotion means an item's arrival position
+// (front or back of the destination segment) is NOT a function of its
+// global access time. Every arrival is therefore restamped by the
+// destination segment: front arrivals above the current maximum, back
+// arrivals below the current minimum, preserving the relative order of a
+// batch of arrivals.
+//
+// The key-map stores key -> (value, stamp); the recency-map stores
+// stamp -> key with order statistics standing in for the paper's
+// leaf-to-leaf "direct pointers" (reverse-indexing = rank/select).
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tree/jtree.hpp"
+
+namespace pwss::core {
+
+/// Allocates recency stamps for one segment. Front stamps grow from 2^62
+/// upward, back stamps shrink from 2^62-1 downward; 2^62 arrivals in each
+/// direction before exhaustion (unreachable in practice; asserted).
+class StampGen {
+ public:
+  std::uint64_t fresh_front() noexcept {
+    assert(hi_ != ~0ULL);
+    return ++hi_;
+  }
+  std::uint64_t fresh_back() noexcept {
+    assert(lo_ != 0);
+    return lo_--;
+  }
+
+ private:
+  std::uint64_t hi_ = 1ULL << 62;
+  std::uint64_t lo_ = (1ULL << 62) - 1;
+};
+
+/// Capacity of segment k: 2^(2^k), saturated so it never overflows.
+constexpr std::uint64_t segment_capacity(std::size_t k) noexcept {
+  const std::uint64_t exponent = k >= 6 ? 62 : (1ULL << k);
+  return 1ULL << exponent;
+}
+
+template <typename K, typename V>
+class Segment {
+ public:
+  struct Item {
+    K key;
+    V value;
+    std::uint64_t stamp;
+  };
+
+  std::size_t size() const noexcept { return by_key_.size(); }
+  bool empty() const noexcept { return by_key_.empty(); }
+
+  // ---- point operations (used by M0 / Iacono / small paths) -------------
+
+  /// Value+stamp for key, or nullptr (no recency effect).
+  const std::pair<V, std::uint64_t>* peek(const K& key) const {
+    return by_key_.find(key);
+  }
+  std::pair<V, std::uint64_t>* peek(const K& key) {
+    return by_key_.find(key);
+  }
+
+  /// Removes the item with `key` if present.
+  std::optional<Item> extract(const K& key_ref) {
+    // Copy first: the caller's reference may point into one of our trees
+    // (e.g. the recency map's value we are about to delete).
+    K key = key_ref;
+    auto entry = by_key_.erase(key);
+    if (!entry) return std::nullopt;
+    by_recency_.erase(entry->second);
+    return Item{std::move(key), std::move(entry->first), entry->second};
+  }
+
+  /// Inserts one item at the front (most recent); the stamp is reassigned.
+  void insert_front(Item item) {
+    item.stamp = stamps_.fresh_front();
+    insert_item(std::move(item));
+  }
+
+  /// Inserts one item at the back (least recent); the stamp is reassigned.
+  void insert_back(Item item) {
+    item.stamp = stamps_.fresh_back();
+    insert_item(std::move(item));
+  }
+
+  /// Inserts a batch at the front, preserving the arrivals' relative
+  /// recency (larger incoming stamp stays more recent). Items may be in any
+  /// order; sorted by key internally.
+  void insert_front_batch(std::vector<Item> items,
+                          const tree::ParCtx& ctx = {}) {
+    restamp(items, /*front=*/true);
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.key < b.key; });
+    insert_items(std::move(items), ctx);
+  }
+
+  /// Inserts a batch at the back, preserving relative recency.
+  void insert_back_batch(std::vector<Item> items,
+                         const tree::ParCtx& ctx = {}) {
+    restamp(items, /*front=*/false);
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.key < b.key; });
+    insert_items(std::move(items), ctx);
+  }
+
+  /// Inserts an item; the stamp must be distinct from all stamps present.
+  void insert_item(Item item) {
+    [[maybe_unused]] const bool fresh_key =
+        by_key_.insert(item.key, {std::move(item.value), item.stamp});
+    [[maybe_unused]] const bool fresh_stamp =
+        by_recency_.insert(item.stamp, item.key);
+    assert(fresh_key && fresh_stamp);
+  }
+
+  std::optional<Item> extract_least_recent() {
+    if (empty()) return std::nullopt;
+    const K key = by_recency_.at(0).second;  // copy before mutating
+    return extract(key);
+  }
+
+  std::optional<Item> extract_most_recent() {
+    if (empty()) return std::nullopt;
+    const K key = by_recency_.at(by_recency_.size() - 1).second;
+    return extract(key);
+  }
+
+  /// Key of the least-recent item (for inspection/tests).
+  std::optional<K> least_recent_key() const {
+    if (empty()) return std::nullopt;
+    return by_recency_.at(0).second;
+  }
+
+  // ---- batched operations (used by M1 / M2) ------------------------------
+
+  /// Removes every present key from `keys` (sorted, distinct); returns the
+  /// removed items sorted by key.
+  std::vector<Item> extract_by_keys(std::span<const K> keys,
+                                    const tree::ParCtx& ctx = {}) {
+    std::vector<std::optional<std::pair<V, std::uint64_t>>> entries;
+    by_key_.multi_extract(keys, entries, ctx);
+    std::vector<Item> found;
+    std::vector<std::uint64_t> stamps;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (entries[i]) {
+        found.push_back(
+            Item{keys[i], std::move(entries[i]->first), entries[i]->second});
+        stamps.push_back(entries[i]->second);
+      }
+    }
+    std::sort(stamps.begin(), stamps.end());
+    std::vector<std::optional<K>> removed_keys;
+    by_recency_.multi_extract(stamps, removed_keys, ctx);
+    return found;
+  }
+
+  /// Looks up keys without removing; out[i] is the (value, stamp) entry or
+  /// nullptr. Pointers valid until the next mutation.
+  void find_batch(std::span<const K> keys,
+                  std::vector<const std::pair<V, std::uint64_t>*>& out,
+                  const tree::ParCtx& ctx = {}) const {
+    by_key_.multi_find(keys, out, ctx);
+  }
+
+  /// Inserts items (sorted by key, distinct keys, distinct stamps).
+  void insert_items(std::vector<Item> items, const tree::ParCtx& ctx = {}) {
+    if (items.empty()) return;
+    std::vector<std::pair<K, std::pair<V, std::uint64_t>>> key_entries;
+    key_entries.reserve(items.size());
+    for (auto& it : items) {
+      key_entries.emplace_back(it.key,
+                               std::pair<V, std::uint64_t>{it.value, it.stamp});
+    }
+    by_key_.multi_insert(key_entries, ctx);
+    std::vector<std::pair<std::uint64_t, K>> rec_entries;
+    rec_entries.reserve(items.size());
+    for (auto& it : items) rec_entries.emplace_back(it.stamp, it.key);
+    std::sort(rec_entries.begin(), rec_entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    by_recency_.multi_insert(rec_entries, ctx);
+  }
+
+  /// Removes the `c` least-recent items; returned sorted by key.
+  std::vector<Item> extract_least_recent(std::size_t c,
+                                         const tree::ParCtx& ctx = {}) {
+    return extract_by_recency(by_recency_.extract_prefix(c), ctx);
+  }
+
+  /// Removes the `c` most-recent items; returned sorted by key.
+  std::vector<Item> extract_most_recent(std::size_t c,
+                                        const tree::ParCtx& ctx = {}) {
+    return extract_by_recency(by_recency_.extract_suffix(c), ctx);
+  }
+
+  /// Removes everything; returned sorted by key.
+  std::vector<Item> extract_all(const tree::ParCtx& ctx = {}) {
+    return extract_least_recent(size(), ctx);
+  }
+
+  /// In-order (by key) visit of (key, value, stamp).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
+      fn(k, e.first, e.second);
+    });
+  }
+
+  /// Structural validation: both trees balanced, same size, stamps
+  /// mutually consistent.
+  bool check_invariants() const {
+    if (!by_key_.check_invariants() || !by_recency_.check_invariants())
+      return false;
+    if (by_key_.size() != by_recency_.size()) return false;
+    bool ok = true;
+    by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
+      const K* back = by_recency_.find(e.second);
+      if (!back || !(*back == k)) ok = false;
+    });
+    return ok;
+  }
+
+ private:
+  /// Reassigns stamps so arrivals land at the front (above every stamp in
+  /// this segment) or at the back (below), preserving the arrivals'
+  /// relative order as given by their incoming stamps.
+  void restamp(std::vector<Item>& items, bool front) {
+    // Order of (index, old stamp) ascending by old stamp.
+    std::vector<std::size_t> idx(items.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return items[a].stamp < items[b].stamp;
+    });
+    if (front) {
+      // Least recent arrival gets the smallest fresh-front stamp.
+      for (const std::size_t i : idx) items[i].stamp = stamps_.fresh_front();
+    } else {
+      // Most recent arrival gets the largest fresh-back stamp.
+      for (auto it = idx.rbegin(); it != idx.rend(); ++it) {
+        items[*it].stamp = stamps_.fresh_back();
+      }
+    }
+  }
+
+  std::vector<Item> extract_by_recency(
+      std::vector<std::pair<std::uint64_t, K>> rec_items,
+      const tree::ParCtx& ctx) {
+    std::vector<K> keys;
+    keys.reserve(rec_items.size());
+    for (auto& [stamp, key] : rec_items) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    std::vector<std::optional<std::pair<V, std::uint64_t>>> entries;
+    by_key_.multi_extract(keys, entries, ctx);
+    std::vector<Item> out;
+    out.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      assert(entries[i] && "recency map referenced a missing key");
+      out.push_back(
+          Item{keys[i], std::move(entries[i]->first), entries[i]->second});
+    }
+    return out;
+  }
+
+  tree::JTree<K, std::pair<V, std::uint64_t>> by_key_;
+  tree::JTree<std::uint64_t, K> by_recency_;
+  StampGen stamps_;
+};
+
+}  // namespace pwss::core

@@ -1,0 +1,79 @@
+#include "sched/chase_lev.hpp"
+
+#include <bit>
+
+#include "sched/task.hpp"
+
+namespace pwss::sched {
+
+ChaseLevDeque::ChaseLevDeque(std::size_t initial_capacity) {
+  const std::size_t cap = std::bit_ceil(initial_capacity < 2 ? std::size_t{2}
+                                                             : initial_capacity);
+  buffer_.store(new Buffer(cap), std::memory_order_relaxed);
+}
+
+ChaseLevDeque::~ChaseLevDeque() {
+  delete buffer_.load(std::memory_order_relaxed);
+  for (Buffer* b : retired_) delete b;
+}
+
+void ChaseLevDeque::grow(std::int64_t bottom, std::int64_t top) {
+  Buffer* old = buffer_.load(std::memory_order_relaxed);
+  auto* bigger = new Buffer(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) bigger->put(i, old->get(i));
+  buffer_.store(bigger, std::memory_order_release);
+  // Thieves may still be reading `old`; retire it until destruction.
+  retired_.push_back(old);
+}
+
+void ChaseLevDeque::push(TaskBase* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+    grow(b, t);
+    buf = buffer_.load(std::memory_order_relaxed);
+  }
+  buf->put(b, task);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+TaskBase* ChaseLevDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {
+    // Deque was empty; restore.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  TaskBase* task = buf->get(b);
+  if (t == b) {
+    // Last element: race against thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      task = nullptr;  // lost to a thief
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+TaskBase* ChaseLevDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return nullptr;
+  Buffer* buf = buffer_.load(std::memory_order_consume);
+  TaskBase* task = buf->get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race
+  }
+  return task;
+}
+
+}  // namespace pwss::sched

@@ -1,0 +1,198 @@
+#include "sched/scheduler.hpp"
+
+#include <chrono>
+
+#include "util/rng.hpp"
+
+namespace pwss::sched {
+
+namespace {
+// Worker identity for the current thread (owner scheduler + index).
+struct TlsWorker {
+  Scheduler* scheduler = nullptr;
+  void* worker = nullptr;
+};
+thread_local TlsWorker tls_worker;
+}  // namespace
+
+struct Scheduler::Worker {
+  explicit Worker(unsigned idx, bool prefers_high, std::uint64_t seed)
+      : index(idx), prefer_high(prefers_high), rng(seed) {}
+  unsigned index;
+  bool prefer_high;  // polls the high queue before stealing
+  ChaseLevDeque deque;
+  util::Xoshiro256 rng;
+};
+
+Scheduler::Scheduler(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 4;
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    // Workers [0, ceil(n/2)) prefer the high-priority queue: the "at least
+    // half the processors greedily choose high-priority tasks" rule.
+    const bool prefers_high = i < (workers + 1) / 2;
+    workers_.push_back(std::make_unique<Worker>(
+        i, prefers_high, 0x9e3779b97f4a7c15ULL ^ (i * 0x100000001b3ULL + 1)));
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+  // Delete tasks that were never run (user spawned past quiescence).
+  for (TaskBase* t : global_hi_) delete t;
+  for (TaskBase* t : global_lo_) delete t;
+}
+
+bool Scheduler::on_worker() const noexcept {
+  return tls_worker.scheduler == this;
+}
+
+void Scheduler::spawn(std::function<void()> fn, Priority pri) {
+  auto* task = new SpawnTask(std::move(fn));
+  {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    (pri == Priority::kHigh ? global_hi_ : global_lo_).push_back(task);
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::run_sync(const std::function<void()>& fn) {
+  if (on_worker()) {
+    fn();
+    return;
+  }
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  } sync;
+  spawn([&] {
+    fn();
+    std::lock_guard<std::mutex> lk(sync.mu);
+    sync.done = true;
+    sync.cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(sync.mu);
+  sync.cv.wait(lk, [&] { return sync.done; });
+}
+
+void Scheduler::parallel_invoke(FnView f, FnView g) {
+  if (!on_worker()) {
+    f();
+    g();
+    return;
+  }
+  auto* w = static_cast<Worker*>(tls_worker.worker);
+  ForkTask fork(g);
+  w->deque.push(&fork);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) notify_one_sleeper();
+  f();
+  TaskBase* back = w->deque.pop();
+  if (back == &fork) {
+    // Not stolen: run the right branch inline.
+    fork.execute();
+    return;
+  }
+  // The deque can only have held `fork` at this point (f joined all its own
+  // forks), so back must be null — the task was stolen. Help until done.
+  while (!fork.done()) {
+    if (TaskBase* task = acquire_task(*w)) {
+      execute(task);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Scheduler::notify_one_sleeper() {
+  std::lock_guard<std::mutex> lk(global_mu_);
+  cv_.notify_one();
+}
+
+TaskBase* Scheduler::pop_global(Priority pri) {
+  std::lock_guard<std::mutex> lk(global_mu_);
+  auto& q = pri == Priority::kHigh ? global_hi_ : global_lo_;
+  if (q.empty()) return nullptr;
+  TaskBase* t = q.front();
+  q.pop_front();
+  return t;
+}
+
+TaskBase* Scheduler::steal_from_others(Worker& w) {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return nullptr;
+  const std::size_t start = w.rng.bounded(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t v = (start + i) % n;
+    if (v == w.index) continue;
+    if (TaskBase* t = workers_[v]->deque.steal()) return t;
+  }
+  return nullptr;
+}
+
+TaskBase* Scheduler::acquire_task(Worker& w) {
+  if (TaskBase* t = w.deque.pop()) return t;
+  const Priority first = w.prefer_high ? Priority::kHigh : Priority::kLow;
+  const Priority second = w.prefer_high ? Priority::kLow : Priority::kHigh;
+  if (TaskBase* t = pop_global(first)) return t;
+  if (TaskBase* t = steal_from_others(w)) return t;
+  if (TaskBase* t = pop_global(second)) return t;
+  return nullptr;
+}
+
+void Scheduler::execute(TaskBase* task) {
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (task->execute()) delete task;
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  Worker& w = *workers_[index];
+  tls_worker.scheduler = this;
+  tls_worker.worker = &w;
+
+  int idle_spins = 0;
+  while (true) {
+    if (TaskBase* task = acquire_task(w)) {
+      idle_spins = 0;
+      execute(task);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Sleep with a timeout: a missed notify costs at most one period.
+    std::unique_lock<std::mutex> lk(global_mu_);
+    if (!global_hi_.empty() || !global_lo_.empty() ||
+        stop_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait_for(lk, std::chrono::milliseconds(1));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    idle_spins = 0;
+  }
+
+  tls_worker.scheduler = nullptr;
+  tls_worker.worker = nullptr;
+}
+
+Scheduler& default_scheduler() {
+  static Scheduler instance;
+  return instance;
+}
+
+}  // namespace pwss::sched

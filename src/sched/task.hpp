@@ -1,0 +1,57 @@
+#pragma once
+// Task representations for the work-stealing scheduler.
+//
+// Two kinds of tasks flow through the deques:
+//  * SpawnTask  — heap-allocated fire-and-forget closure (deleted after run)
+//  * ForkTask   — stack-allocated right branch of a parallel_invoke; the
+//                 parent either pops it back (not stolen) or waits on its
+//                 `done` flag while helping with other work.
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+namespace pwss::sched {
+
+class TaskBase {
+ public:
+  virtual ~TaskBase() = default;
+  /// Runs the task. Returns true if the object should be deleted by the
+  /// executor afterwards (heap tasks), false if it is owned elsewhere.
+  virtual bool execute() = 0;
+};
+
+class SpawnTask final : public TaskBase {
+ public:
+  explicit SpawnTask(std::function<void()> fn) : fn_(std::move(fn)) {}
+  bool execute() override {
+    fn_();
+    return true;
+  }
+
+ private:
+  std::function<void()> fn_;
+};
+
+/// Right branch of a fork. Lives on the forking frame's stack; `done` is the
+/// last field the thief touches, which makes the parent's wait-then-destroy
+/// safe.
+class ForkTask final : public TaskBase {
+ public:
+  template <typename F>
+  explicit ForkTask(F& fn) : fn_([&fn] { fn(); }) {}
+
+  bool execute() override {
+    fn_();
+    done_.store(true, std::memory_order_release);
+    return false;
+  }
+
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+ private:
+  std::function<void()> fn_;
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace pwss::sched

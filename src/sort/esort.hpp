@@ -1,0 +1,66 @@
+#pragma once
+// ESort — the sequential entropy sort of Definition 29. Inserts every item
+// into a working-set dictionary (Iacono's structure) tagged with its list
+// of input positions; repeated items are cheap accesses, which is exactly
+// why the total cost is O(n·H + n) (Theorem 30). The per-segment key-sorted
+// lists are then merged smallest-segment-first and each item expanded to
+// its position list.
+//
+// Output: a permutation of [0, n) such that input keys appear in
+// non-decreasing order and equal keys keep their input order (stable).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "baseline/iacono_map.hpp"
+
+namespace pwss::sort {
+
+template <typename T, typename KeyFn>
+std::vector<std::size_t> esort(const std::vector<T>& input,
+                               const KeyFn& key_of) {
+  using Key = std::decay_t<decltype(key_of(input[0]))>;
+  baseline::IaconoMap<Key, std::vector<std::size_t>> dict;
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const Key k = key_of(input[i]);
+    if (auto* positions = dict.search(k)) {
+      positions->push_back(i);
+    } else {
+      dict.insert(k, std::vector<std::size_t>{i});
+    }
+  }
+
+  // Each segment is sorted by key already; merge them smallest-capacity
+  // first. Segment sizes are doubly exponential, so the repeated two-way
+  // merge costs O(u) total over u distinct keys.
+  using Tagged = std::pair<Key, const std::vector<std::size_t>*>;
+  std::vector<Tagged> merged;
+  for (const auto& seg : dict.segments()) {
+    std::vector<Tagged> seg_items;
+    seg_items.reserve(seg.size());
+    seg.for_each([&](const Key& k, const std::vector<std::size_t>& pos,
+                     std::uint64_t) { seg_items.emplace_back(k, &pos); });
+    if (merged.empty()) {
+      merged = std::move(seg_items);
+      continue;
+    }
+    std::vector<Tagged> next;
+    next.reserve(merged.size() + seg_items.size());
+    std::merge(merged.begin(), merged.end(), seg_items.begin(),
+               seg_items.end(), std::back_inserter(next),
+               [](const Tagged& a, const Tagged& b) { return a.first < b.first; });
+    merged = std::move(next);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(input.size());
+  for (const auto& [key, positions] : merged) {
+    (void)key;
+    for (const std::size_t p : *positions) order.push_back(p);
+  }
+  return order;
+}
+
+}  // namespace pwss::sort

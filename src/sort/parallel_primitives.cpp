@@ -1,0 +1,51 @@
+#include "sort/parallel_primitives.hpp"
+
+namespace pwss::sort {
+
+std::uint64_t exclusive_prefix_sum(std::vector<std::uint64_t>& v,
+                                   sched::Scheduler* scheduler,
+                                   std::size_t grain) {
+  const std::size_t n = v.size();
+  if (n == 0) return 0;
+  if (!scheduler || n <= grain) {
+    std::uint64_t acc = 0;
+    for (auto& x : v) {
+      const std::uint64_t cur = x;
+      x = acc;
+      acc += cur;
+    }
+    return acc;
+  }
+  const std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<std::uint64_t> block_sums(blocks, 0);
+  scheduler->parallel_for(0, blocks, 1, [&](std::size_t blo, std::size_t bhi) {
+    for (std::size_t b = blo; b < bhi; ++b) {
+      const std::size_t lo = b * grain;
+      const std::size_t hi = std::min(n, lo + grain);
+      std::uint64_t acc = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint64_t cur = v[i];
+        v[i] = acc;
+        acc += cur;
+      }
+      block_sums[b] = acc;
+    }
+  });
+  std::uint64_t total = 0;
+  for (auto& s : block_sums) {
+    const std::uint64_t cur = s;
+    s = total;
+    total += cur;
+  }
+  scheduler->parallel_for(0, blocks, 1, [&](std::size_t blo, std::size_t bhi) {
+    for (std::size_t b = blo; b < bhi; ++b) {
+      const std::size_t lo = b * grain;
+      const std::size_t hi = std::min(n, lo + grain);
+      const std::uint64_t offset = block_sums[b];
+      for (std::size_t i = lo; i < hi; ++i) v[i] += offset;
+    }
+  });
+  return total;
+}
+
+}  // namespace pwss::sort

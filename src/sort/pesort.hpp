@@ -1,0 +1,172 @@
+#pragma once
+// PESort — Parallel Entropy Sort (Definition 32): a parallel three-way
+// quicksort whose pivots come from the Parallel Pivot Algorithm (Lemma 34),
+// guaranteeing the pivot lies within the two middle quartiles. Elements
+// equal to the pivot terminate at that recursion level, which is where the
+// entropy adaptivity comes from: an item with frequency q·n traverses only
+// O(log(1/q)) levels, so total work is O(n·H + n) (Theorem 33) with
+// O(log² n) span.
+//
+// The sort is *stable* (stable base case + stable prefix-sum partition),
+// which the maps rely on: operations on the same key keep their program
+// order through batch sorting.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sort/parallel_primitives.hpp"
+#include "util/rng.hpp"
+
+namespace pwss::sort {
+
+struct PESortOptions {
+  /// Use the easier randomized pivot (the Remark after Lemma 34) instead of
+  /// the deterministic PPivot. Ablated in bench E3.
+  bool random_pivot = false;
+  std::uint64_t seed = 0x5eed5eed5eedULL;
+  /// Ranges at or below this size use the sequential stable sort.
+  std::size_t base_case = 64;
+  /// Minimum range size for forking the two recursive calls.
+  std::size_t grain = 2048;
+};
+
+namespace detail {
+
+/// Parallel Pivot Algorithm (Lemma 34): split into blocks of size ~log k,
+/// take each block's median, return the median of medians — always within
+/// the middle two quartiles.
+template <typename T, typename KeyFn>
+auto ppivot(std::span<const T> v, const KeyFn& key_of,
+            sched::Scheduler* scheduler) {
+  using Key = std::decay_t<decltype(key_of(v[0]))>;
+  const std::size_t k = v.size();
+  const std::size_t block = std::max<std::size_t>(1, std::bit_width(k));
+  const std::size_t blocks = (k + block - 1) / block;
+  std::vector<Key> medians(blocks);
+  auto body = [&](std::size_t blo, std::size_t bhi) {
+    std::vector<Key> scratch;
+    for (std::size_t b = blo; b < bhi; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(k, lo + block);
+      scratch.clear();
+      for (std::size_t i = lo; i < hi; ++i) scratch.push_back(key_of(v[i]));
+      auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
+      std::nth_element(scratch.begin(), mid, scratch.end());
+      medians[b] = *mid;
+    }
+  };
+  if (scheduler && blocks > 64) {
+    scheduler->parallel_for(0, blocks, 16, body);
+  } else {
+    body(0, blocks);
+  }
+  auto mid = medians.begin() + static_cast<std::ptrdiff_t>(blocks / 2);
+  std::nth_element(medians.begin(), mid, medians.end());
+  return *mid;
+}
+
+/// Randomized alternative: sample pivots until one lands in the middle two
+/// quartiles (O(1) expected attempts).
+template <typename T, typename KeyFn>
+auto random_quartile_pivot(std::span<const T> v, const KeyFn& key_of,
+                           util::Xoshiro256& rng) {
+  using Key = std::decay_t<decltype(key_of(v[0]))>;
+  const std::size_t k = v.size();
+  for (;;) {
+    const Key candidate = key_of(v[rng.bounded(k)]);
+    std::size_t below = 0, above = 0;
+    for (const auto& x : v) {
+      below += key_of(x) < candidate;
+      above += candidate < key_of(x);
+    }
+    if (below <= 3 * k / 4 && above <= 3 * k / 4) return candidate;
+  }
+}
+
+template <typename T, typename KeyFn>
+void pesort_rec(std::span<T> data, std::span<T> scratch, const KeyFn& key_of,
+                sched::Scheduler* scheduler, const PESortOptions& opts,
+                std::uint64_t seed) {
+  const std::size_t n = data.size();
+  if (n <= opts.base_case) {
+    std::stable_sort(data.begin(), data.end(),
+                     [&](const T& a, const T& b) { return key_of(a) < key_of(b); });
+    return;
+  }
+
+  auto pivot = [&] {
+    if (opts.random_pivot) {
+      util::Xoshiro256 rng(seed);
+      return random_quartile_pivot(std::span<const T>(data), key_of, rng);
+    }
+    return ppivot(std::span<const T>(data), key_of, scheduler);
+  }();
+
+  // Classify, partition into scratch, copy back.
+  std::vector<std::uint8_t> cls(n);
+  auto classify = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto k = key_of(data[i]);
+      cls[i] = k < pivot ? 0 : (pivot < k ? 2 : 1);
+    }
+  };
+  if (scheduler && n > opts.grain) {
+    scheduler->parallel_for(0, n, opts.grain, classify);
+  } else {
+    classify(0, n);
+  }
+  const auto [eq, above] = three_way_partition(
+      std::span<const T>(data), std::span<const std::uint8_t>(cls), scratch,
+      scheduler, opts.grain);
+  auto copy_back = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) data[i] = std::move(scratch[i]);
+  };
+  if (scheduler && n > opts.grain) {
+    scheduler->parallel_for(0, n, opts.grain, copy_back);
+  } else {
+    copy_back(0, n);
+  }
+
+  auto left = [&] {
+    pesort_rec(data.subspan(0, eq), scratch.subspan(0, eq), key_of, scheduler,
+               opts, seed * 0x9e3779b97f4a7c15ULL + 1);
+  };
+  auto right = [&] {
+    pesort_rec(data.subspan(above), scratch.subspan(above), key_of, scheduler,
+               opts, seed * 0xda942042e4dd58b5ULL + 3);
+  };
+  if (scheduler && n > opts.grain) {
+    scheduler->parallel_invoke(sched::FnView(left), sched::FnView(right));
+  } else {
+    left();
+    right();
+  }
+}
+
+}  // namespace detail
+
+/// Stable entropy-adaptive sort of `v` by `key_of(v[i])`. Passing a
+/// scheduler enables the parallel recursion; nullptr runs sequentially with
+/// identical results.
+template <typename T, typename KeyFn>
+void pesort(std::vector<T>& v, const KeyFn& key_of,
+            sched::Scheduler* scheduler = nullptr,
+            const PESortOptions& opts = {}) {
+  if (v.size() <= 1) return;
+  std::vector<T> scratch(v.size());
+  auto run = [&] {
+    detail::pesort_rec(std::span<T>(v), std::span<T>(scratch), key_of,
+                       scheduler, opts, opts.seed);
+  };
+  if (scheduler && !scheduler->on_worker() && v.size() > opts.grain) {
+    scheduler->run_sync(run);
+  } else {
+    run();
+  }
+}
+
+}  // namespace pwss::sort

@@ -1,0 +1,47 @@
+#include "sync/activation.hpp"
+
+#include <utility>
+
+namespace pwss::sync {
+
+Activation::Activation(std::function<bool()> ready,
+                       std::function<bool()> process)
+    : ready_(std::move(ready)), process_(std::move(process)) {}
+
+void Activation::activate() {
+  int s = state_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (s == kIdle) {
+      if (state_.compare_exchange_weak(s, kRunning,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        break;  // we own the process
+      }
+    } else if (s == kRunning) {
+      if (state_.compare_exchange_weak(s, kRunningPending,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return;  // owner will observe the pending mark
+      }
+    } else {
+      return;  // already pending; nothing more to record
+    }
+  }
+
+  // Owner loop: run P while it requests reactivation or while activations
+  // arrived during the run; release ownership only when neither holds.
+  for (;;) {
+    bool reactivate = false;
+    if (ready_()) reactivate = process_();
+    if (reactivate) continue;
+    int expected = kRunning;
+    if (state_.compare_exchange_strong(expected, kIdle,
+                                       std::memory_order_acq_rel)) {
+      return;
+    }
+    // expected was kRunningPending: consume the mark and loop.
+    state_.store(kRunning, std::memory_order_release);
+  }
+}
+
+}  // namespace pwss::sync

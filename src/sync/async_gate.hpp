@@ -1,0 +1,67 @@
+#pragma once
+// AsyncGate: the Activation interface (Definition 36) split into explicit
+// begin/finish halves so a guarded process can be a continuation-passing
+// chain (M2's segment runs park on dedicated locks and complete on another
+// thread — a synchronous Activation::activate() cannot express that).
+//
+// Protocol:
+//   * begin()  — caller requests a run. Returns true iff the caller became
+//                the owner (must eventually call finish() exactly once per
+//                ownership); returns false if an owner exists (a pending
+//                mark is left so the owner re-runs).
+//   * finish() — the owner ends a run. Returns true iff a pending mark was
+//                consumed, in which case the caller REMAINS the owner and
+//                must run again (and call finish() again after).
+// Lost wakeups are impossible: a begin() that loses the race always leaves
+// the pending mark, and the owner cannot go idle without observing it.
+
+#include <atomic>
+
+namespace pwss::sync {
+
+class AsyncGate {
+ public:
+  bool begin() noexcept {
+    int s = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (s == kIdle) {
+        if (state_.compare_exchange_weak(s, kRunning,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+      } else if (s == kRunning) {
+        if (state_.compare_exchange_weak(s, kRunningPending,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+          return false;
+        }
+      } else {
+        return false;  // already pending
+      }
+    }
+  }
+
+  bool finish() noexcept {
+    int expected = kRunning;
+    if (state_.compare_exchange_strong(expected, kIdle,
+                                       std::memory_order_acq_rel)) {
+      return false;
+    }
+    // Was kRunningPending: consume the mark, stay owner.
+    state_.store(kRunning, std::memory_order_release);
+    return true;
+  }
+
+  bool active() const noexcept {
+    return state_.load(std::memory_order_acquire) != kIdle;
+  }
+
+ private:
+  static constexpr int kIdle = 0;
+  static constexpr int kRunning = 1;
+  static constexpr int kRunningPending = 2;
+  std::atomic<int> state_{kIdle};
+};
+
+}  // namespace pwss::sync

@@ -1,0 +1,57 @@
+#pragma once
+// Dedicated lock (Definition 37): a blocking lock with keys [0..k) where
+// simultaneous acquirers must use distinct keys. The paper's pseudo-code
+// parks the *continuation* of a failed acquirer in q[key]; Release scans the
+// key slots cyclically starting after the last holder's key and resumes the
+// first parked continuation it finds. This guarantees an acquirer waits for
+// at most O(k) other threads — the bounded-bypass property Lemma 18's delay
+// analysis depends on.
+//
+// We implement it continuation-passing style: acquire(key, cont) either runs
+// `cont` inline (lock obtained immediately) or parks it; release hands the
+// lock directly to the next parked continuation and schedules it through the
+// caller-provided `resume` sink, so no OS thread ever blocks.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pwss::sync {
+
+class DedicatedLock {
+ public:
+  using Continuation = std::function<void()>;
+  /// Sink used to schedule a resumed continuation (e.g. Scheduler::spawn).
+  using ResumeSink = std::function<void(Continuation)>;
+
+  explicit DedicatedLock(std::size_t keys);
+  DedicatedLock(const DedicatedLock&) = delete;
+  DedicatedLock& operator=(const DedicatedLock&) = delete;
+  ~DedicatedLock();
+
+  std::size_t keys() const noexcept { return slots_.size(); }
+
+  /// Acquire with `key`. If the lock is free, `cont` runs inline on the
+  /// calling thread (the fast path of Definition 37's "Return"). Otherwise
+  /// `cont` is parked and will be passed to `resume` by a later release.
+  /// Concurrent acquirers must use distinct keys (asserted in debug).
+  void acquire(std::size_t key, Continuation cont, const ResumeSink& resume);
+
+  /// Release; must be called by the current holder. If a continuation is
+  /// parked, ownership transfers to it and it is handed to `resume`.
+  void release(const ResumeSink& resume);
+
+  /// True iff some thread currently holds the lock (racy; for tests/stats).
+  bool held() const noexcept {
+    return count_.load(std::memory_order_acquire) > 0;
+  }
+
+ private:
+  std::atomic<long> count_{0};
+  std::atomic<std::size_t> last_key_{0};  // paper's `l`
+  std::vector<std::atomic<Continuation*>> slots_;
+};
+
+}  // namespace pwss::sync

@@ -1,0 +1,4 @@
+// NonBlockingLock is fully inline (see header); this translation unit exists
+// so the target has a stable home for the type and future out-of-line
+// helpers.
+#include "sync/nonblocking_lock.hpp"

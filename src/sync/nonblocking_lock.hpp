@@ -1,0 +1,27 @@
+#pragma once
+// Non-blocking lock (try-lock) from Definition 35 of the paper: acquisition
+// attempts are serialized by the hardware RMW but never block; TryLock is a
+// single test-and-set, Unlock a single store.
+
+#include <atomic>
+
+namespace pwss::sync {
+
+class NonBlockingLock {
+ public:
+  NonBlockingLock() = default;
+  NonBlockingLock(const NonBlockingLock&) = delete;
+  NonBlockingLock& operator=(const NonBlockingLock&) = delete;
+
+  /// Returns true iff the lock was acquired.
+  bool try_lock() noexcept {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace pwss::sync

@@ -1,0 +1,510 @@
+#pragma once
+// Join-based balanced search tree with batched parallel operations and
+// order statistics — our substitute for the paper's Batched Parallel 2-3
+// Tree (Appendix A.2, adapted from Paul–Vishkin–Wagener).
+//
+// Rationale (see DESIGN.md "Substitutions"): the working-set maps only rely
+// on the *interface costs* of the segment trees — Θ(b·log n) work per
+// sorted batch of b operations, polylogarithmic span, plus the ability to
+// address items by recency order. A join-based AVL tree (Blelloch,
+// Ferizovic, Sun — "Just Join for Parallel Ordered Sets", SPAA 2016) gives
+// exactly that: every batch op is a divide-and-conquer over split/join,
+// parallelized with binary fork/join, and subtree sizes give rank/select so
+// the recency map is an order-statistic tree instead of leaf pointers.
+//
+// Concurrency contract: a JTree is externally synchronized (the maps
+// guarantee exclusive access via the paper's locking schemes). Batch reads
+// (multi_find) may run concurrently with each other but not with mutation.
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace pwss::tree {
+
+/// Parallelism context for batch operations. A null scheduler (or a batch
+/// smaller than `grain`) runs sequentially; otherwise the divide-and-conquer
+/// recursion forks through the scheduler.
+struct ParCtx {
+  sched::Scheduler* scheduler = nullptr;
+  std::size_t grain = 128;
+};
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class JTree {
+ public:
+  JTree() = default;
+  explicit JTree(Compare cmp) : cmp_(std::move(cmp)) {}
+  JTree(const JTree&) = delete;
+  JTree& operator=(const JTree&) = delete;
+  JTree(JTree&& other) noexcept : root_(other.root_), cmp_(other.cmp_) {
+    other.root_ = nullptr;
+  }
+  JTree& operator=(JTree&& other) noexcept {
+    if (this != &other) {
+      destroy(root_);
+      root_ = other.root_;
+      other.root_ = nullptr;
+      cmp_ = other.cmp_;
+    }
+    return *this;
+  }
+  ~JTree() { destroy(root_); }
+
+  std::size_t size() const noexcept { return node_size(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  void clear() {
+    destroy(root_);
+    root_ = nullptr;
+  }
+
+  // ---- point operations -------------------------------------------------
+
+  /// Pointer to the value for `key`, or nullptr.
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    while (n) {
+      if (cmp_(key, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+  V* find(const K& key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Inserts (key, value); if key exists, overwrites the value. Returns
+  /// true iff the key was newly inserted.
+  bool insert(const K& key, V value) {
+    auto [l, m, r] = split(root_, key);
+    const bool fresh = (m == nullptr);
+    if (m) {
+      m->value = std::move(value);
+    } else {
+      m = new Node(key, std::move(value));
+    }
+    root_ = join(l, m, r);
+    return fresh;
+  }
+
+  /// Removes key if present; returns the removed value.
+  std::optional<V> erase(const K& key) {
+    auto [l, m, r] = split(root_, key);
+    std::optional<V> out;
+    if (m) {
+      out = std::move(m->value);
+      delete m;
+    }
+    root_ = join2(l, r);
+    return out;
+  }
+
+  // ---- order statistics ---------------------------------------------------
+
+  /// In-order i-th element (0-based). Precondition: i < size().
+  std::pair<const K&, const V&> at(std::size_t i) const {
+    const Node* n = root_;
+    assert(i < size());
+    for (;;) {
+      const std::size_t ls = node_size(n->left);
+      if (i < ls) {
+        n = n->left;
+      } else if (i == ls) {
+        return {n->key, n->value};
+      } else {
+        i -= ls + 1;
+        n = n->right;
+      }
+    }
+  }
+
+  /// Number of keys strictly less than `key`.
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    while (n) {
+      if (cmp_(key, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, key)) {
+        r += node_size(n->left) + 1;
+        n = n->right;
+      } else {
+        return r + node_size(n->left);
+      }
+    }
+    return r;
+  }
+
+  // ---- batched operations -------------------------------------------------
+  // All batch inputs must be sorted by key and duplicate-free; asserted in
+  // debug builds. These correspond to the "normal batch operation" of the
+  // paper's parallel 2-3 tree; reverse-indexing is subsumed by rank/select.
+
+  /// Looks up every key; out[i] points at the value (valid until the next
+  /// mutation) or nullptr.
+  void multi_find(std::span<const K> keys, std::vector<const V*>& out,
+                  const ParCtx& ctx = {}) const {
+    out.assign(keys.size(), nullptr);
+    auto body = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = find(keys[i]);
+    };
+    if (ctx.scheduler && keys.size() > ctx.grain) {
+      ctx.scheduler->parallel_for(0, keys.size(), ctx.grain, body);
+    } else {
+      body(0, keys.size());
+    }
+  }
+
+  /// Inserts every (key, value); existing keys get their value overwritten.
+  void multi_insert(std::span<const std::pair<K, V>> items,
+                    const ParCtx& ctx = {}) {
+    assert_sorted_pairs(items);
+    root_ = multi_insert_rec(root_, items, ctx);
+  }
+
+  /// Removes every present key; out[i] receives the removed value.
+  void multi_extract(std::span<const K> keys,
+                     std::vector<std::optional<V>>& out,
+                     const ParCtx& ctx = {}) {
+    assert_sorted_keys(keys);
+    out.assign(keys.size(), std::nullopt);
+    root_ = multi_extract_rec(root_, keys, 0, out, ctx);
+  }
+
+  /// Removes and returns the first `n` items in key order (all items if
+  /// n >= size()). Output is sorted by key.
+  std::vector<std::pair<K, V>> extract_prefix(std::size_t n) {
+    n = std::min(n, size());
+    auto [l, r] = split_at(root_, n);
+    root_ = r;
+    std::vector<std::pair<K, V>> out;
+    out.reserve(n);
+    collect_destroy(l, out);
+    return out;
+  }
+
+  /// Removes and returns the last `n` items in key order, sorted by key.
+  std::vector<std::pair<K, V>> extract_suffix(std::size_t n) {
+    n = std::min(n, size());
+    auto [l, r] = split_at(root_, size() - n);
+    root_ = l;
+    std::vector<std::pair<K, V>> out;
+    out.reserve(n);
+    collect_destroy(r, out);
+    return out;
+  }
+
+  /// In-order traversal.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_rec(root_, fn);
+  }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  /// Builds from a sorted, duplicate-free vector in O(n).
+  static JTree from_sorted(std::span<const std::pair<K, V>> items,
+                           Compare cmp = {}) {
+    JTree t(std::move(cmp));
+    t.assert_sorted_pairs(items);
+    t.root_ = build_balanced(items);
+    return t;
+  }
+
+  /// Structural validation for tests: AVL balance, correct height/size
+  /// fields, strict key order.
+  bool check_invariants() const {
+    bool ok = true;
+    check_rec(root_, nullptr, nullptr, ok);
+    return ok;
+  }
+
+ private:
+  struct Node {
+    Node(const K& k, V v)
+        : key(k), value(std::move(v)) {}
+    K key;
+    V value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+    std::size_t size = 1;
+  };
+
+  static int node_height(const Node* n) noexcept { return n ? n->height : 0; }
+  static std::size_t node_size(const Node* n) noexcept {
+    return n ? n->size : 0;
+  }
+
+  static Node* update(Node* n) noexcept {
+    n->height = 1 + std::max(node_height(n->left), node_height(n->right));
+    n->size = 1 + node_size(n->left) + node_size(n->right);
+    return n;
+  }
+
+  static Node* rotate_left(Node* n) noexcept {
+    Node* r = n->right;
+    n->right = r->left;
+    r->left = update(n);
+    return update(r);
+  }
+
+  static Node* rotate_right(Node* n) noexcept {
+    Node* l = n->left;
+    n->left = l->right;
+    l->right = update(n);
+    return update(l);
+  }
+
+  /// AVL join (Blelloch–Ferizovic–Sun): all keys in l < m->key < all in r;
+  /// m is a detached node whose child pointers are overwritten.
+  static Node* join(Node* l, Node* m, Node* r) noexcept {
+    if (node_height(l) > node_height(r) + 1) return join_right(l, m, r);
+    if (node_height(r) > node_height(l) + 1) return join_left(l, m, r);
+    m->left = l;
+    m->right = r;
+    return update(m);
+  }
+
+  static Node* join_right(Node* l, Node* m, Node* r) noexcept {
+    // height(l) > height(r) + 1: descend l's right spine.
+    if (node_height(l->right) <= node_height(r) + 1) {
+      m->left = l->right;
+      m->right = r;
+      l->right = update(m);
+      update(l);
+      if (node_height(l->right) > node_height(l->left) + 1) {
+        l->right = rotate_right(l->right);
+        update(l);
+        return rotate_left(l);
+      }
+      return l;
+    }
+    l->right = join_right(l->right, m, r);
+    update(l);
+    if (node_height(l->right) > node_height(l->left) + 1) return rotate_left(l);
+    return l;
+  }
+
+  static Node* join_left(Node* l, Node* m, Node* r) noexcept {
+    if (node_height(r->left) <= node_height(l) + 1) {
+      m->left = l;
+      m->right = r->left;
+      r->left = update(m);
+      update(r);
+      if (node_height(r->left) > node_height(r->right) + 1) {
+        r->left = rotate_left(r->left);
+        update(r);
+        return rotate_right(r);
+      }
+      return r;
+    }
+    r->left = join_left(l, m, r->left);
+    update(r);
+    if (node_height(r->left) > node_height(r->right) + 1) return rotate_right(r);
+    return r;
+  }
+
+  /// Join without a middle node.
+  static Node* join2(Node* l, Node* r) noexcept {
+    if (!l) return r;
+    if (!r) return l;
+    auto [rest, last] = split_last(l);
+    return join(rest, last, r);
+  }
+
+  /// Detaches the in-order last node of t. Returns {rest, last}.
+  static std::pair<Node*, Node*> split_last(Node* t) noexcept {
+    if (!t->right) {
+      Node* rest = t->left;
+      t->left = nullptr;
+      return {rest, t};
+    }
+    auto [rest, last] = split_last(t->right);
+    t->right = nullptr;
+    return {join(t->left, t, rest), last};
+  }
+
+  struct SplitResult {
+    Node* left;
+    Node* mid;  // detached node with key == split key, or nullptr
+    Node* right;
+  };
+
+  SplitResult split(Node* t, const K& key) const {
+    if (!t) return {nullptr, nullptr, nullptr};
+    if (cmp_(key, t->key)) {
+      auto [l, m, r] = split(t->left, key);
+      Node* right_tree = t->right;
+      t->left = t->right = nullptr;
+      return {l, m, join(r, t, right_tree)};
+    }
+    if (cmp_(t->key, key)) {
+      auto [l, m, r] = split(t->right, key);
+      Node* left_tree = t->left;
+      t->left = t->right = nullptr;
+      return {join(left_tree, t, l), m, r};
+    }
+    Node* l = t->left;
+    Node* r = t->right;
+    t->left = t->right = nullptr;
+    return {l, t, r};
+  }
+
+  /// Splits off the first `i` items (in-order). Returns {first_i, rest}.
+  static std::pair<Node*, Node*> split_at(Node* t, std::size_t i) noexcept {
+    if (!t) return {nullptr, nullptr};
+    const std::size_t ls = node_size(t->left);
+    if (i <= ls) {
+      Node* tl = t->left;
+      Node* tr = t->right;
+      t->left = t->right = nullptr;
+      auto [a, b] = split_at(tl, i);
+      return {a, join(b, t, tr)};
+    }
+    Node* tl = t->left;
+    Node* tr = t->right;
+    t->left = t->right = nullptr;
+    auto [a, b] = split_at(tr, i - ls - 1);
+    return {join(tl, t, a), b};
+  }
+
+  Node* multi_insert_rec(Node* t, std::span<const std::pair<K, V>> items,
+                         const ParCtx& ctx) {
+    if (items.empty()) return t;
+    if (!t) return build_balanced(items);
+    const std::size_t mid = items.size() / 2;
+    auto [l, m, r] = split(t, items[mid].first);
+    if (m) {
+      m->value = items[mid].second;
+    } else {
+      m = new Node(items[mid].first, items[mid].second);
+    }
+    Node* nl = nullptr;
+    Node* nr = nullptr;
+    auto left_work = [&] { nl = multi_insert_rec(l, items.subspan(0, mid), ctx); };
+    auto right_work = [&] {
+      nr = multi_insert_rec(r, items.subspan(mid + 1), ctx);
+    };
+    if (ctx.scheduler && items.size() > ctx.grain) {
+      ctx.scheduler->parallel_invoke(sched::FnView(left_work),
+                                     sched::FnView(right_work));
+    } else {
+      left_work();
+      right_work();
+    }
+    return join(nl, m, nr);
+  }
+
+  Node* multi_extract_rec(Node* t, std::span<const K> keys, std::size_t base,
+                          std::vector<std::optional<V>>& out,
+                          const ParCtx& ctx) {
+    if (keys.empty() || !t) return t;
+    const std::size_t mid = keys.size() / 2;
+    auto [l, m, r] = split(t, keys[mid]);
+    if (m) {
+      out[base + mid] = std::move(m->value);
+      delete m;
+    }
+    Node* nl = nullptr;
+    Node* nr = nullptr;
+    auto left_work = [&] {
+      nl = multi_extract_rec(l, keys.subspan(0, mid), base, out, ctx);
+    };
+    auto right_work = [&] {
+      nr = multi_extract_rec(r, keys.subspan(mid + 1), base + mid + 1, out, ctx);
+    };
+    if (ctx.scheduler && keys.size() > ctx.grain) {
+      ctx.scheduler->parallel_invoke(sched::FnView(left_work),
+                                     sched::FnView(right_work));
+    } else {
+      left_work();
+      right_work();
+    }
+    return join2(nl, nr);
+  }
+
+  static Node* build_balanced(std::span<const std::pair<K, V>> items) {
+    if (items.empty()) return nullptr;
+    const std::size_t mid = items.size() / 2;
+    auto* n = new Node(items[mid].first, items[mid].second);
+    n->left = build_balanced(items.subspan(0, mid));
+    n->right = build_balanced(items.subspan(mid + 1));
+    return update(n);
+  }
+
+  static void collect_destroy(Node* t, std::vector<std::pair<K, V>>& out) {
+    if (!t) return;
+    collect_destroy(t->left, out);
+    out.emplace_back(t->key, std::move(t->value));
+    collect_destroy(t->right, out);
+    delete t;
+  }
+
+  template <typename Fn>
+  static void for_each_rec(const Node* t, Fn& fn) {
+    if (!t) return;
+    for_each_rec(t->left, fn);
+    fn(t->key, t->value);
+    for_each_rec(t->right, fn);
+  }
+
+  static void destroy(Node* t) noexcept {
+    if (!t) return;
+    destroy(t->left);
+    destroy(t->right);
+    delete t;
+  }
+
+  void check_rec(const Node* t, const K* lo, const K* hi, bool& ok) const {
+    if (!t || !ok) return;
+    if (lo && !cmp_(*lo, t->key)) ok = false;
+    if (hi && !cmp_(t->key, *hi)) ok = false;
+    if (t->height != 1 + std::max(node_height(t->left), node_height(t->right)))
+      ok = false;
+    if (t->size != 1 + node_size(t->left) + node_size(t->right)) ok = false;
+    if (std::abs(node_height(t->left) - node_height(t->right)) > 1) ok = false;
+    check_rec(t->left, lo, &t->key, ok);
+    check_rec(t->right, &t->key, hi, ok);
+  }
+
+  void assert_sorted_pairs(
+      [[maybe_unused]] std::span<const std::pair<K, V>> items) const {
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      assert(cmp_(items[i - 1].first, items[i].first) &&
+             "batch must be sorted and duplicate-free");
+    }
+#endif
+  }
+  void assert_sorted_keys([[maybe_unused]] std::span<const K> keys) const {
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      assert(cmp_(keys[i - 1], keys[i]) &&
+             "batch must be sorted and duplicate-free");
+    }
+#endif
+  }
+
+  Node* root_ = nullptr;
+  Compare cmp_;
+};
+
+}  // namespace pwss::tree

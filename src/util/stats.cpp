@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pwss::util {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.min = samples.front();
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  s.max = samples.back();
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  LinearFit f;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+}  // namespace pwss::util

@@ -1,0 +1,32 @@
+#pragma once
+// Summary statistics used to report benchmark results (means, percentiles,
+// least-squares fits for the "time ~ a + b*log r" shape checks).
+
+#include <cstddef>
+#include <vector>
+
+namespace pwss::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary; sorts a copy of the input.
+Summary summarize(std::vector<double> samples);
+
+/// Least-squares fit y = a + b*x; returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace pwss::util

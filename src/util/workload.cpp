@@ -1,0 +1,166 @@
+#include "util/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/zipf.hpp"
+
+namespace pwss::util {
+namespace {
+
+// Invertible mixer to scatter zipf ranks across the key space.
+std::uint64_t mix_key(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> uniform_keys(std::uint64_t universe,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> out(count);
+  for (auto& k : out) k = rng.bounded(universe);
+  return out;
+}
+
+std::vector<std::uint64_t> zipf_keys(std::uint64_t universe, double theta,
+                                     std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ZipfGenerator zipf(universe, theta);
+  std::vector<std::uint64_t> out(count);
+  for (auto& k : out) k = mix_key(zipf(rng)) % universe;
+  return out;
+}
+
+std::vector<std::uint64_t> working_set_keys(std::uint64_t universe,
+                                            std::size_t window,
+                                            double miss_rate,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  if (window == 0) throw std::invalid_argument("window must be positive");
+  Xoshiro256 rng(seed);
+  // Ring buffer of the `window` most recently used keys.
+  std::vector<std::uint64_t> recent;
+  recent.reserve(window);
+  std::size_t head = 0;
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t key;
+    if (recent.size() < window || rng.uniform01() < miss_rate) {
+      key = rng.bounded(universe);
+      if (recent.size() < window) {
+        recent.push_back(key);
+      } else {
+        recent[head] = key;
+        head = (head + 1) % window;
+      }
+    } else {
+      key = recent[rng.bounded(recent.size())];
+    }
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<KeyOp> duplicate_heavy_batch(std::uint64_t universe,
+                                         std::size_t size,
+                                         double dup_fraction,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t dups =
+      static_cast<std::size_t>(std::ceil(dup_fraction * static_cast<double>(size)));
+  const std::uint64_t hot = rng.bounded(universe);
+  std::vector<KeyOp> out;
+  out.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint64_t key = i < dups ? hot : rng.bounded(universe);
+    out.push_back({OpKind::kSearch, key, 0});
+  }
+  return out;
+}
+
+std::vector<KeyOp> apply_mix(const std::vector<std::uint64_t>& keys,
+                             const OpMix& mix, std::uint64_t seed) {
+  const double total = mix.search + mix.insert + mix.erase;
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("OpMix fractions must sum to 1");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<KeyOp> out;
+  out.reserve(keys.size());
+  for (const auto key : keys) {
+    const double u = rng.uniform01();
+    OpKind kind = OpKind::kSearch;
+    if (u >= mix.search) {
+      kind = (u < mix.search + mix.insert) ? OpKind::kInsert : OpKind::kErase;
+    }
+    out.push_back({kind, key, key * 2 + 1});
+  }
+  return out;
+}
+
+double empirical_entropy_bits(const std::vector<std::uint64_t>& keys) {
+  if (keys.empty()) return 0.0;
+  std::unordered_map<std::uint64_t, std::size_t> freq;
+  freq.reserve(keys.size());
+  for (const auto k : keys) ++freq[k];
+  const double n = static_cast<double>(keys.size());
+  double h = 0.0;
+  for (const auto& [k, c] : freq) {
+    (void)k;
+    const double q = static_cast<double>(c) / n;
+    h -= q * std::log2(q);
+  }
+  return h;
+}
+
+double working_set_bound(const std::vector<std::uint64_t>& keys) {
+  // Access rank of access i on key k = number of distinct keys accessed
+  // since the previous access to k (inclusive of k). Computed with a
+  // Fenwick tree over access positions: mark the latest position of each
+  // key; the rank is the count of marked positions after k's previous one.
+  const std::size_t n = keys.size();
+  std::vector<std::size_t> fenwick(n + 1, 0);
+  auto update = [&](std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i <= n; i += i & (~i + 1)) {
+      fenwick[i] = static_cast<std::size_t>(static_cast<long long>(fenwick[i]) + delta);
+    }
+  };
+  auto prefix = [&](std::size_t pos) {  // sum of marks in [0, pos)
+    std::size_t s = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1)) s += fenwick[i];
+    return s;
+  };
+
+  std::unordered_map<std::uint64_t, std::size_t> last;  // key -> last position
+  last.reserve(n);
+  double bound = 0.0;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = last.find(keys[i]);
+    double rank;
+    if (it == last.end()) {
+      // First access: Definition 1 charges an insertion at rank n+1 where n
+      // is the current map size (= number of distinct keys so far).
+      rank = static_cast<double>(distinct + 1);
+      ++distinct;
+    } else {
+      const std::size_t prev = it->second;
+      rank = static_cast<double>(prefix(n) - prefix(prev));  // marks after prev
+      update(prev, -1);
+    }
+    update(i, +1);
+    last[keys[i]] = i;
+    bound += std::log2(std::max(rank, 1.0)) + 1.0;
+  }
+  return bound;
+}
+
+}  // namespace pwss::util

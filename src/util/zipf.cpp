@@ -1,0 +1,35 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+namespace pwss::util {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n ? n : 1), theta_(theta == 1.0 ? 0.9999 : theta) {
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+std::uint64_t ZipfGenerator::operator()(Xoshiro256& rng) noexcept {
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const double x = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t k = static_cast<std::uint64_t>(x);
+  if (k >= n_) k = n_ - 1;
+  return k;
+}
+
+}  // namespace pwss::util

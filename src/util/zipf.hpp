@@ -1,0 +1,38 @@
+#pragma once
+// Zipf(theta) sampler over [0, n). theta = 0 degenerates to uniform;
+// theta ~ 0.99 is the YCSB default; theta > 1 concentrates mass heavily.
+//
+// Uses the classic rejection-inversion-free approximation from Gray et al.
+// (the "quick zipf" used by YCSB): constant-time sampling after O(1) setup,
+// exact for the two head items and a tight approximation of the tail.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pwss::util {
+
+class ZipfGenerator {
+ public:
+  /// n: universe size (items 0..n-1); theta: skew in [0, 1) ∪ (1, ..).
+  /// theta == 1 is handled by nudging to 0.9999 (the formulas divide by
+  /// 1-theta).
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Xoshiro256& rng) noexcept;
+
+  std::uint64_t universe() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace pwss::util

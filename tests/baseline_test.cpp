@@ -1,0 +1,220 @@
+// Tests for the baselines: Iacono working-set structure, splay tree, AVL
+// facade, locked map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baseline/avl_map.hpp"
+#include "baseline/iacono_map.hpp"
+#include "baseline/locked_map.hpp"
+#include "baseline/splay_tree.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace pwss {
+namespace {
+
+// ---- IaconoMap -----------------------------------------------------------
+
+TEST(IaconoMap, InsertSearchErase) {
+  baseline::IaconoMap<int, int> m;
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_TRUE(m.insert(2, 20));
+  EXPECT_FALSE(m.insert(1, 11));  // overwrite
+  ASSERT_NE(m.search(1), nullptr);
+  EXPECT_EQ(*m.search(1), 11);
+  EXPECT_EQ(m.search(99), nullptr);
+  auto removed = m.erase(2);
+  ASSERT_TRUE(removed);
+  EXPECT_EQ(*removed, 20);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(IaconoMap, InvariantsHoldDuringGrowth) {
+  baseline::IaconoMap<int, int> m;
+  for (int i = 0; i < 2000; ++i) {
+    m.insert(i, i);
+    if (i % 97 == 0) ASSERT_TRUE(m.check_invariants()) << "at i=" << i;
+  }
+  EXPECT_EQ(m.size(), 2000u);
+  EXPECT_GE(m.segment_count(), 4u);  // 2 + 4 + 16 + 256 < 2000
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(IaconoMap, AccessedItemMovesToFirstSegment) {
+  baseline::IaconoMap<int, int> m;
+  for (int i = 0; i < 1000; ++i) m.insert(i, i);
+  // Key 0 was inserted first; after 999 other insertions it is deep.
+  ASSERT_NE(m.search(0), nullptr);
+  // Now key 0 must be in segment 0 (most recent).
+  const auto& segs = m.segments();
+  EXPECT_NE(segs[0].peek(0), nullptr);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(IaconoMap, WorkingSetInvariantAfterMixedOps) {
+  // The r most recently accessed items live in the first ~loglog r
+  // segments: access a small hot set repeatedly, then verify all hot items
+  // sit in segments 0..1 (capacity 2+4 >= hot set of size 4).
+  baseline::IaconoMap<int, int> m;
+  for (int i = 0; i < 5000; ++i) m.insert(i, i);
+  for (int round = 0; round < 10; ++round) {
+    for (int k : {10, 20, 30, 40}) ASSERT_NE(m.search(k), nullptr);
+  }
+  const auto& segs = m.segments();
+  int in_first_two = 0;
+  for (int k : {10, 20, 30, 40}) {
+    if (segs[0].peek(k) || segs[1].peek(k)) ++in_first_two;
+  }
+  EXPECT_GE(in_first_two, 2);  // hot set of 4 vs capacity 2+4=6
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(IaconoMap, EraseRepairsFullness) {
+  baseline::IaconoMap<int, int> m;
+  for (int i = 0; i < 300; ++i) m.insert(i, i);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(m.erase(i * 3).has_value());
+    if (i % 10 == 0) ASSERT_TRUE(m.check_invariants()) << "at i=" << i;
+  }
+  EXPECT_EQ(m.size(), 200u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(IaconoMap, DifferentialAgainstStdMap) {
+  util::Xoshiro256 rng(31);
+  baseline::IaconoMap<int, int> m;
+  std::map<int, int> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const int key = static_cast<int>(rng.bounded(300));
+    switch (rng.bounded(3)) {
+      case 0: {
+        const int val = static_cast<int>(rng.bounded(1000));
+        EXPECT_EQ(m.insert(key, val), ref.find(key) == ref.end());
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        auto removed = m.erase(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(removed.has_value(), it != ref.end());
+        if (it != ref.end()) ref.erase(it);
+        break;
+      }
+      default: {
+        int* v = m.search(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v) EXPECT_EQ(*v, it->second);
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+// ---- SplayTree -------------------------------------------------------------
+
+TEST(SplayTree, InsertSearchErase) {
+  baseline::SplayTree<int, int> t;
+  EXPECT_TRUE(t.insert(5, 50));
+  EXPECT_TRUE(t.insert(2, 20));
+  EXPECT_FALSE(t.insert(5, 55));
+  EXPECT_EQ(t.search(5), 55);
+  EXPECT_EQ(t.search(3), std::nullopt);
+  EXPECT_EQ(t.erase(2), 20);
+  EXPECT_EQ(t.erase(2), std::nullopt);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SplayTree, DifferentialAgainstStdMap) {
+  util::Xoshiro256 rng(67);
+  baseline::SplayTree<int, int> t;
+  std::map<int, int> ref;
+  for (int step = 0; step < 30000; ++step) {
+    const int key = static_cast<int>(rng.bounded(400));
+    switch (rng.bounded(3)) {
+      case 0: {
+        const int val = static_cast<int>(rng.bounded(1000));
+        EXPECT_EQ(t.insert(key, val), ref.find(key) == ref.end());
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        auto removed = t.erase(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(removed.has_value(), it != ref.end());
+        if (it != ref.end()) {
+          EXPECT_EQ(*removed, it->second);
+          ref.erase(it);
+        }
+        break;
+      }
+      default: {
+        auto v = t.search(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(v.has_value(), it != ref.end());
+        if (v) EXPECT_EQ(*v, it->second);
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+}
+
+TEST(SplayTree, RepeatedAccessKeepsItemShallow) {
+  baseline::SplayTree<int, int> t;
+  for (int i = 0; i < 10000; ++i) t.insert(i, i);
+  // After splaying key 42, it is at the root: a second search touches one node.
+  EXPECT_TRUE(t.search(42).has_value());
+  EXPECT_TRUE(t.search(42).has_value());
+}
+
+TEST(SplayTree, SequentialInsertDegeneratesUnlikeAvl) {
+  // Documents the "no worst-case balance" property (Section 1's critique of
+  // unbalanced concurrent BSTs): inserting 0..n-1 in order produces a path.
+  baseline::SplayTree<int, int> t;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) t.insert(i, i);
+  EXPECT_GE(t.height(), static_cast<std::size_t>(n / 2));
+}
+
+// ---- AvlMap / LockedMap -----------------------------------------------------
+
+TEST(AvlMap, Basics) {
+  baseline::AvlMap<int, int> m;
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));
+  EXPECT_EQ(m.search(1), 11);
+  EXPECT_EQ(m.erase(1), 10 + 1);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(LockedMap, ConcurrentMixedOpsKeepCount) {
+  baseline::LockedMap<int, int> m;
+  constexpr int kThreads = 8, kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOps; ++i) {
+        const int key = static_cast<int>(rng.bounded(1000));
+        switch (rng.bounded(3)) {
+          case 0: m.insert(key, key); break;
+          case 1: m.erase(key); break;
+          default: {
+            auto v = m.search(key);
+            if (v) EXPECT_EQ(*v, key);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(m.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace pwss

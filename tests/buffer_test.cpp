@@ -1,0 +1,218 @@
+// Tests for the implicit-batching plumbing: parallel buffer (A.1), feed
+// buffer of bunches (Section 6.1), AsyncGate, and the AsyncMap front end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "buffer/feed_buffer.hpp"
+#include "buffer/parallel_buffer.hpp"
+#include "core/async_map.hpp"
+#include "core/m1_map.hpp"
+#include "sync/async_gate.hpp"
+#include "util/rng.hpp"
+
+namespace pwss {
+namespace {
+
+TEST(ParallelBuffer, SubmitFlushRoundTrip) {
+  buffer::ParallelBuffer<int> buf(4);
+  for (int i = 0; i < 100; ++i) buf.submit(i);
+  EXPECT_EQ(buf.pending(), 100u);
+  auto out = buf.flush();
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(buf.pending(), 0u);
+  std::set<int> s(out.begin(), out.end());
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(ParallelBuffer, FlushEmpty) {
+  buffer::ParallelBuffer<int> buf(2);
+  EXPECT_TRUE(buf.flush().empty());
+}
+
+TEST(ParallelBuffer, SameThreadOrderPreserved) {
+  buffer::ParallelBuffer<int> buf(4);
+  for (int i = 0; i < 50; ++i) buf.submit(i);
+  const auto out = buf.flush();
+  // All from one thread => one slot => order preserved.
+  ASSERT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelBuffer, ConcurrentSubmittersLoseNothing) {
+  buffer::ParallelBuffer<std::uint64_t> buf(8);
+  constexpr int kThreads = 8, kPer = 10000;
+  std::atomic<std::size_t> flushed{0};
+  std::atomic<bool> done{false};
+  std::thread flusher([&] {
+    while (!done.load() || buf.pending() > 0) {
+      flushed.fetch_add(buf.flush().size());
+    }
+    flushed.fetch_add(buf.flush().size());
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        buf.submit(static_cast<std::uint64_t>(t) * kPer + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  done = true;
+  flusher.join();
+  EXPECT_EQ(flushed.load(), static_cast<std::size_t>(kThreads) * kPer);
+}
+
+TEST(FeedBuffer, CutsIntoBunches) {
+  buffer::FeedBuffer<int> feed(10);
+  std::vector<int> input(25);
+  for (int i = 0; i < 25; ++i) input[static_cast<size_t>(i)] = i;
+  feed.append(std::move(input));
+  EXPECT_EQ(feed.size(), 25u);
+  EXPECT_EQ(feed.bunch_count(), 3u);  // 10 + 10 + 5
+}
+
+TEST(FeedBuffer, TopsUpLastBunchFirst) {
+  buffer::FeedBuffer<int> feed(10);
+  feed.append({1, 2, 3});             // bunch: [3]
+  EXPECT_EQ(feed.bunch_count(), 1u);
+  feed.append({4, 5, 6, 7, 8, 9, 10, 11, 12});  // fills to 10, then [2]
+  EXPECT_EQ(feed.bunch_count(), 2u);
+  auto first = feed.take_bunches(1);
+  EXPECT_EQ(first.size(), 10u);
+  EXPECT_EQ(first[0], 1);
+  auto second = feed.take_bunches(1);
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_TRUE(feed.empty());
+}
+
+TEST(FeedBuffer, TakeMoreThanAvailable) {
+  buffer::FeedBuffer<int> feed(4);
+  feed.append({1, 2, 3, 4, 5});
+  auto out = feed.take_bunches(10);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_TRUE(feed.empty());
+  EXPECT_TRUE(feed.take_bunches(1).empty());
+}
+
+TEST(FeedBuffer, FifoAcrossBunches) {
+  buffer::FeedBuffer<int> feed(3);
+  feed.append({0, 1, 2, 3, 4, 5, 6, 7});
+  auto all = feed.take_bunches(3);
+  ASSERT_EQ(all.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(AsyncGate, BeginFinishSingleOwner) {
+  sync::AsyncGate g;
+  EXPECT_TRUE(g.begin());
+  EXPECT_TRUE(g.active());
+  EXPECT_FALSE(g.begin()) << "second begin must not grant ownership";
+  EXPECT_TRUE(g.finish()) << "pending mark consumed, still owner";
+  EXPECT_FALSE(g.finish());
+  EXPECT_FALSE(g.active());
+}
+
+TEST(AsyncGate, PendingCollapses) {
+  sync::AsyncGate g;
+  EXPECT_TRUE(g.begin());
+  EXPECT_FALSE(g.begin());
+  EXPECT_FALSE(g.begin());  // multiple pendings collapse into one
+  EXPECT_TRUE(g.finish());
+  EXPECT_FALSE(g.finish());
+}
+
+TEST(AsyncGate, ConcurrentBeginsExactlyOneOwner) {
+  for (int round = 0; round < 200; ++round) {
+    sync::AsyncGate g;
+    std::atomic<int> owners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] { owners.fetch_add(g.begin() ? 1 : 0); });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(owners.load(), 1);
+    while (g.finish()) {
+    }
+    EXPECT_FALSE(g.active());
+  }
+}
+
+TEST(AsyncMapM1, BlockingOpsFromSingleThread) {
+  sched::Scheduler scheduler(4);
+  core::AsyncMap<int, int, core::M1Map<int, int>> amap(
+      core::M1Map<int, int>(&scheduler), scheduler);
+  EXPECT_TRUE(amap.insert(1, 10));
+  EXPECT_FALSE(amap.insert(1, 11));
+  EXPECT_EQ(amap.search(1), 11);
+  EXPECT_EQ(amap.search(2), std::nullopt);
+  EXPECT_EQ(amap.erase(1), 11);
+  EXPECT_EQ(amap.search(1), std::nullopt);
+}
+
+TEST(AsyncMapM1, ManyConcurrentClients) {
+  sched::Scheduler scheduler(4);
+  core::AsyncMap<std::uint64_t, std::uint64_t,
+                 core::M1Map<std::uint64_t, std::uint64_t>>
+      amap(core::M1Map<std::uint64_t, std::uint64_t>(&scheduler), scheduler);
+  constexpr int kThreads = 6, kOps = 3000;
+  std::atomic<std::uint64_t> found{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t key = rng.bounded(512);
+        switch (rng.bounded(3)) {
+          case 0: amap.insert(key, key * 2); break;
+          case 1: amap.erase(key); break;
+          default: {
+            auto v = amap.search(key);
+            if (v) {
+              EXPECT_EQ(*v, key * 2);  // values are a function of the key
+              found.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  amap.quiesce();
+  EXPECT_GT(found.load(), 0u);
+  EXPECT_TRUE(amap.map().check_invariants());
+  EXPECT_LE(amap.map().size(), 512u);
+}
+
+TEST(AsyncMapM1, PerThreadProgramOrderRespected) {
+  sched::Scheduler scheduler(4);
+  core::AsyncMap<int, int, core::M1Map<int, int>> amap(
+      core::M1Map<int, int>(&scheduler), scheduler);
+  // One thread issuing insert -> search -> erase -> search on its own key
+  // must see its own effects in order.
+  std::vector<std::thread> clients;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = t * 1000 + i;  // disjoint key space per thread
+        if (!amap.insert(key, i)) ok = false;
+        auto v = amap.search(key);
+        if (!v || *v != i) ok = false;
+        if (amap.erase(key) != i) ok = false;
+        if (amap.search(key).has_value()) ok = false;
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_TRUE(ok.load());
+  amap.quiesce();
+  EXPECT_EQ(amap.map().size(), 0u);
+}
+
+}  // namespace
+}  // namespace pwss

@@ -1,0 +1,211 @@
+// Cross-module integration tests: the full stack (scheduler + buffer +
+// sort + segments + maps) exercised together, plus differential runs of
+// all three maps against each other on identical workloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/async_map.hpp"
+#include "core/m0_map.hpp"
+#include "core/m1_map.hpp"
+#include "core/m2_map.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace pwss {
+namespace {
+
+using core::Op;
+using core::OpType;
+using core::Result;
+using IntOp = Op<std::uint64_t, std::uint64_t>;
+
+std::vector<IntOp> random_batch(util::Xoshiro256& rng, std::size_t size,
+                                std::uint64_t universe, std::uint64_t round) {
+  std::vector<IntOp> batch;
+  batch.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint64_t key = rng.bounded(universe);
+    switch (rng.bounded(4)) {
+      case 0:
+      case 1: batch.push_back(IntOp::insert(key, round * 100000 + i)); break;
+      case 2: batch.push_back(IntOp::erase(key)); break;
+      default: batch.push_back(IntOp::search(key));
+    }
+  }
+  return batch;
+}
+
+void expect_same(const std::vector<Result<std::uint64_t>>& a,
+                 const std::vector<Result<std::uint64_t>>& b, int round,
+                 const char* who) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].success, b[i].success) << who << " round " << round << " op " << i;
+    ASSERT_EQ(a[i].value, b[i].value) << who << " round " << round << " op " << i;
+  }
+}
+
+// M0, M1 and M2 agree batch-for-batch on identical inputs.
+TEST(Integration, ThreeMapsAgreeOnBatches) {
+  sched::Scheduler scheduler(4);
+  core::M0Map<std::uint64_t, std::uint64_t> m0;
+  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
+  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+
+  util::Xoshiro256 rng(2024);
+  for (int round = 0; round < 30; ++round) {
+    const auto batch = random_batch(rng, 1 + rng.bounded(256), 300,
+                                    static_cast<std::uint64_t>(round));
+    const auto r0 = m0.execute_batch(batch);
+    const auto r1 = m1.execute_batch(batch);
+    const auto r2 = m2.execute_batch(batch);
+    expect_same(r0, r1, round, "m0-vs-m1");
+    expect_same(r0, r2, round, "m0-vs-m2");
+    m2.quiesce();
+    ASSERT_EQ(m0.size(), m1.size()) << round;
+    ASSERT_EQ(m0.size(), m2.size()) << round;
+  }
+  EXPECT_TRUE(m0.check_invariants());
+  EXPECT_TRUE(m1.check_invariants());
+  EXPECT_TRUE(m2.check_invariants());
+}
+
+// Zipf-heavy workload with all op kinds: invariants hold throughout.
+TEST(Integration, ZipfWorkloadSoundness) {
+  sched::Scheduler scheduler(4);
+  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
+  const auto keys = util::zipf_keys(1 << 12, 1.1, 30000, 3);
+  const auto ops = util::apply_mix(keys, {.search = 0.6, .insert = 0.3, .erase = 0.1}, 4);
+
+  std::vector<IntOp> batch;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    switch (ops[i].kind) {
+      case util::OpKind::kSearch: batch.push_back(IntOp::search(ops[i].key)); break;
+      case util::OpKind::kInsert: batch.push_back(IntOp::insert(ops[i].key, ops[i].value)); break;
+      case util::OpKind::kErase: batch.push_back(IntOp::erase(ops[i].key)); break;
+    }
+    if (batch.size() == 2048 || i + 1 == ops.size()) {
+      m1.execute_batch(batch);
+      batch.clear();
+      ASSERT_TRUE(m1.check_invariants());
+    }
+  }
+}
+
+// Hot items end up shallower than cold items in every map.
+TEST(Integration, WorkingSetPropertyAcrossMaps) {
+  sched::Scheduler scheduler(4);
+  core::M0Map<std::uint64_t, int> m0;
+  core::M1Map<std::uint64_t, int> m1(&scheduler);
+
+  std::vector<Op<std::uint64_t, int>> warm;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    m0.insert(i, 1);
+    warm.push_back(Op<std::uint64_t, int>::insert(i, 1));
+  }
+  m1.execute_batch(warm);
+
+  // Drive a hot set (late-inserted, hence initially deep) through both.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Op<std::uint64_t, int>> hot;
+    for (std::uint64_t k = 4990; k < 4998; ++k) {
+      m0.search(k);
+      hot.push_back(Op<std::uint64_t, int>::search(k));
+    }
+    m1.execute_batch(hot);
+  }
+  for (std::uint64_t k = 4990; k < 4998; ++k) {
+    EXPECT_LE(*m0.segment_of(k), 2u) << "m0 key " << k;
+    EXPECT_LE(*m1.segment_of(k), 2u) << "m1 key " << k;
+  }
+  // An untouched late-inserted key sits deeper than every hot key.
+  EXPECT_GT(*m0.segment_of(4000), 2u);
+  EXPECT_GT(*m1.segment_of(4000), 2u);
+}
+
+// Concurrent clients on AsyncMap<M1> and M2 with per-thread key spaces:
+// both maps end up with identical contents.
+TEST(Integration, AsyncM1AndM2ConvergeUnderConcurrency) {
+  sched::Scheduler scheduler(4);
+  core::AsyncMap<std::uint64_t, std::uint64_t,
+                 core::M1Map<std::uint64_t, std::uint64_t>>
+      am1(core::M1Map<std::uint64_t, std::uint64_t>(&scheduler), scheduler);
+  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+
+  constexpr int kThreads = 4, kOpsPer = 800;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 131 + 7);
+      for (int i = 0; i < kOpsPer; ++i) {
+        // Per-thread key space so both maps see the same per-key op order.
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(t) * 1000000 + rng.bounded(200);
+        switch (rng.bounded(3)) {
+          case 0: {
+            const std::uint64_t val = rng.bounded(1 << 20);
+            am1.insert(key, val);
+            m2.insert(key, val);
+            break;
+          }
+          case 1:
+            am1.erase(key);
+            m2.erase(key);
+            break;
+          default: {
+            am1.search(key);
+            m2.search(key);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  am1.quiesce();
+  m2.quiesce();
+  ASSERT_EQ(am1.map().size(), m2.size());
+  // Contents identical: every key in m1 is in m2 with the same value.
+  bool same = true;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000000 + k;
+      auto v1 = am1.map().search(key);
+      auto v2 = m2.search(key);
+      if (v1 != v2) same = false;
+    }
+  }
+  m2.quiesce();
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(am1.map().check_invariants());
+  EXPECT_TRUE(m2.check_invariants());
+}
+
+// Sustained growth and shrink cycles across segment-count transitions.
+TEST(Integration, GrowShrinkCycles) {
+  sched::Scheduler scheduler(2);
+  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
+  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler, 2);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::vector<IntOp> ins, del;
+    const std::uint64_t n = 1000 + static_cast<std::uint64_t>(cycle) * 700;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ins.push_back(IntOp::insert(i, i + static_cast<std::uint64_t>(cycle)));
+      if (i % 2 == 0) del.push_back(IntOp::erase(i));
+    }
+    m1.execute_batch(ins);
+    m2.execute_batch(ins);
+    m1.execute_batch(del);
+    m2.execute_batch(del);
+    m2.quiesce();
+    ASSERT_EQ(m1.size(), m2.size()) << "cycle " << cycle;
+    ASSERT_TRUE(m1.check_invariants()) << "cycle " << cycle;
+    ASSERT_TRUE(m2.check_invariants()) << "cycle " << cycle;
+  }
+}
+
+}  // namespace
+}  // namespace pwss

@@ -1,0 +1,163 @@
+// Protocol-level tests for the M2 locking machinery: dedicated locks with
+// many keys under scheduler load, CPS lock chains (the front-lock pattern),
+// and ordered-acquisition deadlock freedom.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sync/async_gate.hpp"
+#include "sync/dedicated_lock.hpp"
+
+namespace pwss {
+namespace {
+
+using sync::DedicatedLock;
+
+// Many keys, many concurrent acquirers through the scheduler: mutual
+// exclusion and completion.
+TEST(DedicatedLockProtocol, ManyKeysUnderSchedulerLoad) {
+  sched::Scheduler s(4);
+  constexpr std::size_t kKeys = 8;
+  constexpr int kRounds = 400;
+  DedicatedLock lock(kKeys);
+  std::atomic<int> in_critical{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> completed{0};
+  const auto sink = s.resume_sink(sched::Priority::kLow);
+
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    s.spawn([&, key] {
+      // Each key's chain re-acquires kRounds times, sequentially.
+      auto step = std::make_shared<std::function<void(int)>>();
+      *step = [&, key, step](int remaining) {
+        if (remaining == 0) return;
+        lock.acquire(
+            key,
+            [&, key, step, remaining] {
+              if (in_critical.fetch_add(1) != 0) violation = true;
+              in_critical.fetch_sub(1);
+              completed.fetch_add(1);
+              lock.release(sink);
+              // Continue the chain outside the lock.
+              s.spawn([step, remaining] { (*step)(remaining - 1); });
+            },
+            sink);
+      };
+      (*step)(kRounds);
+    });
+  }
+  for (int i = 0; i < 20000000 && completed.load() < kRounds * static_cast<int>(kKeys); ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(completed.load(), kRounds * static_cast<int>(kKeys));
+  EXPECT_FALSE(violation.load());
+  EXPECT_FALSE(lock.held());
+}
+
+// The M2 front-lock pattern: a chain FL[2] -> FL[1] -> FL[0] acquired in
+// descending order by multiple "stages" concurrently must make progress
+// and serialize the critical section.
+TEST(DedicatedLockProtocol, DescendingChainSerializesWithoutDeadlock) {
+  sched::Scheduler s(4);
+  std::vector<std::unique_ptr<DedicatedLock>> fl;
+  fl.push_back(std::make_unique<DedicatedLock>(3));  // FL[0]
+  fl.push_back(std::make_unique<DedicatedLock>(2));  // FL[1]
+  fl.push_back(std::make_unique<DedicatedLock>(2));  // FL[2]
+  const auto sink = s.resume_sink(sched::Priority::kHigh);
+
+  std::atomic<int> in_front{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> completed{0};
+  constexpr int kRunsPerStage = 200;
+
+  // stage j acquires FL[j] (key 0), then FL[j-1..0] (key 1), runs, releases.
+  auto run_stage = [&](std::size_t j) {
+    auto acquire_down = std::make_shared<std::function<void(std::size_t)>>();
+    *acquire_down = [&, j, acquire_down](std::size_t i) {
+      fl[i]->acquire(
+          i == j ? 0u : 1u,
+          [&, j, i, acquire_down] {
+            if (i == 0) {
+              if (in_front.fetch_add(1) != 0) violation = true;
+              in_front.fetch_sub(1);
+              for (std::size_t r = 0; r <= j; ++r) fl[r]->release(sink);
+              completed.fetch_add(1);
+            } else {
+              (*acquire_down)(i - 1);
+            }
+          },
+          sink);
+    };
+    (*acquire_down)(j);
+  };
+
+  for (int round = 0; round < kRunsPerStage; ++round) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      s.spawn([&, j] { run_stage(j); });
+      // Interface-like acquirer of FL[0] only (key 2).
+      if (j == 0) {
+        s.spawn([&] {
+          fl[0]->acquire(
+              2,
+              [&] {
+                if (in_front.fetch_add(1) != 0) violation = true;
+                in_front.fetch_sub(1);
+                fl[0]->release(sink);
+                completed.fetch_add(1);
+              },
+              sink);
+        });
+      }
+    }
+    // Throttle spawning so distinct-key discipline holds per lock: wait for
+    // this round's acquirers to finish before launching the next round.
+    const int target = (round + 1) * 4;
+    for (int i = 0; i < 20000000 && completed.load() < target; ++i) {
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(completed.load(), target) << "deadlock or lost continuation";
+  }
+  EXPECT_FALSE(violation.load());
+}
+
+// AsyncGate + scheduler: the ownership protocol never runs the guarded
+// body concurrently and never strands a pending request.
+TEST(AsyncGateProtocol, SpawnedOwnersNeverOverlapAndDrain) {
+  sched::Scheduler s(4);
+  sync::AsyncGate gate;
+  std::atomic<int> running{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> processed{0};
+  std::atomic<int> requested{0};
+
+  std::function<void()> tick = [&] {
+    for (;;) {
+      if (running.fetch_add(1) != 0) violation = true;
+      processed.fetch_add(1);
+      running.fetch_sub(1);
+      if (!gate.finish()) return;
+    }
+  };
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        requested.fetch_add(1);
+        if (gate.begin()) s.spawn(tick);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  while (gate.active()) std::this_thread::yield();
+  EXPECT_FALSE(violation.load());
+  // Every request is covered by a run that started no earlier than it.
+  EXPECT_GE(processed.load(), 1);
+  EXPECT_LE(processed.load(), requested.load());
+}
+
+}  // namespace
+}  // namespace pwss

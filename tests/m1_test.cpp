@@ -1,0 +1,264 @@
+// Tests for M1, the batched parallel working-set map (Section 6):
+// correctness against a sequential reference, duplicate combining,
+// capacity invariants, and parallel/sequential equivalence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/m1_map.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace pwss {
+namespace {
+
+using core::M1Map;
+using core::Op;
+using core::OpType;
+using core::Result;
+using IntOp = Op<int, int>;
+
+// Applies ops in submission order to a std::map and returns the reference
+// results. Valid oracle for M1: per-key order is preserved and ops on
+// distinct keys commute, so any batch linearization matches this per-op.
+std::vector<Result<int>> reference_results(std::map<int, int>& ref,
+                                           const std::vector<IntOp>& ops) {
+  std::vector<Result<int>> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) {
+    Result<int> r;
+    auto it = ref.find(op.key);
+    switch (op.type) {
+      case OpType::kSearch:
+        r.success = it != ref.end();
+        if (r.success) r.value = it->second;
+        break;
+      case OpType::kInsert:
+        r.success = it == ref.end();
+        ref[op.key] = op.value;
+        break;
+      case OpType::kErase:
+        r.success = it != ref.end();
+        if (r.success) {
+          r.value = it->second;
+          ref.erase(it);
+        }
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void expect_equal_results(const std::vector<Result<int>>& got,
+                          const std::vector<Result<int>>& want,
+                          const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].success, want[i].success) << what << " op " << i;
+    ASSERT_EQ(got[i].value, want[i].value) << what << " op " << i;
+  }
+}
+
+TEST(M1, EmptyBatch) {
+  M1Map<int, int> m;
+  EXPECT_TRUE(m.execute_batch(std::vector<IntOp>{}).empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(M1, SingleInsertAndSearch) {
+  M1Map<int, int> m;
+  auto r = m.execute_batch({IntOp::insert(1, 10), IntOp::search(1)});
+  EXPECT_TRUE(r[0].success);
+  EXPECT_TRUE(r[1].success);
+  EXPECT_EQ(r[1].value, 10);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(M1, SearchMissingFails) {
+  M1Map<int, int> m;
+  auto r = m.execute_batch({IntOp::search(42)});
+  EXPECT_FALSE(r[0].success);
+  EXPECT_FALSE(r[0].value.has_value());
+}
+
+TEST(M1, DuplicateOpsInBatchRespectProgramOrder) {
+  M1Map<int, int> m;
+  // search(miss), insert, search(hit), erase, search(miss), insert again
+  auto r = m.execute_batch({IntOp::search(5), IntOp::insert(5, 50),
+                            IntOp::search(5), IntOp::erase(5),
+                            IntOp::search(5), IntOp::insert(5, 55)});
+  EXPECT_FALSE(r[0].success);
+  EXPECT_TRUE(r[1].success);
+  EXPECT_EQ(r[2].value, 50);
+  EXPECT_EQ(r[3].value, 50);
+  EXPECT_FALSE(r[4].success);
+  EXPECT_TRUE(r[5].success);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.search(5), 55);
+}
+
+TEST(M1, InsertOnExistingIsUpdate) {
+  M1Map<int, int> m;
+  m.execute_batch({IntOp::insert(7, 70)});
+  auto r = m.execute_batch({IntOp::insert(7, 71)});
+  EXPECT_FALSE(r[0].success) << "update, not fresh insert";
+  EXPECT_EQ(m.search(7), 71);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(M1, NetDeletionRemovesItem) {
+  M1Map<int, int> m;
+  m.execute_batch({IntOp::insert(3, 30)});
+  auto r = m.execute_batch({IntOp::search(3), IntOp::erase(3)});
+  EXPECT_TRUE(r[0].success);
+  EXPECT_TRUE(r[1].success);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.search(3).has_value());
+}
+
+TEST(M1, LargeBatchBuildsSegments) {
+  M1Map<int, int> m;
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 1000; ++i) batch.push_back(IntOp::insert(i, i));
+  m.execute_batch(batch);
+  EXPECT_EQ(m.size(), 1000u);
+  EXPECT_GE(m.segment_count(), 4u);
+  EXPECT_TRUE(m.check_invariants());
+  for (int i = 0; i < 1000; i += 97) EXPECT_EQ(m.search(i), i);
+}
+
+TEST(M1, InvariantsAfterEveryBatch) {
+  util::Xoshiro256 rng(5);
+  M1Map<int, int> m;
+  std::map<int, int> ref;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = 1 + rng.bounded(200);
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(300));
+      switch (rng.bounded(3)) {
+        case 0: batch.push_back(IntOp::insert(key, static_cast<int>(rng.bounded(1000)))); break;
+        case 1: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    const auto got = m.execute_batch(batch);
+    const auto want = reference_results(ref, batch);
+    expect_equal_results(got, want, "round");
+    ASSERT_EQ(m.size(), ref.size()) << "round " << round;
+    ASSERT_TRUE(m.check_invariants()) << "round " << round;
+  }
+}
+
+TEST(M1, DifferentialManySmallBatches) {
+  util::Xoshiro256 rng(11);
+  M1Map<int, int> m;
+  std::map<int, int> ref;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = 1 + rng.bounded(4);
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(64));
+      switch (rng.bounded(3)) {
+        case 0: batch.push_back(IntOp::insert(key, round)); break;
+        case 1: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    expect_equal_results(m.execute_batch(batch), reference_results(ref, batch),
+                         "small-batch");
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M1, DuplicateHeavyBatchesCombine) {
+  // A batch of b ops on ONE key must behave like the sequential chain.
+  M1Map<int, int> m;
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 500; ++i) warm.push_back(IntOp::insert(i, i));
+  m.execute_batch(warm);
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 1000; ++i) batch.push_back(IntOp::search(250));
+  const auto r = m.execute_batch(batch);
+  for (const auto& res : r) {
+    ASSERT_TRUE(res.success);
+    ASSERT_EQ(res.value, 250);
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M1, AccessedItemPromotedTowardFront) {
+  M1Map<int, int> m;
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 500; ++i) warm.push_back(IntOp::insert(i, i));
+  m.execute_batch(warm);
+  // Repeatedly search one key; it must land in segment 0.
+  for (int round = 0; round < 8; ++round) {
+    m.execute_batch({IntOp::search(123)});
+  }
+  EXPECT_EQ(m.segment_of(123), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M1, EraseEverything) {
+  M1Map<int, int> m;
+  std::vector<IntOp> ins, del;
+  for (int i = 0; i < 300; ++i) {
+    ins.push_back(IntOp::insert(i, i));
+    del.push_back(IntOp::erase(i));
+  }
+  m.execute_batch(ins);
+  const auto r = m.execute_batch(del);
+  for (const auto& res : r) ASSERT_TRUE(res.success);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.segment_count(), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+// Parameterized: parallel execution must match sequential execution exactly.
+struct M1ParCase {
+  std::size_t batch;
+  std::size_t rounds;
+  std::uint64_t universe;
+};
+
+class M1ParallelTest : public ::testing::TestWithParam<M1ParCase> {};
+
+TEST_P(M1ParallelTest, ParallelMatchesSequentialAndReference) {
+  const auto [batch_size, rounds, universe] = GetParam();
+  sched::Scheduler scheduler(4);
+  M1Map<int, int> par(&scheduler);
+  M1Map<int, int> seq(nullptr);
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(batch_size * 31 + rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<IntOp> batch;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const int key = static_cast<int>(rng.bounded(universe));
+      switch (rng.bounded(4)) {
+        case 0:
+        case 1: batch.push_back(IntOp::insert(key, static_cast<int>(round * 1000 + i))); break;
+        case 2: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    const auto want = reference_results(ref, batch);
+    expect_equal_results(par.execute_batch(batch), want, "parallel");
+    expect_equal_results(seq.execute_batch(batch), want, "sequential");
+    ASSERT_EQ(par.size(), ref.size());
+    ASSERT_TRUE(par.check_invariants());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, M1ParallelTest,
+    ::testing::Values(M1ParCase{1, 200, 50}, M1ParCase{16, 60, 100},
+                      M1ParCase{256, 25, 400}, M1ParCase{1024, 10, 64},
+                      M1ParCase{4096, 6, 1 << 20},
+                      M1ParCase{4096, 6, 16}));  // heavy duplicates
+
+}  // namespace
+}  // namespace pwss

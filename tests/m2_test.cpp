@@ -1,0 +1,275 @@
+// Tests for M2, the pipelined parallel working-set map (Section 7):
+// functional correctness under the pipeline, filter combining, balance
+// invariants (Lemma 16, relaxed), and concurrent clients.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/m2_map.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace pwss {
+namespace {
+
+using core::M2Map;
+using core::Op;
+using core::OpType;
+using core::Result;
+using IntOp = Op<int, int>;
+
+std::vector<Result<int>> reference_results(std::map<int, int>& ref,
+                                           const std::vector<IntOp>& ops) {
+  std::vector<Result<int>> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) {
+    Result<int> r;
+    auto it = ref.find(op.key);
+    switch (op.type) {
+      case OpType::kSearch:
+        r.success = it != ref.end();
+        if (r.success) r.value = it->second;
+        break;
+      case OpType::kInsert:
+        r.success = it == ref.end();
+        ref[op.key] = op.value;
+        break;
+      case OpType::kErase:
+        r.success = it != ref.end();
+        if (r.success) {
+          r.value = it->second;
+          ref.erase(it);
+        }
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(M2, Construction) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_GE(m.first_slab_width(), 1u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, FirstSlabWidthMatchesFormula) {
+  sched::Scheduler scheduler(2);
+  // p=4: 2p^2=32, log2=5, log2(5)~2.32 -> ceil 3, +1 = 4.
+  M2Map<int, int> m(scheduler, 4);
+  EXPECT_EQ(m.first_slab_width(), 4u);
+  // p=1: 2p^2=2 -> log2=1 -> log2(1)=0 -> ceil 0 +1 = 1.
+  M2Map<int, int> m1(scheduler, 1);
+  EXPECT_EQ(m1.first_slab_width(), 1u);
+}
+
+TEST(M2, SingleOps) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));
+  EXPECT_EQ(m.search(1), 11);
+  EXPECT_EQ(m.search(2), std::nullopt);
+  EXPECT_EQ(m.erase(1), 11);
+  EXPECT_EQ(m.erase(1), std::nullopt);
+  m.quiesce();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, BatchWithDuplicateKeyChain) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  auto r = m.execute_batch({IntOp::search(5), IntOp::insert(5, 50),
+                            IntOp::search(5), IntOp::erase(5),
+                            IntOp::search(5), IntOp::insert(5, 55)});
+  EXPECT_FALSE(r[0].success);
+  EXPECT_TRUE(r[1].success);
+  EXPECT_EQ(r[2].value, 50);
+  EXPECT_EQ(r[3].value, 50);
+  EXPECT_FALSE(r[4].success);
+  EXPECT_TRUE(r[5].success);
+  m.quiesce();
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.search(5), 55);
+}
+
+TEST(M2, BulkInsertAndLookup) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 2000; ++i) batch.push_back(IntOp::insert(i, i * 3));
+  m.execute_batch(batch);
+  m.quiesce();
+  EXPECT_EQ(m.size(), 2000u);
+  EXPECT_TRUE(m.check_invariants());
+  for (int i = 0; i < 2000; i += 101) EXPECT_EQ(m.search(i), i * 3);
+}
+
+TEST(M2, DeleteEverything) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::vector<IntOp> ins, del;
+  for (int i = 0; i < 500; ++i) {
+    ins.push_back(IntOp::insert(i, i));
+    del.push_back(IntOp::erase(i));
+  }
+  m.execute_batch(ins);
+  auto r = m.execute_batch(del);
+  for (const auto& res : r) ASSERT_TRUE(res.success);
+  m.quiesce();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, DifferentialBatchesAgainstStdMap) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(77);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = 1 + rng.bounded(300);
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(400));
+      switch (rng.bounded(3)) {
+        case 0: batch.push_back(IntOp::insert(key, static_cast<int>(rng.bounded(1000)))); break;
+        case 1: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    const auto got = m.execute_batch(batch);
+    const auto want = reference_results(ref, batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].success, want[i].success) << "round " << round << " op " << i;
+      ASSERT_EQ(got[i].value, want[i].value) << "round " << round << " op " << i;
+    }
+    m.quiesce();
+    ASSERT_EQ(m.size(), ref.size()) << "round " << round;
+    ASSERT_TRUE(m.check_invariants()) << "round " << round;
+  }
+}
+
+TEST(M2, RepeatedAccessPromotesTowardFront) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 3000; ++i) warm.push_back(IntOp::insert(i, i));
+  m.execute_batch(warm);
+  m.quiesce();
+  for (int round = 0; round < 12; ++round) {
+    EXPECT_EQ(m.search(1234), 1234);
+  }
+  m.quiesce();
+  const auto seg = m.segment_of(1234);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_LE(*seg, m.first_slab_width())
+      << "hot item should live in or near the first slab";
+}
+
+TEST(M2, FilterDrainsAtQuiescence) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 5000; ++i) {
+    batch.push_back(IntOp::insert(i % 100, i));  // heavy same-key traffic
+  }
+  m.execute_batch(batch);
+  m.quiesce();
+  EXPECT_EQ(m.filter_occupancy(), 0u);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, ConcurrentClientsDisjointKeys) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        const int key = t * 100000 + i;
+        if (!m.insert(key, i)) ok = false;
+        auto v = m.search(key);
+        if (!v || *v != i) ok = false;
+        if (m.erase(key) != i) ok = false;
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_TRUE(ok.load());
+  m.quiesce();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, ConcurrentClientsSharedHotKeys) {
+  sched::Scheduler scheduler(4);
+  M2Map<std::uint64_t, std::uint64_t> m(scheduler);
+  constexpr int kThreads = 6, kOps = 2000;
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7 + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t key = rng.bounded(64);  // hot shared set
+        switch (rng.bounded(3)) {
+          case 0: m.insert(key, key * 10); break;
+          case 1: m.erase(key); break;
+          default: {
+            auto v = m.search(key);
+            if (v) {
+              EXPECT_EQ(*v, key * 10);
+              hits.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  m.quiesce();
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(m.size(), 64u);
+  EXPECT_TRUE(m.check_invariants());
+  EXPECT_EQ(m.filter_occupancy(), 0u);
+}
+
+TEST(M2, ManyRoundsStaysSound) {
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler, 2);  // tiny p: small bunches, deep pipeline use
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(5);
+  for (int round = 0; round < 150; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = 1 + rng.bounded(20);
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(128));
+      switch (rng.bounded(3)) {
+        case 0: batch.push_back(IntOp::insert(key, round)); break;
+        case 1: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    const auto got = m.execute_batch(batch);
+    const auto want = reference_results(ref, batch);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].success, want[i].success) << round << ":" << i;
+      ASSERT_EQ(got[i].value, want[i].value) << round << ":" << i;
+    }
+  }
+  m.quiesce();
+  EXPECT_EQ(m.size(), ref.size());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+}  // namespace
+}  // namespace pwss

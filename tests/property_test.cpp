@@ -1,0 +1,302 @@
+// Property-based sweeps (parameterized gtest): randomized differential and
+// invariant checks across seeds and structure parameters, complementing
+// the per-module unit tests with breadth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "baseline/splay_tree.hpp"
+#include "core/m0_map.hpp"
+#include "core/m1_map.hpp"
+#include "core/m2_map.hpp"
+#include "sort/esort.hpp"
+#include "sort/pesort.hpp"
+#include "tree/jtree.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace pwss {
+namespace {
+
+// ---------- JTree properties across seeds -----------------------------------
+
+class JTreeSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JTreeSeedTest, OrderStatisticsConsistentWithSortedContent) {
+  util::Xoshiro256 rng(GetParam());
+  tree::JTree<int, int> t;
+  std::set<int> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const int k = static_cast<int>(rng.bounded(10000));
+    if (rng.bounded(4) == 0) {
+      t.erase(k);
+      ref.erase(k);
+    } else {
+      t.insert(k, k);
+      ref.insert(k);
+    }
+  }
+  ASSERT_EQ(t.size(), ref.size());
+  // at(i) enumerates exactly the sorted reference; rank inverts at.
+  std::size_t i = 0;
+  for (const int k : ref) {
+    ASSERT_EQ(t.at(i).first, k) << "seed " << GetParam();
+    ASSERT_EQ(t.rank(k), i);
+    ++i;
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(JTreeSeedTest, ExtractPrefixSuffixPartitionContent) {
+  util::Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  tree::JTree<int, int> t;
+  std::set<int> keys;
+  while (keys.size() < 500) keys.insert(static_cast<int>(rng.bounded(100000)));
+  for (const int k : keys) t.insert(k, k);
+
+  const std::size_t cut = rng.bounded(500);
+  auto prefix = t.extract_prefix(cut);
+  ASSERT_EQ(prefix.size(), cut);
+  ASSERT_EQ(t.size(), 500 - cut);
+  // Prefix holds exactly the cut smallest keys, in order.
+  auto it = keys.begin();
+  for (std::size_t i = 0; i < cut; ++i, ++it) {
+    ASSERT_EQ(prefix[i].first, *it);
+  }
+  // Remainder still intact and balanced.
+  for (; it != keys.end(); ++it) ASSERT_NE(t.find(*it), nullptr);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JTreeSeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- PESort equals std::stable_sort across seeds/shapes --------------
+
+struct SortCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::uint64_t universe;
+};
+
+class SortEquivalenceTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortEquivalenceTest, PESortMatchesStableSort) {
+  const auto [seed, n, universe] = GetParam();
+  util::Xoshiro256 rng(seed);
+  std::vector<std::pair<std::uint64_t, std::size_t>> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.emplace_back(rng.bounded(universe), i);
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sort::pesort(v, [](const auto& p) { return p.first; });
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortEquivalenceTest, ESortMatchesStableSortOrder) {
+  const auto [seed, n, universe] = GetParam();
+  if (n > 20000) GTEST_SKIP() << "ESort is the slow reference sort";
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.bounded(universe);
+  const auto order = sort::esort(keys, [](std::uint64_t x) { return x; });
+  std::vector<std::size_t> expected(n);
+  std::iota(expected.begin(), expected.end(), 0);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  EXPECT_EQ(order, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortEquivalenceTest,
+    ::testing::Values(SortCase{1, 0, 10}, SortCase{2, 1, 10},
+                      SortCase{3, 1000, 3},        // tiny universe: huge dup runs
+                      SortCase{4, 1000, 1000000},  // near-distinct
+                      SortCase{5, 10000, 100}, SortCase{6, 10000, 1 << 20},
+                      SortCase{7, 100000, 1 << 10},
+                      SortCase{8, 100000, 1 << 30}));
+
+// ---------- M0 == splay tree == std::map semantics across seeds -------------
+
+class MapAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapAgreementTest, M0SplayStdMapAgree) {
+  util::Xoshiro256 rng(GetParam());
+  core::M0Map<int, int> m0;
+  baseline::SplayTree<int, int> splay;
+  std::map<int, int> ref;
+  for (int step = 0; step < 8000; ++step) {
+    const int key = static_cast<int>(rng.bounded(200));
+    switch (rng.bounded(3)) {
+      case 0: {
+        const int val = static_cast<int>(rng.bounded(1 << 20));
+        const bool fresh = ref.find(key) == ref.end();
+        ASSERT_EQ(m0.insert(key, val), fresh);
+        ASSERT_EQ(splay.insert(key, val), fresh);
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        auto it = ref.find(key);
+        const auto want = it == ref.end() ? std::optional<int>{}
+                                          : std::optional<int>{it->second};
+        ASSERT_EQ(m0.erase(key), want);
+        ASSERT_EQ(splay.erase(key), want);
+        if (it != ref.end()) ref.erase(it);
+        break;
+      }
+      default: {
+        auto it = ref.find(key);
+        const auto want = it == ref.end() ? std::optional<int>{}
+                                          : std::optional<int>{it->second};
+        ASSERT_EQ(m0.search(key), want);
+        ASSERT_EQ(splay.search(key), want);
+      }
+    }
+  }
+  EXPECT_TRUE(m0.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapAgreementTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------- M2 across p values -----------------------------------------------
+
+class M2ParamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(M2ParamTest, DifferentialAcrossBunchSizes) {
+  const unsigned p = GetParam();
+  sched::Scheduler scheduler(2);
+  core::M2Map<int, int> m2(scheduler, p);
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(p * 1000 + 1);
+  using IntOp = core::Op<int, int>;
+  for (int round = 0; round < 25; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = 1 + rng.bounded(150);
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(256));
+      switch (rng.bounded(3)) {
+        case 0: batch.push_back(IntOp::insert(key, round * 1000 + static_cast<int>(i))); break;
+        case 1: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    const auto got = m2.execute_batch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& op = batch[i];
+      auto it = ref.find(op.key);
+      switch (op.type) {
+        case core::OpType::kSearch:
+          ASSERT_EQ(got[i].success, it != ref.end()) << "p=" << p;
+          if (it != ref.end()) ASSERT_EQ(got[i].value, it->second);
+          break;
+        case core::OpType::kInsert:
+          ASSERT_EQ(got[i].success, it == ref.end()) << "p=" << p;
+          ref[op.key] = op.value;
+          break;
+        case core::OpType::kErase:
+          ASSERT_EQ(got[i].success, it != ref.end()) << "p=" << p;
+          if (it != ref.end()) {
+            ASSERT_EQ(got[i].value, it->second);
+            ref.erase(it);
+          }
+          break;
+      }
+    }
+  }
+  m2.quiesce();
+  EXPECT_EQ(m2.size(), ref.size());
+  EXPECT_TRUE(m2.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(PValues, M2ParamTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// ---------- M1 batch-size sweep: equivalence to single huge batch ------------
+
+class M1BatchSplitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(M1BatchSplitTest, SplittingBatchesPreservesFinalState) {
+  const std::size_t chunk = GetParam();
+  sched::Scheduler scheduler(2);
+  core::M1Map<int, int> split_map(&scheduler);
+  core::M1Map<int, int> whole_map(&scheduler);
+  using IntOp = core::Op<int, int>;
+
+  util::Xoshiro256 rng(chunk * 7 + 3);
+  std::vector<IntOp> ops;
+  for (int i = 0; i < 3000; ++i) {
+    const int key = static_cast<int>(rng.bounded(300));
+    switch (rng.bounded(3)) {
+      case 0: ops.push_back(IntOp::insert(key, i)); break;
+      case 1: ops.push_back(IntOp::erase(key)); break;
+      default: ops.push_back(IntOp::search(key));
+    }
+  }
+  whole_map.execute_batch(ops);
+  for (std::size_t off = 0; off < ops.size(); off += chunk) {
+    const std::size_t hi = std::min(ops.size(), off + chunk);
+    split_map.execute_batch(
+        std::vector<IntOp>(ops.begin() + static_cast<std::ptrdiff_t>(off),
+                           ops.begin() + static_cast<std::ptrdiff_t>(hi)));
+  }
+  ASSERT_EQ(split_map.size(), whole_map.size());
+  // Same final contents.
+  for (int k = 0; k < 300; ++k) {
+    ASSERT_EQ(split_map.search(k), whole_map.search(k)) << "key " << k;
+  }
+  EXPECT_TRUE(split_map.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, M1BatchSplitTest,
+                         ::testing::Values(1, 7, 64, 500, 3000));
+
+// ---------- Zipf workloads keep every map sound -----------------------------
+
+class ZipfSoundnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSoundnessTest, M1AndM2SurviveSkewedMixes) {
+  const double theta = GetParam();
+  sched::Scheduler scheduler(2);
+  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
+  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+  using IntOp = core::Op<std::uint64_t, std::uint64_t>;
+
+  const auto keys = util::zipf_keys(1 << 10, theta, 8000, 9);
+  const auto mixed =
+      util::apply_mix(keys, {.search = 0.5, .insert = 0.35, .erase = 0.15}, 10);
+  std::vector<IntOp> batch;
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    switch (mixed[i].kind) {
+      case util::OpKind::kSearch: batch.push_back(IntOp::search(mixed[i].key)); break;
+      case util::OpKind::kInsert: batch.push_back(IntOp::insert(mixed[i].key, mixed[i].value)); break;
+      case util::OpKind::kErase: batch.push_back(IntOp::erase(mixed[i].key)); break;
+    }
+    if (batch.size() == 1024 || i + 1 == mixed.size()) {
+      const auto r1 = m1.execute_batch(batch);
+      const auto r2 = m2.execute_batch(batch);
+      ASSERT_EQ(r1.size(), r2.size());
+      for (std::size_t j = 0; j < r1.size(); ++j) {
+        ASSERT_EQ(r1[j].success, r2[j].success) << "theta " << theta;
+        ASSERT_EQ(r1[j].value, r2[j].value);
+      }
+      batch.clear();
+    }
+  }
+  m2.quiesce();
+  EXPECT_EQ(m1.size(), m2.size());
+  EXPECT_TRUE(m1.check_invariants());
+  EXPECT_TRUE(m2.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSoundnessTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2));
+
+}  // namespace
+}  // namespace pwss

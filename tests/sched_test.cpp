@@ -1,0 +1,261 @@
+// Tests for the work-stealing / weak-priority scheduler (src/sched).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task.hpp"
+#include "sync/dedicated_lock.hpp"
+
+namespace pwss {
+namespace {
+
+TEST(ChaseLev, LifoForOwner) {
+  sched::ChaseLevDeque dq;
+  auto fn = [] {};
+  sched::ForkTask a(fn), b(fn), c(fn);
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.pop(), &c);
+  EXPECT_EQ(dq.pop(), &b);
+  EXPECT_EQ(dq.pop(), &a);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(ChaseLev, FifoForThief) {
+  sched::ChaseLevDeque dq;
+  auto fn = [] {};
+  sched::ForkTask a(fn), b(fn);
+  dq.push(&a);
+  dq.push(&b);
+  EXPECT_EQ(dq.steal(), &a);
+  EXPECT_EQ(dq.steal(), &b);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowsPastInitialCapacity) {
+  sched::ChaseLevDeque dq(2);
+  auto fn = [] {};
+  std::vector<std::unique_ptr<sched::ForkTask>> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.push_back(std::make_unique<sched::ForkTask>(fn));
+    dq.push(tasks.back().get());
+  }
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(dq.pop(), tasks[i].get());
+}
+
+TEST(ChaseLev, ConcurrentStealsSeeEachTaskOnce) {
+  sched::ChaseLevDeque dq;
+  constexpr int kTasks = 20000;
+  auto fn = [] {};
+  std::vector<std::unique_ptr<sched::ForkTask>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(std::make_unique<sched::ForkTask>(fn));
+  }
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done_producing{false};
+
+  std::thread owner([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      dq.push(tasks[i].get());
+      produced.fetch_add(1);
+      if (i % 3 == 0) {
+        if (dq.pop() != nullptr) consumed.fetch_add(1);
+      }
+    }
+    done_producing = true;
+    while (dq.pop() != nullptr) consumed.fetch_add(1);
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 4; ++t) {
+    thieves.emplace_back([&] {
+      while (!done_producing.load() || !dq.empty()) {
+        if (dq.steal() != nullptr) consumed.fetch_add(1);
+      }
+    });
+  }
+  owner.join();
+  for (auto& th : thieves) th.join();
+  // Drain any leftovers the racing threads missed.
+  while (dq.steal() != nullptr) consumed.fetch_add(1);
+  EXPECT_EQ(consumed.load(), kTasks);
+}
+
+TEST(Scheduler, RunSyncExecutesOnPool) {
+  sched::Scheduler s(4);
+  std::atomic<bool> ran{false};
+  std::atomic<bool> was_worker{false};
+  s.run_sync([&] {
+    ran = true;
+    was_worker = s.on_worker();
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(was_worker);
+  EXPECT_FALSE(s.on_worker());
+}
+
+TEST(Scheduler, SpawnEventuallyRuns) {
+  sched::Scheduler s(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    s.spawn([&] { count.fetch_add(1); });
+  }
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, ParallelInvokeRunsBothBranches) {
+  sched::Scheduler s(4);
+  std::atomic<int> total{0};
+  s.run_sync([&] {
+    auto f = [&] { total.fetch_add(1); };
+    auto g = [&] { total.fetch_add(2); };
+    s.parallel_invoke(sched::FnView(f), sched::FnView(g));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(Scheduler, ParallelInvokeOffPoolDegradesToSequential) {
+  sched::Scheduler s(2);
+  int total = 0;
+  auto f = [&] { total += 1; };
+  auto g = [&] { total += 2; };
+  s.parallel_invoke(sched::FnView(f), sched::FnView(g));  // not on a worker
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Scheduler, NestedForkJoinComputesFibonacci) {
+  sched::Scheduler s(8);
+  // Recursive fork/join exercises stealing + helping under real nesting.
+  std::function<long(long)> fib = [&](long n) -> long {
+    if (n < 2) return n;
+    long a = 0, b = 0;
+    auto left = [&] { a = fib(n - 1); };
+    auto right = [&] { b = fib(n - 2); };
+    s.parallel_invoke(sched::FnView(left), sched::FnView(right));
+    return a + b;
+  };
+  long result = 0;
+  s.run_sync([&] { result = fib(20); });
+  EXPECT_EQ(result, 6765);
+}
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  sched::Scheduler s(8);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  s.parallel_for(0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ParallelForEmptyAndTinyRanges) {
+  sched::Scheduler s(2);
+  int calls = 0;
+  s.parallel_for(5, 5, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  s.parallel_for(0, 3, 8, [&](std::size_t lo, std::size_t hi) {
+    sum.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(Scheduler, ParallelForActuallyUsesMultipleWorkers) {
+  sched::Scheduler s(4);
+  std::atomic<std::uint64_t> worker_mask{0};
+  s.parallel_for(0, 20000, 1, [&](std::size_t, std::size_t) {
+    worker_mask.fetch_or(1ULL << (std::hash<std::thread::id>{}(
+                                      std::this_thread::get_id()) %
+                                  64));
+    // Spin long enough that sleeping workers wake and steal.
+    for (int i = 0; i < 2000; ++i) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+  });
+  EXPECT_GT(std::popcount(worker_mask.load()), 1);
+}
+
+TEST(Scheduler, HighPriorityTasksRunUnderLoad) {
+  sched::Scheduler s(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> low_running{0};
+  // Saturate with low-priority spinners.
+  for (int i = 0; i < 16; ++i) {
+    s.spawn(
+        [&] {
+          low_running.fetch_add(1);
+          while (!stop.load()) std::this_thread::yield();
+        },
+        sched::Priority::kLow);
+  }
+  while (low_running.load() < 2) std::this_thread::yield();
+  std::atomic<bool> high_ran{false};
+  s.spawn([&] { high_ran = true; }, sched::Priority::kHigh);
+  // A high-preferring worker must pick it up even with low spam pending.
+  for (int i = 0; i < 10000 && !high_ran.load(); ++i) {
+    std::this_thread::yield();
+  }
+  stop = true;
+  while (low_running.load() < 16) std::this_thread::yield();
+  EXPECT_TRUE(high_ran.load());
+}
+
+TEST(Scheduler, ResumeSinkIntegratesWithDedicatedLock) {
+  sched::Scheduler s(4);
+  sync::DedicatedLock lock(2);
+  std::atomic<int> completed{0};
+  const auto sink = s.resume_sink(sched::Priority::kLow);
+  s.run_sync([&] {
+    auto hold_then_release = [&](std::size_t key) {
+      lock.acquire(
+          key,
+          [&, key] {
+            (void)key;
+            completed.fetch_add(1);
+            lock.release(sink);
+          },
+          sink);
+    };
+    auto a = [&] { hold_then_release(0); };
+    auto b = [&] { hold_then_release(1); };
+    s.parallel_invoke(sched::FnView(a), sched::FnView(b));
+  });
+  // Both continuations complete (possibly via parked resume on the pool).
+  for (int i = 0; i < 100000 && completed.load() < 2; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(Scheduler, ManySchedulersConstructDestruct) {
+  for (int i = 0; i < 10; ++i) {
+    sched::Scheduler s(3);
+    std::atomic<int> n{0};
+    s.parallel_for(0, 1000, 16, [&](std::size_t lo, std::size_t hi) {
+      n.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(n.load(), 1000);
+  }
+}
+
+TEST(Scheduler, WorkerCountDefaultsPositive) {
+  sched::Scheduler s;
+  EXPECT_GE(s.worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pwss

@@ -1,0 +1,207 @@
+// Tests for the sorting substrate (prefix sums, three-way partition,
+// PPivot, PESort, ESort).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sort/esort.hpp"
+#include "sort/parallel_primitives.hpp"
+#include "sort/pesort.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace pwss {
+namespace {
+
+TEST(PrefixSum, SequentialSmall) {
+  std::vector<std::uint64_t> v = {1, 2, 3, 4};
+  EXPECT_EQ(sort::exclusive_prefix_sum(v), 10u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 1, 3, 6}));
+}
+
+TEST(PrefixSum, Empty) {
+  std::vector<std::uint64_t> v;
+  EXPECT_EQ(sort::exclusive_prefix_sum(v), 0u);
+}
+
+TEST(PrefixSum, ParallelMatchesSequential) {
+  sched::Scheduler s(4);
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> a(100000);
+  for (auto& x : a) x = rng.bounded(1000);
+  auto b = a;
+  const auto ta = sort::exclusive_prefix_sum(a, nullptr);
+  const auto tb = sort::exclusive_prefix_sum(b, &s, 1024);
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreeWayPartition, BasicStable) {
+  // values: pairs (class-relevant key, original index) to verify stability
+  std::vector<std::pair<int, int>> in = {{5, 0}, {1, 1}, {3, 2}, {5, 3},
+                                         {0, 4}, {3, 5}, {9, 6}};
+  std::vector<std::uint8_t> cls;
+  for (const auto& [k, idx] : in) cls.push_back(k < 3 ? 0 : (k == 3 ? 1 : 2));
+  std::vector<std::pair<int, int>> out(in.size());
+  const auto [eq, above] = sort::three_way_partition(
+      std::span<const std::pair<int, int>>(in),
+      std::span<const std::uint8_t>(cls), std::span<std::pair<int, int>>(out));
+  EXPECT_EQ(eq, 2u);
+  EXPECT_EQ(above, 4u);
+  // Stability: below-class keeps order (1,1) then (0,4); equal keeps (3,2),(3,5).
+  EXPECT_EQ(out[0], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(out[1], (std::pair<int, int>{0, 4}));
+  EXPECT_EQ(out[2], (std::pair<int, int>{3, 2}));
+  EXPECT_EQ(out[3], (std::pair<int, int>{3, 5}));
+  EXPECT_EQ(out[4], (std::pair<int, int>{5, 0}));
+  EXPECT_EQ(out[5], (std::pair<int, int>{5, 3}));
+  EXPECT_EQ(out[6], (std::pair<int, int>{9, 6}));
+}
+
+TEST(ThreeWayPartition, ParallelMatchesSequential) {
+  sched::Scheduler s(4);
+  util::Xoshiro256 rng(17);
+  std::vector<int> in(50000);
+  std::vector<std::uint8_t> cls(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<int>(rng.bounded(1000));
+    cls[i] = static_cast<std::uint8_t>(in[i] < 300 ? 0 : (in[i] < 600 ? 1 : 2));
+  }
+  std::vector<int> out_seq(in.size()), out_par(in.size());
+  const auto seq = sort::three_way_partition(
+      std::span<const int>(in), std::span<const std::uint8_t>(cls),
+      std::span<int>(out_seq));
+  const auto par = sort::three_way_partition(
+      std::span<const int>(in), std::span<const std::uint8_t>(cls),
+      std::span<int>(out_par), &s, 512);
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(out_seq, out_par);
+}
+
+TEST(PPivot, AlwaysInMiddleQuartiles) {
+  util::Xoshiro256 rng(23);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> v(200 + rng.bounded(2000));
+    for (auto& x : v) x = static_cast<int>(rng.bounded(100000));
+    const int pivot =
+        sort::detail::ppivot(std::span<const int>(v), [](int x) { return x; },
+                             nullptr);
+    std::size_t below = 0, above = 0;
+    for (int x : v) {
+      below += x < pivot;
+      above += pivot < x;
+    }
+    EXPECT_LE(below, 3 * v.size() / 4);
+    EXPECT_LE(above, 3 * v.size() / 4);
+  }
+}
+
+struct PESortCase {
+  std::size_t n;
+  double theta;
+  bool random_pivot;
+  bool parallel;
+};
+
+class PESortTest : public ::testing::TestWithParam<PESortCase> {};
+
+TEST_P(PESortTest, SortsAndIsStable) {
+  const auto [n, theta, random_pivot, parallel] = GetParam();
+  const auto keys = util::zipf_keys(1 << 16, theta, n, 42);
+  // Tag each element with its input position to verify stability.
+  std::vector<std::pair<std::uint64_t, std::size_t>> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < keys.size(); ++i) v.emplace_back(keys[i], i);
+
+  sched::Scheduler scheduler(4);
+  sort::PESortOptions opts;
+  opts.random_pivot = random_pivot;
+  sort::pesort(
+      v, [](const auto& p) { return p.first; },
+      parallel ? &scheduler : nullptr, opts);
+
+  ASSERT_EQ(v.size(), n);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].first, v[i].first) << "not sorted at " << i;
+    if (v[i - 1].first == v[i].first) {
+      ASSERT_LT(v[i - 1].second, v[i].second) << "not stable at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PESortTest,
+    ::testing::Values(PESortCase{0, 0.0, false, false},
+                      PESortCase{1, 0.0, false, false},
+                      PESortCase{2, 0.0, false, false},
+                      PESortCase{100, 0.0, false, false},
+                      PESortCase{10000, 0.0, false, false},
+                      PESortCase{10000, 0.99, false, false},
+                      PESortCase{10000, 1.2, false, false},
+                      PESortCase{10000, 0.99, true, false},
+                      PESortCase{100000, 0.0, false, true},
+                      PESortCase{100000, 0.99, false, true},
+                      PESortCase{100000, 1.2, true, true}));
+
+TEST(PESort, AllEqualKeys) {
+  std::vector<std::pair<int, int>> v;
+  for (int i = 0; i < 1000; ++i) v.emplace_back(7, i);
+  sort::pesort(v, [](const auto& p) { return p.first; });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)].second, i);
+}
+
+TEST(PESort, AlreadySorted) {
+  std::vector<int> v(5000);
+  std::iota(v.begin(), v.end(), 0);
+  sort::pesort(v, [](int x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(PESort, ReverseSorted) {
+  std::vector<int> v(5000);
+  std::iota(v.begin(), v.end(), 0);
+  std::reverse(v.begin(), v.end());
+  sort::pesort(v, [](int x) { return x; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ESort, SortsWithStableDuplicates) {
+  const std::vector<std::uint64_t> input = {5, 3, 5, 1, 3, 5, 1};
+  const auto order = sort::esort(input, [](std::uint64_t x) { return x; });
+  ASSERT_EQ(order.size(), input.size());
+  // Expect keys 1,1,3,3,5,5,5 with positions in input order per key.
+  const std::vector<std::size_t> expected = {3, 6, 1, 4, 0, 2, 5};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ESort, EmptyInput) {
+  const std::vector<std::uint64_t> input;
+  EXPECT_TRUE(sort::esort(input, [](std::uint64_t x) { return x; }).empty());
+}
+
+TEST(ESort, MatchesStableSortOnRandomInputs) {
+  for (const double theta : {0.0, 0.99, 1.3}) {
+    const auto input = util::zipf_keys(1 << 10, theta, 5000, 11);
+    const auto order = sort::esort(input, [](std::uint64_t x) { return x; });
+    // Build the reference stable order.
+    std::vector<std::size_t> expected(input.size());
+    std::iota(expected.begin(), expected.end(), 0);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return input[a] < input[b];
+                     });
+    EXPECT_EQ(order, expected) << "theta=" << theta;
+  }
+}
+
+TEST(ESort, SingleDistinctKeyLinear) {
+  const std::vector<std::uint64_t> input(20000, 9);
+  const auto order = sort::esort(input, [](std::uint64_t x) { return x; });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace pwss

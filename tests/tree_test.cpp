@@ -1,0 +1,314 @@
+// Tests for the join-based balanced tree (src/tree/jtree.hpp), including
+// randomized differential tests against std::map and parameterized batch
+// sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "tree/jtree.hpp"
+#include "util/rng.hpp"
+
+namespace pwss {
+namespace {
+
+using IntTree = tree::JTree<int, int>;
+
+std::vector<std::pair<int, int>> sorted_pairs(std::vector<int> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::pair<int, int>> out;
+  out.reserve(keys.size());
+  for (int k : keys) out.emplace_back(k, k * 10);
+  return out;
+}
+
+TEST(JTree, EmptyTree) {
+  IntTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_FALSE(t.erase(1).has_value());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, InsertFindErase) {
+  IntTree t;
+  EXPECT_TRUE(t.insert(5, 50));
+  EXPECT_TRUE(t.insert(3, 30));
+  EXPECT_TRUE(t.insert(8, 80));
+  EXPECT_FALSE(t.insert(5, 55));  // overwrite
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.find(5), nullptr);
+  EXPECT_EQ(*t.find(5), 55);
+  EXPECT_EQ(t.find(4), nullptr);
+  auto removed = t.erase(3);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 30);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, SequentialInsertStaysBalanced) {
+  IntTree t;
+  for (int i = 0; i < 4096; ++i) t.insert(i, i);
+  EXPECT_EQ(t.size(), 4096u);
+  EXPECT_TRUE(t.check_invariants());
+  for (int i = 0; i < 4096; ++i) ASSERT_NE(t.find(i), nullptr);
+}
+
+TEST(JTree, ReverseInsertStaysBalanced) {
+  IntTree t;
+  for (int i = 4096; i-- > 0;) t.insert(i, i);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, OrderStatistics) {
+  IntTree t;
+  for (int i = 0; i < 100; ++i) t.insert(i * 2, i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.at(static_cast<std::size_t>(i)).first, i * 2);
+  }
+  EXPECT_EQ(t.rank(0), 0u);
+  EXPECT_EQ(t.rank(50), 25u);   // 25 even keys below 50
+  EXPECT_EQ(t.rank(51), 26u);   // absent key: count of smaller keys
+  EXPECT_EQ(t.rank(1000), 100u);
+}
+
+TEST(JTree, MoveSemantics) {
+  IntTree a;
+  a.insert(1, 10);
+  a.insert(2, 20);
+  IntTree b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  IntTree c;
+  c.insert(9, 90);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  ASSERT_NE(c.find(1), nullptr);
+}
+
+TEST(JTree, FromSortedBuildsBalanced) {
+  std::vector<std::pair<int, int>> items;
+  for (int i = 0; i < 10000; ++i) items.emplace_back(i, i);
+  auto t = IntTree::from_sorted(items);
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, MultiInsertIntoEmpty) {
+  IntTree t;
+  const auto items = sorted_pairs({5, 1, 9, 3, 7});
+  t.multi_insert(items);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(*t.find(9), 90);
+}
+
+TEST(JTree, MultiInsertMergesAndOverwrites) {
+  IntTree t;
+  for (int i = 0; i < 100; i += 2) t.insert(i, -1);
+  std::vector<std::pair<int, int>> items;
+  for (int i = 0; i < 100; i += 4) items.emplace_back(i, i);  // overwrite half
+  for (int i = 1; i < 100; i += 4) items.emplace_back(i, i);  // new odd keys
+  std::sort(items.begin(), items.end());
+  t.multi_insert(items);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(*t.find(0), 0);
+  EXPECT_EQ(*t.find(2), -1);
+  EXPECT_EQ(*t.find(1), 1);
+}
+
+TEST(JTree, MultiExtractRemovesAndReports) {
+  IntTree t;
+  for (int i = 0; i < 50; ++i) t.insert(i, i * 3);
+  std::vector<int> keys = {3, 7, 49, 50, 51};  // last two absent
+  std::vector<std::optional<int>> out;
+  t.multi_extract(keys, out);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[1], 21);
+  EXPECT_EQ(out[2], 147);
+  EXPECT_FALSE(out[3].has_value());
+  EXPECT_FALSE(out[4].has_value());
+  EXPECT_EQ(t.size(), 47u);
+  EXPECT_EQ(t.find(3), nullptr);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, MultiFindDoesNotMutate) {
+  IntTree t;
+  for (int i = 0; i < 32; ++i) t.insert(i, i);
+  std::vector<int> keys = {0, 16, 31, 99};
+  std::vector<const int*> out;
+  t.multi_find(keys, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(*out[0], 0);
+  EXPECT_EQ(*out[1], 16);
+  EXPECT_EQ(*out[2], 31);
+  EXPECT_EQ(out[3], nullptr);
+  EXPECT_EQ(t.size(), 32u);
+}
+
+TEST(JTree, ExtractPrefixSuffix) {
+  IntTree t;
+  for (int i = 0; i < 20; ++i) t.insert(i, i);
+  auto prefix = t.extract_prefix(5);
+  ASSERT_EQ(prefix.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(prefix[static_cast<size_t>(i)].first, i);
+  auto suffix = t.extract_suffix(3);
+  ASSERT_EQ(suffix.size(), 3u);
+  EXPECT_EQ(suffix[0].first, 17);
+  EXPECT_EQ(suffix[2].first, 19);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(JTree, ExtractPrefixMoreThanSize) {
+  IntTree t;
+  t.insert(1, 1);
+  auto all = t.extract_prefix(100);
+  EXPECT_EQ(all.size(), 1u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(JTree, ToVectorInKeyOrder) {
+  IntTree t;
+  for (int i : {5, 2, 9, 1, 7}) t.insert(i, i);
+  const auto v = t.to_vector();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(JTree, StringKeys) {
+  tree::JTree<std::string, int> t;
+  t.insert("banana", 2);
+  t.insert("apple", 1);
+  t.insert("cherry", 3);
+  EXPECT_EQ(*t.find("apple"), 1);
+  EXPECT_EQ(t.at(0).first, "apple");
+  EXPECT_EQ(t.at(2).first, "cherry");
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// Randomized differential test against std::map.
+TEST(JTree, RandomizedDifferentialAgainstStdMap) {
+  util::Xoshiro256 rng(1234);
+  IntTree t;
+  std::map<int, int> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const int key = static_cast<int>(rng.bounded(500));
+    switch (rng.bounded(3)) {
+      case 0: {
+        const int val = static_cast<int>(rng.bounded(1000));
+        const bool fresh = t.insert(key, val);
+        EXPECT_EQ(fresh, ref.find(key) == ref.end());
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        auto removed = t.erase(key);
+        auto it = ref.find(key);
+        EXPECT_EQ(removed.has_value(), it != ref.end());
+        if (it != ref.end()) {
+          EXPECT_EQ(*removed, it->second);
+          ref.erase(it);
+        }
+        break;
+      }
+      default: {
+        const int* v = t.find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v) EXPECT_EQ(*v, it->second);
+        break;
+      }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// Randomized batch-op differential test.
+TEST(JTree, RandomizedBatchDifferential) {
+  util::Xoshiro256 rng(99);
+  IntTree t;
+  std::map<int, int> ref;
+  for (int round = 0; round < 200; ++round) {
+    // Random sorted unique batch.
+    std::set<int> key_set;
+    const std::size_t b = 1 + rng.bounded(64);
+    while (key_set.size() < b) key_set.insert(static_cast<int>(rng.bounded(400)));
+    if (rng.bounded(2) == 0) {
+      std::vector<std::pair<int, int>> items;
+      for (int k : key_set) items.emplace_back(k, round);
+      t.multi_insert(items);
+      for (int k : key_set) ref[k] = round;
+    } else {
+      std::vector<int> keys(key_set.begin(), key_set.end());
+      std::vector<std::optional<int>> out;
+      t.multi_extract(keys, out);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = ref.find(keys[i]);
+        ASSERT_EQ(out[i].has_value(), it != ref.end());
+        if (it != ref.end()) {
+          EXPECT_EQ(*out[i], it->second);
+          ref.erase(it);
+        }
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+    ASSERT_TRUE(t.check_invariants());
+  }
+  // Final content identical.
+  const auto v = t.to_vector();
+  std::vector<std::pair<int, int>> rv(ref.begin(), ref.end());
+  EXPECT_EQ(v, rv);
+}
+
+// Parallel batch ops give identical results to sequential ones.
+class JTreeParallelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JTreeParallelTest, ParallelMatchesSequential) {
+  const std::size_t batch_size = GetParam();
+  sched::Scheduler scheduler(4);
+  const tree::ParCtx ctx{&scheduler, 32};
+
+  util::Xoshiro256 rng(batch_size);
+  std::set<int> key_set;
+  while (key_set.size() < batch_size) {
+    key_set.insert(static_cast<int>(rng.bounded(1 << 20)));
+  }
+  std::vector<std::pair<int, int>> items;
+  for (int k : key_set) items.emplace_back(k, k ^ 0x55);
+
+  IntTree seq, par;
+  for (int i = 0; i < 1000; ++i) {
+    seq.insert(static_cast<int>(i * 7919 % (1 << 20)), i);
+    par.insert(static_cast<int>(i * 7919 % (1 << 20)), i);
+  }
+  seq.multi_insert(items);
+  par.multi_insert(items, ctx);
+  EXPECT_EQ(seq.to_vector(), par.to_vector());
+  EXPECT_TRUE(par.check_invariants());
+
+  std::vector<int> keys;
+  for (std::size_t i = 0; i < items.size(); i += 2) keys.push_back(items[i].first);
+  std::vector<std::optional<int>> out_seq, out_par;
+  seq.multi_extract(keys, out_seq);
+  par.multi_extract(keys, out_par, ctx);
+  EXPECT_EQ(out_seq, out_par);
+  EXPECT_EQ(seq.to_vector(), par.to_vector());
+  EXPECT_TRUE(par.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, JTreeParallelTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace pwss
