@@ -6,24 +6,46 @@
 // Shape to hold: ESort time decreases monotonically with H; at low H it
 // beats stable_sort's relative slowdown; at H ~ log u both are comparable
 // (ESort pays its constant factors).
+//
+// Panel E2c drives the same key streams as search batches through the
+// selected map backends (default: m1, whose batch pass entropy-sorts with
+// the parallel cousin of this very algorithm) — batch time should track H
+// the same way (Theorem 12's W_L term falls with skew).
+//
+//   ./bench_e2_esort_entropy [--backend=NAME[,NAME...]]
 
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "driver/cli.hpp"
 #include "sort/esort.hpp"
 #include "util/workload.hpp"
 
-int main() {
-  constexpr std::size_t kN = 1u << 18;
+namespace {
+
+constexpr std::size_t kN = 1u << 18;
+constexpr std::uint64_t kUniverse = 1u << 16;
+constexpr std::size_t kChunk = 8192;
+
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1"});
+  const std::vector<double> thetas = {0.0, 0.5, 0.9, 0.99, 1.2, 1.5};
+
   pwss::bench::print_header(
       "E2: ESort vs stable_sort, n=2^18 (zipf theta sweep)",
       {"theta", "H bits", "esort ms", "stable ms", "ratio"});
 
-  for (const double theta : {0.0, 0.5, 0.9, 0.99, 1.2, 1.5}) {
-    const auto keys = pwss::util::zipf_keys(1u << 16, theta, kN, 42);
+  for (const double theta : thetas) {
+    const auto keys = pwss::util::zipf_keys(kUniverse, theta, kN, 42);
     const double h = pwss::util::empirical_entropy_bits(keys);
 
     pwss::bench::WallTimer te;
@@ -71,5 +93,30 @@ int main() {
     pwss::bench::end_row();
     (void)order;
   }
+
+  {
+    std::vector<std::string> cols = {"theta", "H bits"};
+    for (const auto& b : cli.backends) cols.push_back(b + " batch ms");
+    pwss::bench::print_header(
+        "E2c: same streams as search batches (batch=8192, prepopulated)",
+        cols);
+    for (const double theta : thetas) {
+      const auto keys = pwss::util::zipf_keys(kUniverse, theta, kN, 42);
+      pwss::bench::print_cell(theta);
+      pwss::bench::print_cell(pwss::util::empirical_entropy_bits(keys));
+      for (const auto& name : cli.backends) {
+        auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+            name, cli.driver);
+        pwss::bench::prepopulate(*map, kUniverse);
+        pwss::bench::print_cell(
+            pwss::bench::chunked_search_ms(*map, keys, kChunk));
+      }
+      pwss::bench::end_row();
+    }
+  }
+
+  std::printf(
+      "\nShape: esort ms falls with H while stable ms is ~flat (ratio < 1 at "
+      "low H); E2c backend columns fall with H the same way.\n");
   return 0;
 }

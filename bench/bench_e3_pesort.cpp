@@ -3,16 +3,30 @@
 // speeds up with workers. Also ablates the deterministic PPivot against the
 // randomized quartile pivot (the Remark after Lemma 34) — shapes should
 // match.
+//
+// Panel E3b pushes the same streams through the selected map backends'
+// bulk path (default: m1, whose batch pass begins with exactly this sort)
+// so the sort-level entropy adaptivity can be read against the full
+// structure pass.
+//
+//   ./bench_e3_pesort [--backend=NAME[,NAME...]] [--workers=N]
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "driver/cli.hpp"
 #include "sched/scheduler.hpp"
 #include "sort/pesort.hpp"
 #include "util/workload.hpp"
 
 namespace {
+
+constexpr std::size_t kN = 1u << 21;
+constexpr std::uint64_t kUniverse = 1u << 18;
+
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
 
 double run_ms(std::vector<std::uint64_t> data, pwss::sched::Scheduler* s,
               bool random_pivot) {
@@ -26,14 +40,17 @@ double run_ms(std::vector<std::uint64_t> data, pwss::sched::Scheduler* s,
 
 }  // namespace
 
-int main() {
-  constexpr std::size_t kN = 1u << 21;
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1"});
+  const std::vector<double> thetas = {0.0, 0.99, 1.3};
+
   pwss::bench::print_header(
       "E3: PESort ms, n=2^21 (rows: theta; cols: workers)",
       {"theta", "H bits", "seq", "p=2", "p=4", "p=8", "rand-pivot p=4"});
 
-  for (const double theta : {0.0, 0.99, 1.3}) {
-    const auto keys = pwss::util::zipf_keys(1u << 18, theta, kN, 21);
+  for (const double theta : thetas) {
+    const auto keys = pwss::util::zipf_keys(kUniverse, theta, kN, 21);
     const double h = pwss::util::empirical_entropy_bits(keys);
     pwss::bench::print_cell(theta);
     pwss::bench::print_cell(h);
@@ -48,6 +65,26 @@ int main() {
     }
     pwss::bench::end_row();
   }
+
+  {
+    std::vector<std::string> cols = {"theta"};
+    for (const auto& b : cli.backends) cols.push_back(b + " batch ms");
+    pwss::bench::print_header(
+        "E3b: same streams as one bulk search pass per 8192-op batch", cols);
+    for (const double theta : thetas) {
+      const auto keys = pwss::util::zipf_keys(kUniverse, theta, kN, 21);
+      pwss::bench::print_cell(theta);
+      for (const auto& name : cli.backends) {
+        auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+            name, cli.driver);
+        pwss::bench::prepopulate(*map, kUniverse);
+        pwss::bench::print_cell(
+            pwss::bench::chunked_search_ms(*map, keys, 8192));
+      }
+      pwss::bench::end_row();
+    }
+  }
+
   std::printf(
       "\nShape: each row's times shrink with p (span O(log^2 n) << work); "
       "rows with lower H are absolutely faster (entropy bound).\n");

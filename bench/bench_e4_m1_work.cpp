@@ -4,28 +4,35 @@
 // per duplicate — whereas executing the same operations without combining
 // (one singleton batch each) pays Θ(log n) every time.
 //
-// Ablation: "no-combine" = the same M1 structure fed singleton batches.
-// Shape: combined ns/op falls sharply as the duplicate fraction grows;
-// no-combine stays flat.
+// Ablation, per selected backend (default: m1): "combined" = the batch
+// through the bulk run() path; "no-combine" = the same ops as singleton
+// run() calls. Shape: m1's combined ns/op falls sharply as the duplicate
+// fraction grows; no-combine stays flat; non-combining backends (the
+// batched baselines) show no gap.
+//
+//   ./bench_e4_m1_work [--backend=NAME[,NAME...]]
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/m1_map.hpp"
+#include "driver/cli.hpp"
 #include "util/workload.hpp"
 
 namespace {
 
-using Map = pwss::core::M1Map<std::uint64_t, std::uint64_t>;
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
 using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
 
-Map build_map(std::size_t n) {
-  Map m;
-  std::vector<IntOp> warm;
-  warm.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) warm.push_back(IntOp::insert(i, i));
-  m.execute_batch(warm);
+constexpr std::size_t kMapSize = 1u << 18;
+constexpr std::size_t kBatch = 4096;
+constexpr int kReps = 40;
+
+std::unique_ptr<IntDriver> build_map(const std::string& name,
+                                     const pwss::driver::Options& opts) {
+  auto m = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+  pwss::bench::prepopulate(*m, kMapSize);
   return m;
 }
 
@@ -41,46 +48,49 @@ std::vector<IntOp> make_batch(std::size_t size, double dup_fraction,
 
 }  // namespace
 
-int main() {
-  constexpr std::size_t kMapSize = 1u << 18;
-  constexpr std::size_t kBatch = 4096;
-  constexpr int kReps = 40;
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1"});
 
   pwss::bench::print_header(
-      "E4: M1 ns/op vs duplicate fraction (batch=4096, n=2^18)",
-      {"dup frac", "combined", "no-combine", "speedup"});
+      "E4: ns/op vs duplicate fraction (batch=4096, n=2^18)",
+      {"backend", "dup frac", "combined", "no-combine", "speedup"});
 
-  for (const double dup : {0.0, 0.5, 0.9, 0.99, 1.0}) {
-    Map combined = build_map(kMapSize);
-    Map naive = build_map(kMapSize);
+  for (const auto& name : cli.backends) {
+    for (const double dup : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      auto combined = build_map(name, cli.driver);
+      auto naive = build_map(name, cli.driver);
 
-    double combined_ns = 0, naive_ns = 0;
-    for (int rep = 0; rep < kReps; ++rep) {
-      const auto batch =
-          make_batch(kBatch, dup, kMapSize, static_cast<std::uint64_t>(rep));
-      {
-        pwss::bench::WallTimer t;
-        combined.execute_batch(batch);
-        combined_ns += t.ns();
-      }
-      {
-        pwss::bench::WallTimer t;
-        for (const auto& op : batch) {
-          naive.execute_batch(std::vector<IntOp>{op});
+      double combined_ns = 0, naive_ns = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto batch =
+            make_batch(kBatch, dup, kMapSize, static_cast<std::uint64_t>(rep));
+        {
+          pwss::bench::WallTimer t;
+          combined->run(batch);
+          combined_ns += t.ns();
         }
-        naive_ns += t.ns();
+        {
+          pwss::bench::WallTimer t;
+          for (const auto& op : batch) {
+            naive->run(std::vector<IntOp>{op});
+          }
+          naive_ns += t.ns();
+        }
       }
+      const double per_combined = combined_ns / (kReps * kBatch);
+      const double per_naive = naive_ns / (kReps * kBatch);
+      pwss::bench::print_cell(name);
+      pwss::bench::print_cell(dup);
+      pwss::bench::print_cell(per_combined);
+      pwss::bench::print_cell(per_naive);
+      pwss::bench::print_cell(per_naive / per_combined);
+      pwss::bench::end_row();
     }
-    const double per_combined = combined_ns / (kReps * kBatch);
-    const double per_naive = naive_ns / (kReps * kBatch);
-    pwss::bench::print_cell(dup);
-    pwss::bench::print_cell(per_combined);
-    pwss::bench::print_cell(per_naive);
-    pwss::bench::print_cell(per_naive / per_combined);
-    pwss::bench::end_row();
   }
   std::printf(
-      "\nShape: combined ns/op drops as duplicates grow (group-operations); "
-      "no-combine stays roughly flat at Theta(log n) per op.\n");
+      "\nShape: m1's combined ns/op drops as duplicates grow "
+      "(group-operations); no-combine stays roughly flat at Theta(log n) "
+      "per op.\n");
   return 0;
 }

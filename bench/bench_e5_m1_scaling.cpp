@@ -1,23 +1,27 @@
-// E5 (Theorem 3): throughput of the implicitly-batched M1 scales with
-// worker count and adapts to temporal locality, and it beats a coarse-
-// locked balanced tree under concurrent skewed access.
+// E5 (Theorem 3): throughput of an implicitly-batched working-set map
+// scales with client count and adapts to temporal locality, and it beats a
+// coarse-locked balanced tree under concurrent skewed access.
 //
-// Method: T client threads issue blocking ops through AsyncMap<M1> for a
-// fixed wall time; report Mops/s. Baseline: LockedMap (mutex around AVL).
-// Shape: M1 throughput grows with clients (batching amortizes), locked map
-// saturates; the gap widens under skew (theta=0.99) because hot items sit
-// in tiny front segments.
+// Method: T client threads issue blocking ops through each selected
+// backend's driver (default: m1 vs locked) for a fixed wall time; report
+// Mops/s. Every backend exposes the same thread-safe blocking API, so the
+// panel is one loop over registry names.
+// Shape: m1 throughput grows with clients (batching amortizes), the locked
+// map saturates; the gap widens under skew (theta=0.99) because hot items
+// sit in tiny front segments.
+//
+//   ./bench_e5_m1_scaling [--backend=NAME[,NAME...]] [--workers=N]
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "baseline/locked_map.hpp"
 #include "bench_util.hpp"
-#include "core/async_map.hpp"
-#include "core/m1_map.hpp"
-#include "util/workload.hpp"
+#include "driver/cli.hpp"
+#include "util/rng.hpp"
 #include "util/zipf.hpp"
 
 namespace {
@@ -25,8 +29,10 @@ namespace {
 constexpr std::size_t kUniverse = 1u << 16;
 constexpr double kRunSeconds = 0.5;
 
-template <typename SearchInsert>
-double mops(unsigned clients, double theta, SearchInsert&& op_fn) {
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+
+double mops(IntDriver& map, unsigned clients, double theta) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total{0};
   std::vector<std::thread> threads;
@@ -38,9 +44,9 @@ double mops(unsigned clients, double theta, SearchInsert&& op_fn) {
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t key = zipf(rng);
         if (rng.bounded(10) == 0) {
-          op_fn(key, true);
+          map.insert(key, key);
         } else {
-          op_fn(key, false);
+          map.search(key);
         }
         ++n;
       }
@@ -55,50 +61,35 @@ double mops(unsigned clients, double theta, SearchInsert&& op_fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1", "locked"});
+  // Pin the worker pool so the client-scaling column is readable.
+  if (cli.driver.workers == 0) cli.driver.workers = 4;
+
+  std::vector<std::string> cols = {"theta", "clients"};
+  for (const auto& b : cli.backends) cols.push_back(b);
   pwss::bench::print_header(
-      "E5: throughput Mops/s, 90% search 10% insert (universe 2^16)",
-      {"theta", "clients", "M1 async", "locked AVL"});
+      "E5: throughput Mops/s, 90% search 10% insert (universe 2^16)", cols);
 
   for (const double theta : {0.0, 0.99}) {
     for (const unsigned clients : {1u, 2u, 4u, 8u}) {
-      double m1_mops, locked_mops;
-      {
-        pwss::sched::Scheduler scheduler(4);
-        pwss::core::AsyncMap<std::uint64_t, std::uint64_t,
-                             pwss::core::M1Map<std::uint64_t, std::uint64_t>>
-            amap(pwss::core::M1Map<std::uint64_t, std::uint64_t>(&scheduler),
-                 scheduler);
-        // Pre-populate half the universe.
-        for (std::uint64_t i = 0; i < kUniverse; i += 2) amap.insert(i, i);
-        m1_mops = mops(clients, theta, [&](std::uint64_t k, bool ins) {
-          if (ins) {
-            amap.insert(k, k);
-          } else {
-            amap.search(k);
-          }
-        });
-      }
-      {
-        pwss::baseline::LockedMap<std::uint64_t, std::uint64_t> locked;
-        for (std::uint64_t i = 0; i < kUniverse; i += 2) locked.insert(i, i);
-        locked_mops = mops(clients, theta, [&](std::uint64_t k, bool ins) {
-          if (ins) {
-            locked.insert(k, k);
-          } else {
-            locked.search(k);
-          }
-        });
-      }
       pwss::bench::print_cell(theta);
       pwss::bench::print_cell(std::to_string(clients));
-      pwss::bench::print_cell(m1_mops);
-      pwss::bench::print_cell(locked_mops);
+      for (const auto& name : cli.backends) {
+        auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+            name, cli.driver);
+        // Pre-populate half the universe.
+        pwss::bench::prepopulate(*map, kUniverse, 2,
+                                 [](std::uint64_t i) { return i; });
+        pwss::bench::print_cell(mops(*map, clients, theta));
+      }
       pwss::bench::end_row();
     }
   }
   std::printf(
-      "\nShape: M1 column grows with clients (implicit batching amortizes "
-      "structure passes); locked column flattens/declines under contention.\n");
+      "\nShape: batched columns grow with clients (implicit batching "
+      "amortizes structure passes); the locked column flattens/declines "
+      "under contention.\n");
   return 0;
 }

@@ -6,9 +6,12 @@
 // blocked by the previous batch", Section 3).
 //
 // Method: one thread issues hot searches (tiny working set) while a second
-// thread issues cold searches (uniform over 2^20 items). We record the hot
-// thread's per-op latency distribution for AsyncMap<M1> vs M2.
-// Shape: M2's hot-op p95/p99 is less inflated by cold traffic than M1's.
+// thread issues cold searches (uniform over 2^20 items); both go through
+// the selected backends' blocking driver API (default: m1 vs m2). We
+// record the hot thread's per-op latency distribution.
+// Shape: m2's hot-op p95/p99 is less inflated by cold traffic than m1's.
+//
+//   ./bench_e6_m2_pipeline [--backend=NAME[,NAME...]] [--workers=N]
 
 #include <atomic>
 #include <cstdio>
@@ -16,11 +19,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/async_map.hpp"
-#include "core/m1_map.hpp"
-#include "core/m2_map.hpp"
+#include "driver/cli.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
-#include "util/workload.hpp"
 
 namespace {
 
@@ -28,13 +29,15 @@ constexpr std::size_t kMapSize = 1u << 20;
 constexpr std::size_t kHotSet = 16;
 constexpr std::size_t kHotOps = 20000;
 
-template <typename SearchFn>
-pwss::util::Summary hot_latency_with_cold_traffic(SearchFn&& do_search) {
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+
+pwss::util::Summary hot_latency_with_cold_traffic(IntDriver& map) {
   std::atomic<bool> stop{false};
   std::thread cold([&] {
     pwss::util::Xoshiro256 rng(99);
     while (!stop.load(std::memory_order_relaxed)) {
-      do_search(rng.bounded(kMapSize));
+      map.search(rng.bounded(kMapSize));
     }
   });
   std::vector<double> lat;
@@ -43,7 +46,7 @@ pwss::util::Summary hot_latency_with_cold_traffic(SearchFn&& do_search) {
   for (std::size_t i = 0; i < kHotOps; ++i) {
     const std::uint64_t key = rng.bounded(kHotSet);
     pwss::bench::WallTimer t;
-    do_search(key);
+    map.search(key);
     lat.push_back(t.ns() / 1e3);  // us
   }
   stop = true;
@@ -51,58 +54,34 @@ pwss::util::Summary hot_latency_with_cold_traffic(SearchFn&& do_search) {
   return pwss::util::summarize(std::move(lat));
 }
 
-void print_summary(const char* name, const pwss::util::Summary& s) {
-  pwss::bench::print_cell(std::string(name));
-  pwss::bench::print_cell(s.p50);
-  pwss::bench::print_cell(s.p95);
-  pwss::bench::print_cell(s.p99);
-  pwss::bench::print_cell(s.max);
-  pwss::bench::end_row();
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1", "m2"});
+  if (cli.driver.workers == 0) cli.driver.workers = 4;
+
   pwss::bench::print_header(
       "E6: hot-op latency (us) under concurrent cold traffic, n=2^20",
-      {"map", "p50", "p95", "p99", "max"});
+      {"backend", "p50", "p95", "p99", "max"});
 
-  {
-    pwss::sched::Scheduler scheduler(4);
-    pwss::core::AsyncMap<std::uint64_t, std::uint64_t,
-                         pwss::core::M1Map<std::uint64_t, std::uint64_t>>
-        m1(pwss::core::M1Map<std::uint64_t, std::uint64_t>(&scheduler),
-           scheduler);
-    {
-      // Bulk load: submit everything, then wait once (implicit batching).
-      std::vector<pwss::core::OpTicket<std::uint64_t>> tickets(kMapSize);
-      for (std::uint64_t i = 0; i < kMapSize; ++i) {
-        m1.submit(pwss::core::Op<std::uint64_t, std::uint64_t>::insert(i, i),
-                  &tickets[i]);
-      }
-      for (auto& t : tickets) t.wait();
-    }
-    const auto s = hot_latency_with_cold_traffic(
-        [&](std::uint64_t k) { m1.search(k); });
-    print_summary("M1 (batched)", s);
-  }
-  {
-    pwss::sched::Scheduler scheduler(4);
-    pwss::core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
-    std::vector<pwss::core::Op<std::uint64_t, std::uint64_t>> warm;
-    for (std::uint64_t i = 0; i < kMapSize; ++i) {
-      warm.push_back(
-          pwss::core::Op<std::uint64_t, std::uint64_t>::insert(i, i));
-    }
-    m2.execute_batch(warm);
-    m2.quiesce();
-    const auto s = hot_latency_with_cold_traffic(
-        [&](std::uint64_t k) { m2.search(k); });
-    print_summary("M2 (pipelined)", s);
+  for (const auto& name : cli.backends) {
+    auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, cli.driver);
+    pwss::bench::prepopulate(*map, kMapSize);
+    map->quiesce();
+
+    const auto s = hot_latency_with_cold_traffic(*map);
+    pwss::bench::print_cell(name);
+    pwss::bench::print_cell(s.p50);
+    pwss::bench::print_cell(s.p95);
+    pwss::bench::print_cell(s.p99);
+    pwss::bench::print_cell(s.max);
+    pwss::bench::end_row();
   }
 
   std::printf(
-      "\nShape: M2's hot-op tail (p95/p99) inflates less than M1's when cold "
+      "\nShape: m2's hot-op tail (p95/p99) inflates less than m1's when cold "
       "ops share the structure — the pipelined span term is log r, not "
       "log n.\n");
   return 0;

@@ -2,21 +2,21 @@
 // working-set structures win against non-adjusting comparators as access
 // skew grows, and pay only modest constant factors under uniform access.
 //
-// Sequential panel: M0 vs Iacono vs splay vs AVL, single thread, search-only
-// on a pre-populated map, Zipf theta sweep.
-// Batched panel: M1 (4 workers) vs the same AVL driven in equal-size
-// batches, same workloads — shows the batch machinery's overhead/benefit.
+// Per-op panel: sequential search-only throughput on a pre-populated map,
+// Zipf theta sweep, via the driver's step() path (default backends:
+// m0/iacono/splay/avl/m1 — m1 pays its batch machinery per op here).
+// Batched panel: the same workloads in 4096-op bulk run() batches — shows
+// the batch machinery's overhead/benefit per backend.
+//
+//   ./bench_e8_baselines [--backend=NAME[,NAME...]] [--workers=N]
 
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "baseline/avl_map.hpp"
-#include "baseline/iacono_map.hpp"
-#include "baseline/splay_tree.hpp"
 #include "bench_util.hpp"
-#include "core/m0_map.hpp"
-#include "core/m1_map.hpp"
-#include "sched/scheduler.hpp"
+#include "driver/cli.hpp"
 #include "util/workload.hpp"
 
 namespace {
@@ -24,10 +24,20 @@ namespace {
 constexpr std::size_t kN = 1u << 17;
 constexpr std::size_t kOps = 400000;
 
-volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+
+std::uint64_t g_sink = 0;  // defeats dead-code elimination
 
 std::vector<std::uint64_t> workload(double theta) {
   return pwss::util::zipf_keys(kN, theta, kOps, 33);
+}
+
+std::unique_ptr<IntDriver> populated(const std::string& name,
+                                     const pwss::driver::Options& opts) {
+  auto m = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+  pwss::bench::prepopulate(*m, kN);
+  return m;
 }
 
 template <typename F>
@@ -39,87 +49,58 @@ double mops(F&& run) {
 
 }  // namespace
 
-int main() {
-  pwss::bench::print_header(
-      "E8: search throughput Mops/s vs skew (n=2^17, sequential panel)",
-      {"theta", "M0", "Iacono", "Splay", "AVL", "W_L/op bits"});
+int main(int argc, char** argv) {
+  auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m0", "iacono", "splay", "avl", "m1"});
+  if (cli.driver.workers == 0) cli.driver.workers = 4;
 
+  std::vector<std::string> cols = {"theta"};
+  for (const auto& b : cli.backends) cols.push_back(b);
+  cols.push_back("W_L/op bits");
+
+  pwss::bench::print_header(
+      "E8: per-op search throughput Mops/s vs skew (n=2^17, step path)",
+      cols);
   for (const double theta : {0.0, 0.5, 0.9, 0.99, 1.2}) {
     const auto keys = workload(theta);
     const double wl_per_op =
         pwss::util::working_set_bound(keys) / static_cast<double>(keys.size());
 
-    pwss::core::M0Map<std::uint64_t, std::uint64_t> m0;
-    pwss::baseline::IaconoMap<std::uint64_t, std::uint64_t> iac;
-    pwss::baseline::SplayTree<std::uint64_t, std::uint64_t> splay;
-    pwss::baseline::AvlMap<std::uint64_t, std::uint64_t> avl;
-    for (std::uint64_t i = 0; i < kN; ++i) {
-      m0.insert(i, i);
-      iac.insert(i, i);
-      splay.insert(i, i);
-      avl.insert(i, i);
-    }
-
     pwss::bench::print_cell(theta);
-    pwss::bench::print_cell(mops([&] {
-      for (const auto k : keys) m0.search(k);
-    }));
-    pwss::bench::print_cell(mops([&] {
-      for (const auto k : keys) iac.search(k);
-    }));
-    pwss::bench::print_cell(mops([&] {
-      for (const auto k : keys) splay.search(k);
-    }));
-    pwss::bench::print_cell(mops([&] {
-      std::uint64_t acc = 0;
-      for (const auto k : keys) acc += avl.search(k).value_or(0);
-      g_sink += acc;
-    }));
+    for (const auto& name : cli.backends) {
+      auto map = populated(name, cli.driver);
+      pwss::bench::print_cell(mops([&] {
+        std::uint64_t acc = 0;
+        for (const auto k : keys) {
+          acc += map->step(IntOp::search(k)).value.value_or(0);
+        }
+        g_sink += acc;
+      }));
+    }
     pwss::bench::print_cell(wl_per_op);
     pwss::bench::end_row();
   }
 
   pwss::bench::print_header(
-      "E8b: batched panel, batch=4096 (M1 with 4 workers vs AVL loop)",
-      {"theta", "M1 Mops/s", "AVL Mops/s"});
+      "E8b: batched panel, 4096-op bulk run() batches", cols);
   for (const double theta : {0.0, 0.99, 1.2}) {
     const auto keys = workload(theta);
-    using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
-
-    pwss::sched::Scheduler scheduler(4);
-    pwss::core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
-    pwss::baseline::AvlMap<std::uint64_t, std::uint64_t> avl;
-    {
-      std::vector<IntOp> warm;
-      for (std::uint64_t i = 0; i < kN; ++i) warm.push_back(IntOp::insert(i, i));
-      m1.execute_batch(warm);
-      for (std::uint64_t i = 0; i < kN; ++i) avl.insert(i, i);
-    }
-
-    const double m1_mops = mops([&] {
-      std::vector<IntOp> batch;
-      batch.reserve(4096);
-      for (std::size_t i = 0; i < keys.size(); ++i) {
-        batch.push_back(IntOp::search(keys[i]));
-        if (batch.size() == 4096 || i + 1 == keys.size()) {
-          m1.execute_batch(batch);
-          batch.clear();
-        }
-      }
-    });
-    const double avl_mops = mops([&] {
-      std::uint64_t acc = 0;
-      for (const auto k : keys) acc += avl.search(k).value_or(0);
-      g_sink += acc;
-    });
+    const double wl_per_op =
+        pwss::util::working_set_bound(keys) / static_cast<double>(keys.size());
     pwss::bench::print_cell(theta);
-    pwss::bench::print_cell(m1_mops);
-    pwss::bench::print_cell(avl_mops);
+    for (const auto& name : cli.backends) {
+      auto map = populated(name, cli.driver);
+      const double ms = pwss::bench::chunked_search_ms(*map, keys, 4096);
+      pwss::bench::print_cell(static_cast<double>(kOps) / ms / 1e3);  // Mops/s
+    }
+    pwss::bench::print_cell(wl_per_op);
     pwss::bench::end_row();
   }
 
   std::printf(
-      "\nShape: self-adjusting columns (M0/Iacono/Splay/M1) gain relative to "
-      "AVL as theta grows; W_L/op falls with skew, tracking the gains.\n");
+      "\nShape: self-adjusting columns (m0/iacono/splay/m1) gain relative to "
+      "avl as theta grows; W_L/op falls with skew, tracking the gains.\n"
+      "(sink %llu)\n",
+      static_cast<unsigned long long>(g_sink % 10));
   return 0;
 }

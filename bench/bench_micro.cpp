@@ -1,12 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the substrates: join-tree point
-// and batch ops, segment batch ops, PESort, scheduler fork/join overhead.
-// These are regression guards rather than paper experiments.
+// and batch ops, segment batch ops, PESort, scheduler fork/join overhead,
+// plus a per-backend batch-search micro resolved through the
+// BackendRegistry. Regression guards rather than paper experiments.
+//
+//   ./bench_micro [--backend=NAME[,NAME...]] [gbench flags]
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/segment.hpp"
+#include "driver/cli.hpp"
 #include "sched/scheduler.hpp"
 #include "sort/pesort.hpp"
 #include "tree/jtree.hpp"
@@ -94,6 +101,59 @@ void BM_SchedulerForkJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerForkJoin);
 
+// Per-backend micro: one 1024-op zipf search batch through the bulk path
+// of a pre-populated registry backend.
+void BM_BackendBatchSearch(benchmark::State& state, std::string name,
+                           pwss::driver::Options opts) {
+  using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+  constexpr std::uint64_t kUniverse = 1u << 16;
+  auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(name,
+                                                                     opts);
+  pwss::bench::prepopulate(*map, kUniverse);
+  const auto keys = pwss::util::zipf_keys(kUniverse, 0.99, 1024, 5);
+  std::vector<IntOp> batch;
+  batch.reserve(keys.size());
+  for (const auto k : keys) batch.push_back(IntOp::search(k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->run(batch).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split our registry flags from google-benchmark's.
+  std::vector<char*> ours{argv[0]};
+  std::vector<char*> gbench{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend", 9) == 0 ||
+        std::strncmp(argv[i], "--workers", 9) == 0 ||
+        std::strncmp(argv[i], "--p=", 4) == 0 ||
+        std::strcmp(argv[i], "--list-backends") == 0) {
+      ours.push_back(argv[i]);
+    } else {
+      gbench.push_back(argv[i]);
+    }
+  }
+  int ours_argc = static_cast<int>(ours.size());
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      ours_argc, ours.data(), {"m0", "m1", "avl"});
+  for (const auto& name : cli.backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_BackendBatchSearch/" + name).c_str(),
+        [name, opts = cli.driver](benchmark::State& st) {
+          BM_BackendBatchSearch(st, name, opts);
+        });
+  }
+
+  int gbench_argc = static_cast<int>(gbench.size());
+  benchmark::Initialize(&gbench_argc, gbench.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

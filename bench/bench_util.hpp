@@ -4,9 +4,13 @@
 // experiment row in DESIGN.md promises; EXPERIMENTS.md records the shapes.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "core/ops.hpp"
+#include "driver/driver.hpp"
 
 namespace pwss::bench {
 
@@ -38,5 +42,44 @@ inline void print_cell(const std::string& s) {
   std::printf("%16s", s.c_str());
 }
 inline void end_row() { std::printf("\n"); }
+
+/// Bulk-inserts keys {0, stride, 2*stride, ...} below `n` with value
+/// value_of(key) via one run() batch — the shared warm-up for benches and
+/// examples.
+template <typename K, typename V, typename ValueFn>
+void prepopulate(driver::Driver<K, V>& map, std::uint64_t n,
+                 std::uint64_t stride, ValueFn&& value_of) {
+  std::vector<core::Op<K, V>> warm;
+  warm.reserve(static_cast<std::size_t>(n / stride) + 1);
+  for (std::uint64_t i = 0; i < n; i += stride) {
+    warm.push_back(
+        core::Op<K, V>::insert(static_cast<K>(i), value_of(i)));
+  }
+  map.run(warm);
+}
+
+template <typename K, typename V>
+void prepopulate(driver::Driver<K, V>& map, std::uint64_t n) {
+  prepopulate(map, n, 1, [](std::uint64_t i) { return static_cast<V>(i); });
+}
+
+/// Drives `keys` as search ops through the driver's bulk path in
+/// `chunk`-sized batches; returns elapsed ms. Shared by the E2c/E3b/E8b
+/// panels so they all measure the same chunking policy.
+template <typename K, typename V>
+double chunked_search_ms(driver::Driver<K, V>& map,
+                         const std::vector<K>& keys, std::size_t chunk) {
+  WallTimer t;
+  std::vector<core::Op<K, V>> batch;
+  batch.reserve(chunk);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    batch.push_back(core::Op<K, V>::search(keys[i]));
+    if (batch.size() == chunk || i + 1 == keys.size()) {
+      map.run(batch);
+      batch.clear();
+    }
+  }
+  return t.seconds() * 1e3;
+}
 
 }  // namespace pwss::bench

@@ -1,28 +1,66 @@
 // Scenario: sliding-window analytics. A telemetry pipeline counts events
 // per entity; at any moment a few thousand entities are "live" out of
-// millions ever seen. Batched ingestion through M1 keeps the live set in
-// the cheap front segments while the long tail sinks to the back — the
-// total work tracks the working-set bound W_L, not |entities| * log(n).
+// millions ever seen. Batched ingestion through a working-set backend
+// keeps the live set in the cheap front segments while the long tail sinks
+// to the back — the total work tracks the working-set bound W_L, not
+// |entities| * log(n).
 //
-// We ingest event batches with a drifting working set and compare measured
-// throughput against the W_L/op predicted cost, plus an AVL baseline.
+// We ingest event batches with a drifting working set through each
+// selected backend (default: m1 vs the non-adjusting avl) and compare
+// measured cost against the W_L/op predicted cost.
 //
-// Build & run:  ./examples/hot_set_analytics
+// Build & run:  ./hot_set_analytics [--backend=NAME[,NAME...]]
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
-#include "baseline/avl_map.hpp"
-#include "core/m1_map.hpp"
-#include "sched/scheduler.hpp"
+#include "bench/bench_util.hpp"
+#include "driver/cli.hpp"
 #include "util/workload.hpp"
 
-int main() {
-  constexpr std::uint64_t kUniverse = 1u << 22;  // entities ever seen
-  constexpr std::size_t kWindow = 4096;          // live entities
-  constexpr std::size_t kEvents = 1u << 20;
-  constexpr std::size_t kBatch = 8192;
+namespace {
+
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kUniverse = 1u << 22;  // entities ever seen
+constexpr std::size_t kWindow = 4096;          // live entities
+constexpr std::size_t kEvents = 1u << 20;
+constexpr std::size_t kBatch = 8192;
+
+// Read-modify-write as search + insert in the same batch (the group
+// machinery combines them into one structure pass), then a bump batch
+// writing count = old + 1.
+double ingest_ns_per_event(IntDriver& counts,
+                           const std::vector<std::uint64_t>& keys) {
+  pwss::bench::WallTimer t;
+  std::uint64_t touched = 0;
+  std::vector<IntOp> batch;
+  batch.reserve(kBatch);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    batch.push_back(IntOp::search(keys[i]));
+    batch.push_back(IntOp::insert(keys[i], 0));
+    if (batch.size() >= kBatch || i + 1 == keys.size()) {
+      auto results = counts.run(batch);
+      std::vector<IntOp> bump;
+      bump.reserve(batch.size() / 2);
+      for (std::size_t j = 0; j < results.size(); j += 2) {
+        const std::uint64_t old = results[j].value ? *results[j].value : 0;
+        bump.push_back(IntOp::insert(batch[j].key, old + 1));
+        ++touched;
+      }
+      counts.run(bump);
+      batch.clear();
+    }
+  }
+  return t.ns() / static_cast<double>(touched);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1", "avl"});
 
   std::printf("generating %zu events over a %zu-entity sliding window...\n",
               kEvents, kWindow);
@@ -32,67 +70,21 @@ int main() {
   std::printf("working-set bound W_L = %.0f (%.2f bits/event)\n", wl,
               wl / static_cast<double>(kEvents));
 
-  pwss::sched::Scheduler scheduler;
-  pwss::core::M1Map<std::uint64_t, std::uint64_t> counts(&scheduler);
-  using Op = pwss::core::Op<std::uint64_t, std::uint64_t>;
-
-  auto ingest = [&]() {
-    std::vector<Op> batch;
-    batch.reserve(kBatch);
-    const auto start = std::chrono::steady_clock::now();
-    std::uint64_t touched = 0;
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      // Read-modify-write as search + insert in the same batch: the
-      // group-operation machinery combines them into one structure pass.
-      batch.push_back(Op::search(keys[i]));
-      batch.push_back(Op::insert(keys[i], 0));
-      if (batch.size() >= kBatch || i + 1 == keys.size()) {
-        auto results = counts.execute_batch(batch);
-        // Re-submit increments based on what we saw (count = old + 1).
-        std::vector<Op> bump;
-        bump.reserve(batch.size() / 2);
-        for (std::size_t j = 0; j < results.size(); j += 2) {
-          const std::uint64_t old =
-              results[j].value ? *results[j].value : 0;
-          bump.push_back(Op::insert(batch[j].key, old + 1));
-          ++touched;
-        }
-        counts.execute_batch(bump);
-        batch.clear();
-      }
-    }
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-               .count() *
-           1e9 / static_cast<double>(touched);
-  };
-  const double m1_ns = ingest();
-
-  pwss::baseline::AvlMap<std::uint64_t, std::uint64_t> avl;
-  const auto start = std::chrono::steady_clock::now();
-  for (const auto k : keys) {
-    const auto old = avl.search(k);
-    avl.insert(k, old.value_or(0) + 1);
+  for (const auto& name : cli.backends) {
+    auto counts = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, cli.driver);
+    const double ns = ingest_ns_per_event(*counts, keys);
+    std::printf("%-8s batched ingest: %6.0f ns/event (%zu entities)\n",
+                name.c_str(), ns, counts->size());
+    // Spot check: the most recent entity's count is its occurrence count.
+    const auto c0 = counts->search(keys[0]);
+    const auto depth = counts->depth_of(keys[0]);
+    const std::string depth_str =
+        depth ? std::to_string(*depth) : std::string("n/a");
+    std::printf("%-8s sample: entity %llu seen %llu times, depth %s\n",
+                name.c_str(), static_cast<unsigned long long>(keys[0]),
+                static_cast<unsigned long long>(c0.value_or(0)),
+                depth_str.c_str());
   }
-  const double avl_ns = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count() *
-                        1e9 / static_cast<double>(keys.size());
-
-  std::printf("M1 batched ingest: %.0f ns/event (%zu entities, %zu segments)\n",
-              m1_ns, counts.size(), counts.segment_count());
-  std::printf("AVL pointwise:     %.0f ns/event (%zu entities)\n", avl_ns,
-              avl.size());
-
-  // Verify a few counts: total events must equal the sum of all counts.
-  std::uint64_t sample_total = 0;
-  for (const auto k : keys) {
-    (void)k;
-  }
-  auto c0 = counts.search(keys[0]);
-  std::printf("sample: entity %llu was seen %llu times\n",
-              static_cast<unsigned long long>(keys[0]),
-              static_cast<unsigned long long>(c0.value_or(0)));
-  (void)sample_total;
   return 0;
 }

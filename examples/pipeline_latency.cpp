@@ -4,20 +4,19 @@
 // (Section 3: "a cheap operation could be blocked by the previous batch" in
 // M1; M2's span per op is O((log p)^2 + log r)).
 //
-// We interleave hot session lookups with bursts of cold scans on both
-// AsyncMap<M1> and M2, print the hot-path latency distribution side by
-// side, and show the recency-dependent placement of keys.
+// We interleave hot session lookups with bursts of cold scans on each
+// selected backend (default: m1 vs m2), print the hot-path latency
+// distribution side by side, then show the recency-dependent placement of
+// keys through the uniform depth_of() API.
 //
-// Build & run:  ./examples/pipeline_latency
+// Build & run:  ./pipeline_latency [--backend=NAME[,NAME...]]
 
 #include <cstdio>
-#include <thread>
+#include <string>
 #include <vector>
 
-#include "core/async_map.hpp"
-#include "core/m1_map.hpp"
-#include "core/m2_map.hpp"
-#include "sched/scheduler.hpp"
+#include "bench/bench_util.hpp"
+#include "driver/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -27,72 +26,65 @@ constexpr std::size_t kSessions = 1u << 18;
 constexpr std::size_t kHot = 32;
 constexpr std::size_t kProbes = 10000;
 
-struct Timer {
-  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
-  double us() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-  }
-};
+using IntDriver = pwss::driver::Driver<std::uint64_t, std::uint64_t>;
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
 
-template <typename SearchFn>
-pwss::util::Summary probe(SearchFn&& do_search) {
+pwss::util::Summary probe(IntDriver& map) {
   pwss::util::Xoshiro256 rng(3);
   std::vector<double> lat;
   lat.reserve(kProbes);
   for (std::size_t i = 0; i < kProbes; ++i) {
     // Every 16th op, fire a burst of cold lookups to stall the batcher.
     if (i % 16 == 0) {
-      for (int c = 0; c < 8; ++c) do_search(rng.bounded(kSessions));
+      for (int c = 0; c < 8; ++c) map.search(rng.bounded(kSessions));
     }
     const std::uint64_t hot_key = rng.bounded(kHot);
-    Timer t;
-    do_search(hot_key);
-    lat.push_back(t.us());
+    pwss::bench::WallTimer t;
+    map.search(hot_key);
+    lat.push_back(t.ns() / 1e3);  // us
   }
   return pwss::util::summarize(std::move(lat));
 }
 
 }  // namespace
 
-int main() {
-  pwss::sched::Scheduler scheduler;
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m1", "m2"});
 
-  std::printf("populating %zu sessions...\n", kSessions);
-
-  pwss::core::AsyncMap<std::uint64_t, std::uint64_t,
-                       pwss::core::M1Map<std::uint64_t, std::uint64_t>>
-      m1(pwss::core::M1Map<std::uint64_t, std::uint64_t>(&scheduler),
-         scheduler);
-  pwss::core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
-  {
-    using Op = pwss::core::Op<std::uint64_t, std::uint64_t>;
-    std::vector<Op> warm;
-    for (std::uint64_t i = 0; i < kSessions; ++i) {
-      warm.push_back(Op::insert(i, i));
-    }
-    m2.execute_batch(warm);
-    m2.quiesce();
-    for (std::uint64_t i = 0; i < kSessions; ++i) m1.insert(i, i);
-  }
-
-  const auto s1 = probe([&](std::uint64_t k) { m1.search(k); });
-  const auto s2 = probe([&](std::uint64_t k) { m2.search(k); });
-
+  std::printf("populating %zu sessions per backend...\n", kSessions);
   std::printf("\nhot-path lookup latency with cold bursts (us):\n");
   std::printf("%18s %8s %8s %8s %8s\n", "", "p50", "p95", "p99", "max");
-  std::printf("%18s %8.1f %8.1f %8.1f %8.1f\n", "AsyncMap<M1>", s1.p50, s1.p95,
-              s1.p99, s1.max);
-  std::printf("%18s %8.1f %8.1f %8.1f %8.1f\n", "M2 (pipelined)", s2.p50,
-              s2.p95, s2.p99, s2.max);
 
-  m2.quiesce();
-  std::printf("\nM2 placement after the run (hot keys forward):\n");
-  for (const std::uint64_t k : {0ull, 5ull, 31ull, 77777ull}) {
-    const auto seg = m2.segment_of(k);
-    std::printf("  key %6llu -> %s\n", static_cast<unsigned long long>(k),
-                seg ? ("S[" + std::to_string(*seg) + "]").c_str() : "absent");
+  std::vector<std::unique_ptr<IntDriver>> drivers;
+  for (const auto& name : cli.backends) {
+    auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, cli.driver);
+    std::vector<IntOp> warm;
+    warm.reserve(kSessions);
+    for (std::uint64_t i = 0; i < kSessions; ++i) {
+      warm.push_back(IntOp::insert(i, i));
+    }
+    map->run(warm);
+    map->quiesce();
+
+    const auto s = probe(*map);
+    std::printf("%18s %8.1f %8.1f %8.1f %8.1f\n", name.c_str(), s.p50, s.p95,
+                s.p99, s.max);
+    drivers.push_back(std::move(map));
+  }
+
+  std::printf("\nplacement after the run (hot keys forward; depth n/a for "
+              "non-adjusting backends):\n");
+  for (std::size_t b = 0; b < drivers.size(); ++b) {
+    std::printf("  %s:", cli.backends[b].c_str());
+    for (const std::uint64_t k : {0ull, 5ull, 31ull, 77777ull}) {
+      const auto depth = drivers[b]->depth_of(k);
+      std::printf("  key %llu -> %s", static_cast<unsigned long long>(k),
+                  depth ? ("S[" + std::to_string(*depth) + "]").c_str()
+                        : "n/a");
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -1,67 +1,74 @@
-// Quickstart: the three ways to use the library.
+// Quickstart: using the library through the driver layer.
 //
-//  1. M0Map    — sequential working-set map (Section 5): a drop-in
-//                self-adjusting dictionary.
-//  2. M1Map    — batched parallel map (Section 6): submit batches, get
-//                per-op results; internally entropy-sorted, combined, and
-//                swept through the segments in parallel.
-//  3. M2Map    — pipelined parallel map (Section 7): thread-safe blocking
-//                calls from any thread; batching, filtering and pipelining
-//                happen behind the scenes.
+// Every map — the paper's M0/M1/M2 and the baselines — satisfies the same
+// MapBackend concept and is reachable by name through the BackendRegistry.
+// A Driver owns the scheduler, wires the right front end, and gives you:
 //
-// Build & run:  ./examples/quickstart
+//   * blocking search/insert/erase, safe from any thread;
+//   * a bulk run(batch) path with per-key program order preserved;
+//   * depth_of(): the working-set property made visible.
+//
+// Build & run:  ./quickstart [--backend=NAME]   (default: m2)
 
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "core/m0_map.hpp"
-#include "core/m1_map.hpp"
-#include "core/m2_map.hpp"
-#include "sched/scheduler.hpp"
+#include "driver/cli.hpp"
 
-int main() {
-  // ---- 1. Sequential working-set map -----------------------------------
-  pwss::core::M0Map<std::string, int> phone_book;
-  phone_book.insert("alice", 1111);
-  phone_book.insert("bob", 2222);
-  phone_book.insert("carol", 3333);
-  if (auto v = phone_book.search("bob")) {
-    std::printf("M0: bob -> %d (map size %zu)\n", *v, phone_book.size());
+int main(int argc, char** argv) {
+  const auto cli =
+      pwss::driver::parse<std::uint64_t, std::uint64_t>(argc, argv, {"m2"});
+  const std::string& chosen = cli.backends.front();
+
+  // ---- 1. The registry works for any key/value types -------------------
+  // A string-keyed phone book on the sequential working-set map:
+  auto phone_book = pwss::driver::make_driver<std::string, int>("m0");
+  phone_book->insert("alice", 1111);
+  phone_book->insert("bob", 2222);
+  phone_book->insert("carol", 3333);
+  if (auto v = phone_book->search("bob")) {
+    std::printf("m0: bob -> %d (map size %zu)\n", *v, phone_book->size());
   }
-  // Repeated accesses are cheap: "bob" now lives in the front segment.
-  for (int i = 0; i < 3; ++i) phone_book.search("bob");
-  std::printf("M0: bob sits in segment %zu after repeated access\n",
-              *phone_book.segment_of("bob"));
+  // Repeated accesses are cheap: "bob" migrates to the front segment.
+  for (int i = 0; i < 3; ++i) phone_book->search("bob");
+  std::printf("m0: bob sits at depth %zu after repeated access\n",
+              *phone_book->depth_of("bob"));
 
-  // ---- 2. Batched parallel map ------------------------------------------
-  pwss::sched::Scheduler scheduler;  // work-stealing pool, hw threads
-  pwss::core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
-
+  // ---- 2. Bulk batches through the backend chosen by --backend ----------
+  auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+      chosen, cli.driver);
   using Op = pwss::core::Op<std::uint64_t, std::uint64_t>;
   std::vector<Op> batch;
-  for (std::uint64_t i = 0; i < 10000; ++i) batch.push_back(Op::insert(i, i * i));
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    batch.push_back(Op::insert(i, i * i));
+  }
   batch.push_back(Op::search(64));
   batch.push_back(Op::erase(99));
   batch.push_back(Op::search(99));  // same batch: sees the erase
 
-  const auto results = m1.execute_batch(batch);
-  std::printf("M1: search(64) -> %llu; search(99) after erase found=%d\n",
+  const auto results = map->run(batch);
+  std::printf("%s: search(64) -> %llu; search(99) after erase found=%d\n",
+              chosen.c_str(),
               static_cast<unsigned long long>(*results[10000].value),
               static_cast<int>(results[10002].success));
-  std::printf("M1: %zu items across %zu segments\n", m1.size(),
-              m1.segment_count());
+  std::printf("%s: %zu items\n", chosen.c_str(), map->size());
 
-  // ---- 3. Pipelined concurrent map ---------------------------------------
-  pwss::core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
-  m2.insert(7, 49);
-  m2.insert(8, 64);
-  if (auto v = m2.search(7)) {
-    std::printf("M2: search(7) -> %llu (first slab width %zu, p=%u)\n",
-                static_cast<unsigned long long>(*v), m2.first_slab_width(),
-                m2.p());
+  // ---- 3. Blocking calls from many threads ------------------------------
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(t) * 100000 + i;
+        map->insert(key, key);
+        map->search(key);
+      }
+    });
   }
-  m2.erase(8);
-  m2.quiesce();
-  std::printf("M2: size after erase = %zu\n", m2.size());
+  for (auto& th : clients) th.join();
+  map->quiesce();
+  std::printf("%s: size after 4 concurrent clients = %zu (invariants %s)\n",
+              chosen.c_str(), map->size(), map->check() ? "ok" : "BROKEN");
   return 0;
 }

@@ -2,12 +2,12 @@
 // (the classic motivation for distribution-sensitive structures — Section 1:
 // "make it cheaper to search for recently accessed items").
 //
-// Four threads hammer an M2 map with reads (95%) and writes (5%) drawn from
-// Zipf(0.99) over one million keys. We report throughput, then show where
-// the hottest keys ended up inside the structure — the working-set property
-// made visible.
+// Four threads hammer the selected backend (default: m2) with reads (95%)
+// and writes (5%) drawn from Zipf(0.99) over one million keys. We report
+// throughput, then show where the hottest keys ended up inside the
+// structure — the working-set property made visible through depth_of().
 //
-// Build & run:  ./examples/zipf_cache
+// Build & run:  ./zipf_cache [--backend=NAME[,NAME...]]
 
 #include <atomic>
 #include <chrono>
@@ -15,82 +15,88 @@
 #include <thread>
 #include <vector>
 
-#include "core/m2_map.hpp"
-#include "sched/scheduler.hpp"
+#include "bench/bench_util.hpp"
+#include "driver/cli.hpp"
 #include "util/rng.hpp"
 #include "util/zipf.hpp"
 
-int main() {
-  constexpr std::uint64_t kUniverse = 1u << 20;
-  constexpr unsigned kClients = 4;
-  constexpr double kSeconds = 2.0;
+namespace {
 
-  pwss::sched::Scheduler scheduler;
-  pwss::core::M2Map<std::uint64_t, std::uint64_t> cache(scheduler);
+constexpr std::uint64_t kUniverse = 1u << 20;
+constexpr unsigned kClients = 4;
+constexpr double kSeconds = 2.0;
 
-  // Pre-populate.
-  std::printf("populating %llu keys...\n",
-              static_cast<unsigned long long>(kUniverse));
-  {
-    using Op = pwss::core::Op<std::uint64_t, std::uint64_t>;
-    std::vector<Op> warm;
-    warm.reserve(kUniverse);
-    for (std::uint64_t i = 0; i < kUniverse; ++i) {
-      warm.push_back(Op::insert(i, i * 31));
-    }
-    cache.execute_batch(warm);
-    cache.quiesce();
-  }
+using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
 
-  std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> reads{0}, hits{0}, writes{0};
-  std::vector<std::thread> clients;
-  for (unsigned t = 0; t < kClients; ++t) {
-    clients.emplace_back([&, t] {
-      pwss::util::Xoshiro256 rng(t + 1);
-      pwss::util::ZipfGenerator zipf(kUniverse, 0.99);
-      std::uint64_t r = 0, h = 0, w = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::uint64_t key = zipf(rng);
-        if (rng.bounded(20) == 0) {
-          cache.insert(key, key * 31);
-          ++w;
-        } else {
-          if (cache.search(key)) ++h;
-          ++r;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
+      argc, argv, {"m2"});
+
+  for (const auto& name : cli.backends) {
+    auto cache = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, cli.driver);
+
+    std::printf("[%s] populating %llu keys...\n", name.c_str(),
+                static_cast<unsigned long long>(kUniverse));
+    pwss::bench::prepopulate(*cache, kUniverse, 1,
+                             [](std::uint64_t i) { return i * 31; });
+    cache->quiesce();
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0}, hits{0}, writes{0};
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        pwss::util::Xoshiro256 rng(t + 1);
+        pwss::util::ZipfGenerator zipf(kUniverse, 0.99);
+        std::uint64_t r = 0, h = 0, w = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = zipf(rng);
+          if (rng.bounded(20) == 0) {
+            cache->insert(key, key * 31);
+            ++w;
+          } else {
+            if (cache->search(key)) ++h;
+            ++r;
+          }
         }
+        reads += r;
+        hits += h;
+        writes += w;
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(kSeconds));
+    stop = true;
+    for (auto& th : clients) th.join();
+    cache->quiesce();
+
+    const double total =
+        static_cast<double>(reads.load() + writes.load()) / kSeconds;
+    std::printf(
+        "[%s] throughput: %.2f Mops/s (%llu reads, %llu writes, %.1f%% "
+        "hit)\n",
+        name.c_str(), total / 1e6,
+        static_cast<unsigned long long>(reads.load()),
+        static_cast<unsigned long long>(writes.load()),
+        100.0 * static_cast<double>(hits.load()) /
+            static_cast<double>(std::max<std::uint64_t>(1, reads.load())));
+
+    // The working-set property, visible: hot Zipf heads live near the
+    // front (non-adjusting backends report n/a).
+    std::printf("[%s] key rank -> depth:\n", name.c_str());
+    for (const std::uint64_t key :
+         {0ull, 1ull, 2ull, 100ull, 10000ull, 900000ull}) {
+      const auto depth = cache->depth_of(key);
+      if (depth) {
+        std::printf("  key %8llu -> S[%zu]\n",
+                    static_cast<unsigned long long>(key), *depth);
+      } else {
+        std::printf("  key %8llu -> %s\n",
+                    static_cast<unsigned long long>(key),
+                    cache->search(key) ? "n/a" : "(absent)");
       }
-      reads += r;
-      hits += h;
-      writes += w;
-    });
-  }
-  std::this_thread::sleep_for(std::chrono::duration<double>(kSeconds));
-  stop = true;
-  for (auto& th : clients) th.join();
-  cache.quiesce();
-
-  const double total =
-      static_cast<double>(reads.load() + writes.load()) / kSeconds;
-  std::printf("throughput: %.2f Mops/s (%llu reads, %llu writes, %.1f%% hit)\n",
-              total / 1e6, static_cast<unsigned long long>(reads.load()),
-              static_cast<unsigned long long>(writes.load()),
-              100.0 * static_cast<double>(hits.load()) /
-                  static_cast<double>(std::max<std::uint64_t>(1, reads.load())));
-
-  // The working-set property, visible: hot Zipf heads live near the front.
-  std::printf("\nkey rank -> segment (S[0..%zu] = first slab):\n",
-              cache.first_slab_width() - 1);
-  pwss::util::Xoshiro256 rng(1);
-  pwss::util::ZipfGenerator zipf(kUniverse, 0.99);
-  for (const std::uint64_t key : {0ull, 1ull, 2ull, 100ull, 10000ull, 900000ull}) {
-    const auto seg = cache.segment_of(key);
-    if (seg) {
-      std::printf("  key %8llu -> S[%zu]\n",
-                  static_cast<unsigned long long>(key), *seg);
-    } else {
-      std::printf("  key %8llu -> (evicted)\n",
-                  static_cast<unsigned long long>(key));
     }
   }
   return 0;

@@ -1,0 +1,129 @@
+#pragma once
+// Batched adapters: lift the baselines' point-operation maps (splay, AVL,
+// Iacono, locked) to the core::MapBackend concept by executing a batch as
+// a sequential loop of point operations. No combining, no parallelism —
+// that is the point: these are the comparators M0/M1/M2 are measured
+// against, exposed through the same interface so benches, examples, and
+// typed tests can treat every backend identically.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "baseline/avl_map.hpp"
+#include "baseline/iacono_map.hpp"
+#include "baseline/locked_map.hpp"
+#include "baseline/splay_tree.hpp"
+#include "core/backend.hpp"
+#include "core/ops.hpp"
+
+namespace pwss::baseline {
+
+/// PointMap must provide insert(K, V) -> bool (true iff newly inserted),
+/// erase(K) -> optional<V> (the removed value), and search(K) returning
+/// either an optional<V>-convertible value or a pointer to V (IaconoMap's
+/// stable-pointer style).
+template <typename K, typename V, typename PointMap>
+class Batched {
+ public:
+  Batched() = default;
+  explicit Batched(PointMap map) : map_(std::move(map)) {}
+
+  std::size_t size() const { return map_.size(); }
+
+  std::vector<core::Result<V>> execute_batch(
+      std::span<const core::Op<K, V>> ops) {
+    std::vector<core::Result<V>> results;
+    results.reserve(ops.size());
+    for (const auto& op : ops) {
+      core::Result<V> r;
+      switch (op.type) {
+        case core::OpType::kSearch: {
+          auto v = search(op.key);
+          r.success = v.has_value();
+          r.value = std::move(v);
+          break;
+        }
+        case core::OpType::kInsert:
+          r.success = insert(op.key, op.value);
+          break;
+        case core::OpType::kErase: {
+          auto v = erase(op.key);
+          r.success = v.has_value();
+          r.value = std::move(v);
+          break;
+        }
+      }
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
+
+  // Point passthroughs, normalized to the optional<V> shape.
+  std::optional<V> search(const K& key) {
+    if constexpr (std::is_pointer_v<decltype(map_.search(key))>) {
+      const auto* p = map_.search(key);
+      return p ? std::optional<V>(*p) : std::nullopt;
+    } else {
+      return map_.search(key);
+    }
+  }
+  bool insert(const K& key, V value) {
+    return map_.insert(key, std::move(value));
+  }
+  std::optional<V> erase(const K& key) { return map_.erase(key); }
+
+  /// Recency depth passthrough for working-set point maps (Iacono).
+  template <typename PM = PointMap>
+    requires core::HasRecencyDepth<PM, K>
+  std::optional<std::size_t> segment_of(const K& key) const {
+    return map_.segment_of(key);
+  }
+
+  /// Structural-validation passthrough.
+  template <typename PM = PointMap>
+    requires core::HasInvariantCheck<PM>
+  bool check_invariants() const {
+    return map_.check_invariants();
+  }
+
+  PointMap& inner() { return map_; }
+  const PointMap& inner() const { return map_; }
+
+ private:
+  PointMap map_;
+};
+
+template <typename K, typename V>
+using BatchedSplay = Batched<K, V, SplayTree<K, V>>;
+template <typename K, typename V>
+using BatchedAvl = Batched<K, V, AvlMap<K, V>>;
+template <typename K, typename V>
+using BatchedIacono = Batched<K, V, IaconoMap<K, V>>;
+template <typename K, typename V>
+using BatchedLocked = Batched<K, V, LockedMap<K, V>>;
+
+static_assert(core::MapBackend<BatchedSplay<int, int>, int, int>);
+static_assert(core::MapBackend<BatchedAvl<int, int>, int, int>);
+static_assert(core::MapBackend<BatchedIacono<int, int>, int, int>);
+static_assert(core::MapBackend<BatchedLocked<int, int>, int, int>);
+
+}  // namespace pwss::baseline
+
+namespace pwss::core {
+
+/// The locked baseline serializes internally, so its per-op path is safe
+/// from any thread without an async front end — and putting one in front
+/// of it would hide exactly the contention E5/E8 measure.
+template <typename K, typename V>
+struct backend_traits<baseline::BatchedLocked<K, V>> {
+  static constexpr bool needs_scheduler = false;
+  static constexpr bool native_async = false;
+  static constexpr bool supports_async = false;
+  static constexpr bool point_thread_safe = true;
+};
+
+}  // namespace pwss::core

@@ -94,6 +94,14 @@ class IaconoMap {
     return segments_;
   }
 
+  /// Segment index currently holding `key` (recency depth), or nullopt.
+  std::optional<std::size_t> segment_of(const K& key) const {
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (segments_[k].peek(key)) return k;
+    }
+    return std::nullopt;
+  }
+
   /// Validation: every segment structurally sound, all segments full to
   /// capacity except possibly the last.
   bool check_invariants() const {

@@ -15,6 +15,17 @@ class SplayTree {
   SplayTree() = default;
   SplayTree(const SplayTree&) = delete;
   SplayTree& operator=(const SplayTree&) = delete;
+  SplayTree(SplayTree&& other) noexcept
+      : root_(std::exchange(other.root_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  SplayTree& operator=(SplayTree&& other) noexcept {
+    if (this != &other) {
+      destroy(root_);
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
   ~SplayTree() { destroy(root_); }
 
   std::size_t size() const noexcept { return size_; }

@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/ops.hpp"
 #include "core/segment.hpp"
 
@@ -104,7 +106,7 @@ class M0Map {
   }
 
   /// Executes a batch sequentially (reference semantics for M1/M2 tests).
-  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
     std::vector<Result<V>> results;
     results.reserve(ops.size());
     for (const auto& op : ops) {
@@ -169,5 +171,7 @@ class M0Map {
   std::vector<Segment<K, V>> segments_;
   std::size_t size_ = 0;
 };
+
+static_assert(MapBackend<M0Map<int, int>, int, int>);
 
 }  // namespace pwss::core

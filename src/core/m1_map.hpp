@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/group.hpp"
 #include "core/ops.hpp"
 #include "core/segment.hpp"
@@ -252,5 +253,17 @@ class M1Map {
   tree::ParCtx ctx_;
   std::size_t size_ = 0;
 };
+
+/// M1's batch internals fork through the scheduler (a null scheduler is a
+/// test-only degradation), and a single owner must drive batches.
+template <typename K, typename V>
+struct backend_traits<M1Map<K, V>> {
+  static constexpr bool needs_scheduler = true;
+  static constexpr bool native_async = false;
+  static constexpr bool supports_async = true;
+  static constexpr bool point_thread_safe = false;
+};
+
+static_assert(MapBackend<M1Map<int, int>, int, int>);
 
 }  // namespace pwss::core

@@ -50,6 +50,7 @@
 #include "buffer/feed_buffer.hpp"
 #include "buffer/parallel_buffer.hpp"
 #include "core/async_map.hpp"
+#include "core/backend.hpp"
 #include "core/group.hpp"
 #include "core/ops.hpp"
 #include "core/segment.hpp"
@@ -530,7 +531,6 @@ class M2Map {
 
   void front_section(std::size_t j, std::size_t k, std::vector<Group> batch,
                      std::vector<Item> found) {
-    Stage& st = stages_[j];
     const bool is_terminal = terminal_.load(std::memory_order_acquire) == j;
     const std::size_t mprime = std::min(k - 1, m_);  // S[m'] destination
 
@@ -758,5 +758,18 @@ class M2Map {
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> in_flight_{0};
 };
+
+/// M2 runs its own asynchronous front end (feed buffer + filter +
+/// pipelined final slab); wrapping it in AsyncMap would serialize the
+/// pipeline behind a second batcher.
+template <typename K, typename V>
+struct backend_traits<M2Map<K, V>> {
+  static constexpr bool needs_scheduler = true;
+  static constexpr bool native_async = true;
+  static constexpr bool supports_async = false;
+  static constexpr bool point_thread_safe = true;
+};
+
+static_assert(MapBackend<M2Map<int, int>, int, int>);
 
 }  // namespace pwss::core

@@ -1,0 +1,137 @@
+#pragma once
+// Shared command-line front end for bench/ and examples/: every binary
+// accepts the same backend-selection flags, resolved through the one
+// BackendRegistry.
+//
+//   --backend=NAME[,NAME...]   backends to run (default: binary-specific)
+//   --backend=all              every registered backend
+//   --workers=N                scheduler worker count (0 = hardware)
+//   --p=N                      M2 bunch parameter p (0 = worker count)
+//   --list-backends            print the registry and exit
+//   --help                     usage
+//
+// parse() validates every requested name against the registry and exits
+// with the known-backend list on a miss, so a typo cannot silently fall
+// back to bespoke wiring.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/registry.hpp"
+
+namespace pwss::driver {
+
+struct CliOptions {
+  std::vector<std::string> backends;  // validated registry names
+  Options driver;                     // workers / p knobs
+};
+
+namespace detail {
+
+inline std::vector<std::string> split_csv(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    out.emplace_back(s.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+/// Strict unsigned parse: digits only, fits in unsigned. Anything else
+/// (including "-1", "abc", "") is a usage error, not a silent fallback.
+inline unsigned parse_unsigned(const char* argv0, std::string_view flag,
+                               std::string_view text) {
+  unsigned long value = 0;
+  bool ok = !text.empty() && text.size() <= 10;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (!ok || value > 0xffffffffUL) {
+    std::fprintf(stderr, "%s: %.*s expects a non-negative integer, got '%.*s'\n",
+                 argv0, static_cast<int>(flag.size()), flag.data(),
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace detail
+
+/// Parses backend flags for a <K,V>-keyed binary. `defaults` is the
+/// backend set the binary runs when --backend is absent (the experiment's
+/// comparison panel). Exits on --help/--list-backends/invalid input.
+template <typename K, typename V>
+CliOptions parse(int argc, char** argv,
+                 std::vector<std::string> defaults) {
+  const auto& registry = BackendRegistry<K, V>::instance();
+  CliOptions cli;
+  cli.backends = std::move(defaults);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--backend=NAME[,NAME...]|all] [--workers=N] [--p=N]\n"
+          "          [--list-backends]\n",
+          argv[0]);
+      std::exit(0);
+    } else if (arg == "--list-backends") {
+      for (const auto& e : registry.entries()) {
+        std::printf("%-8s %s\n", e.name.c_str(), e.description.c_str());
+      }
+      std::exit(0);
+    } else if (arg.starts_with("--backend=")) {
+      const std::string_view val = arg.substr(std::string_view("--backend=").size());
+      cli.backends =
+          val == "all" ? registry.names() : detail::split_csv(val);
+    } else if (arg.starts_with("--workers=")) {
+      cli.driver.workers = detail::parse_unsigned(
+          argv[0], "--workers",
+          arg.substr(std::string_view("--workers=").size()));
+    } else if (arg.starts_with("--p=")) {
+      cli.driver.p = detail::parse_unsigned(
+          argv[0], "--p", arg.substr(std::string_view("--p=").size()));
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+
+  if (cli.driver.workers > 4096 || cli.driver.p > 4096) {
+    std::fprintf(stderr, "%s: --workers/--p must be at most 4096\n", argv[0]);
+    std::exit(2);
+  }
+  if (cli.backends.empty()) {
+    std::fprintf(stderr, "%s: --backend needs at least one name; known:",
+                 argv[0]);
+    for (const auto& e : registry.entries()) {
+      std::fprintf(stderr, " %s", e.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  for (const auto& name : cli.backends) {
+    if (!registry.contains(name)) {
+      std::fprintf(stderr, "%s: unknown backend '%s'; known:", argv[0],
+                   name.c_str());
+      for (const auto& e : registry.entries()) {
+        std::fprintf(stderr, " %s", e.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+}  // namespace pwss::driver

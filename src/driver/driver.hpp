@@ -1,0 +1,328 @@
+#pragma once
+// Driver — the runtime layer that turns a MapBackend into a ready-to-use
+// concurrent map. A Driver owns the scheduler (when one is needed), wires
+// the backend behind the right front end, and exposes two uniform APIs:
+//
+//   * blocking per-op calls (search/insert/erase) — safe from any thread;
+//   * a bulk run(vector<Op>) path — one synchronous batch through the
+//     backend, results in submission order.
+//
+// Wiring is selected from core::backend_traits at compile time:
+//
+//   traits                  wrapper            examples
+//   ----------------------  -----------------  -------------------------
+//   native_async            none (backend      m2
+//                           batches itself)
+//   point_thread_safe &&    none (point ops    locked
+//     !native_async         go straight in)
+//   supports_async          core::AsyncMap     m0, m1, splay, avl, iacono
+//                           (implicit batching,
+//                            Section 4)
+//
+// The bulk path must not race with concurrent blocking callers on
+// AsyncMap-wrapped backends (it quiesces the front end, then batches
+// directly); natively-async and point-thread-safe backends allow mixing.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/async_map.hpp"
+#include "core/backend.hpp"
+#include "core/ops.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pwss::driver {
+
+/// Construction knobs shared by every backend factory.
+struct Options {
+  /// Scheduler worker count; 0 = hardware concurrency. Ignored by
+  /// schedulerless backends.
+  unsigned workers = 0;
+  /// M2's p (bunch size p^2); 0 = the scheduler's worker count.
+  unsigned p = 0;
+};
+
+/// Type-erased handle to a wired backend. Obtained from BackendRegistry.
+template <typename K, typename V>
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Blocking per-op API; thread-safe.
+  std::optional<V> search(const K& key) {
+    return run_one(core::Op<K, V>::search(key)).value;
+  }
+  bool insert(const K& key, V value) {
+    return run_one(core::Op<K, V>::insert(key, std::move(value))).success;
+  }
+  std::optional<V> erase(const K& key) {
+    return run_one(core::Op<K, V>::erase(key)).value;
+  }
+
+  /// Bulk path: one batch through the backend, results in submission
+  /// order with per-key program order preserved.
+  virtual std::vector<core::Result<V>> run(
+      const std::vector<core::Op<K, V>>& ops) = 0;
+
+  /// Single-owner sequential fast path: executes one operation
+  /// synchronously on the calling thread, bypassing the async front end
+  /// where the backend allows it. Must not race with concurrent callers.
+  /// Benchmarks use this to measure per-op structure cost without
+  /// batching overhead.
+  virtual core::Result<V> step(core::Op<K, V> op) = 0;
+
+  /// Segment index (recency depth) currently holding `key` for
+  /// working-set backends; nullopt for absent keys and for non-adjusting
+  /// backends. Quiesces first.
+  virtual std::optional<std::size_t> depth_of(const K& key) = 0;
+
+  /// Waits until every outstanding operation has completed.
+  virtual void quiesce() = 0;
+
+  /// Item count (quiesces first, so in-flight ops are counted).
+  virtual std::size_t size() = 0;
+
+  /// Runs the backend's structural validation when it has one (quiescing
+  /// first); backends without check_invariants() vacuously pass.
+  virtual bool check() = 0;
+
+  /// The scheduler this driver owns, or nullptr for schedulerless
+  /// backends (the sequential baselines and the locked map).
+  virtual sched::Scheduler* scheduler() noexcept = 0;
+
+  /// Registry name this driver was created under ("m2", "avl", ...).
+  const std::string& name() const noexcept { return name_; }
+
+ protected:
+  explicit Driver(std::string name) : name_(std::move(name)) {}
+  virtual core::Result<V> run_one(core::Op<K, V> op) = 0;
+
+ private:
+  std::string name_;
+};
+
+namespace detail {
+
+template <typename B, typename K, typename V>
+bool checked_invariants(B& backend) {
+  if constexpr (core::HasInvariantCheck<B>) {
+    return backend.check_invariants();
+  } else {
+    (void)backend;
+    return true;
+  }
+}
+
+template <typename K, typename V, typename B>
+std::optional<std::size_t> depth_in(B& backend, const K& key) {
+  if constexpr (core::HasRecencyDepth<B, K>) {
+    return backend.segment_of(key);
+  } else {
+    (void)backend;
+    (void)key;
+    return std::nullopt;
+  }
+}
+
+/// One op through the backend's point surface when it has one (no
+/// per-op vector allocations), else through a singleton batch.
+template <typename K, typename V, typename B>
+core::Result<V> point_apply(B& backend, core::Op<K, V> op) {
+  if constexpr (core::HasPointOps<B, K, V>) {
+    core::Result<V> r;
+    switch (op.type) {
+      case core::OpType::kSearch: {
+        auto v = backend.search(op.key);
+        if constexpr (std::is_pointer_v<decltype(v)>) {
+          r.success = v != nullptr;
+          if (v) r.value = *v;
+        } else {
+          r.success = v.has_value();
+          r.value = std::move(v);
+        }
+        break;
+      }
+      case core::OpType::kInsert:
+        r.success = backend.insert(op.key, std::move(op.value));
+        break;
+      case core::OpType::kErase: {
+        auto v = backend.erase(op.key);
+        r.success = v.has_value();
+        r.value = std::move(v);
+        break;
+      }
+    }
+    return r;
+  } else {
+    std::vector<core::Op<K, V>> one;
+    one.push_back(std::move(op));
+    return backend.execute_batch(one)[0];
+  }
+}
+
+}  // namespace detail
+
+/// Backend wired behind core::AsyncMap: blocking callers feed the
+/// parallel buffer, a scheduler worker drives cut batches through the
+/// backend (m0, m1, and the sequential baselines).
+template <typename K, typename V, typename B>
+  requires core::MapBackend<B, K, V>
+class AsyncDriver final : public Driver<K, V> {
+ public:
+  AsyncDriver(std::string name, const Options& opts)
+      : Driver<K, V>(std::move(name)),
+        scheduler_(std::make_unique<sched::Scheduler>(opts.workers)),
+        async_(make_backend(*scheduler_), *scheduler_) {}
+
+  std::vector<core::Result<V>> run(
+      const std::vector<core::Op<K, V>>& ops) override {
+    async_.quiesce();
+    return async_.map().execute_batch(ops);
+  }
+
+  core::Result<V> step(core::Op<K, V> op) override {
+    async_.quiesce();
+    return detail::point_apply<K, V>(async_.map(), std::move(op));
+  }
+  std::optional<std::size_t> depth_of(const K& key) override {
+    async_.quiesce();
+    return detail::depth_in<K, V>(async_.map(), key);
+  }
+
+  void quiesce() override { async_.quiesce(); }
+  std::size_t size() override {
+    async_.quiesce();
+    return async_.map().size();
+  }
+  bool check() override {
+    async_.quiesce();
+    return detail::checked_invariants<B, K, V>(async_.map());
+  }
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.get(); }
+
+  /// The wrapped backend; safe only when quiescent.
+  B& backend() {
+    async_.quiesce();
+    return async_.map();
+  }
+
+ protected:
+  core::Result<V> run_one(core::Op<K, V> op) override {
+    core::OpTicket<V> ticket;
+    async_.submit(std::move(op), &ticket);
+    return ticket.wait();
+  }
+
+ private:
+  static B make_backend(sched::Scheduler& s) {
+    if constexpr (core::backend_traits<B>::needs_scheduler) {
+      return B(&s);
+    } else {
+      (void)s;
+      return B();
+    }
+  }
+
+  // Declaration order is destruction-order-critical: the AsyncMap (and
+  // the backend inside it) must die before the scheduler its drive loop
+  // and forks run on.
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  core::AsyncMap<K, V, B> async_;
+};
+
+/// Natively-asynchronous backend (M2): the backend already provides a
+/// thread-safe submit/execute_batch/quiesce surface; the driver only
+/// supplies the scheduler and the uniform API.
+template <typename K, typename V, typename B>
+  requires(core::MapBackend<B, K, V> && core::backend_traits<B>::native_async)
+class NativeAsyncDriver final : public Driver<K, V> {
+ public:
+  NativeAsyncDriver(std::string name, const Options& opts)
+      : Driver<K, V>(std::move(name)),
+        scheduler_(std::make_unique<sched::Scheduler>(opts.workers)),
+        backend_(*scheduler_, opts.p) {}
+
+  std::vector<core::Result<V>> run(
+      const std::vector<core::Op<K, V>>& ops) override {
+    return backend_.execute_batch(ops);
+  }
+
+  core::Result<V> step(core::Op<K, V> op) override {
+    return run_one(std::move(op));  // the pipeline IS the sequential path
+  }
+  std::optional<std::size_t> depth_of(const K& key) override {
+    backend_.quiesce();
+    return detail::depth_in<K, V>(backend_, key);
+  }
+
+  void quiesce() override { backend_.quiesce(); }
+  std::size_t size() override {
+    backend_.quiesce();
+    return backend_.size();
+  }
+  bool check() override {
+    backend_.quiesce();
+    return detail::checked_invariants<B, K, V>(backend_);
+  }
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.get(); }
+
+  B& backend() { return backend_; }
+
+ protected:
+  core::Result<V> run_one(core::Op<K, V> op) override {
+    core::OpTicket<V> ticket;
+    backend_.submit(std::move(op), &ticket);
+    return ticket.wait();
+  }
+
+ private:
+  std::unique_ptr<sched::Scheduler> scheduler_;  // must outlive backend_
+  B backend_;
+};
+
+/// Point-thread-safe backend without its own batcher (the locked
+/// baseline): ops go straight in from the calling thread.
+template <typename K, typename V, typename B>
+  requires(core::MapBackend<B, K, V> &&
+           core::backend_traits<B>::point_thread_safe)
+class DirectDriver final : public Driver<K, V> {
+ public:
+  DirectDriver(std::string name, const Options&)
+      : Driver<K, V>(std::move(name)) {}
+
+  std::vector<core::Result<V>> run(
+      const std::vector<core::Op<K, V>>& ops) override {
+    return backend_.execute_batch(ops);
+  }
+
+  core::Result<V> step(core::Op<K, V> op) override {
+    return run_one(std::move(op));
+  }
+  std::optional<std::size_t> depth_of(const K& key) override {
+    return detail::depth_in<K, V>(backend_, key);
+  }
+
+  void quiesce() override {}
+  std::size_t size() override { return backend_.size(); }
+  bool check() override { return detail::checked_invariants<B, K, V>(backend_); }
+  sched::Scheduler* scheduler() noexcept override { return nullptr; }
+
+  B& backend() { return backend_; }
+
+ protected:
+  core::Result<V> run_one(core::Op<K, V> op) override {
+    return detail::point_apply<K, V>(backend_, std::move(op));
+  }
+
+ private:
+  B backend_;
+};
+
+}  // namespace pwss::driver

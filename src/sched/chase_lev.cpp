@@ -35,8 +35,11 @@ void ChaseLevDeque::push(TaskBase* task) {
     buf = buffer_.load(std::memory_order_relaxed);
   }
   buf->put(b, task);
-  std::atomic_thread_fence(std::memory_order_release);
-  bottom_.store(b + 1, std::memory_order_relaxed);
+  // Release store publishes the slot write (and the task's construction)
+  // to thieves that acquire-load bottom. This is the PPoPP'13 C11 form;
+  // a release fence + relaxed store is equivalent on hardware but
+  // invisible to ThreadSanitizer, which does not model thread fences.
+  bottom_.store(b + 1, std::memory_order_release);
 }
 
 TaskBase* ChaseLevDeque::pop() {

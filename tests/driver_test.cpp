@@ -1,0 +1,217 @@
+// Tests for the driver layer: BackendRegistry lookup/extension, Driver's
+// scheduler-lifetime ownership, and bulk-vs-blocking result equivalence
+// across every registered backend.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/m1_map.hpp"
+#include "driver/registry.hpp"
+#include "util/rng.hpp"
+
+namespace pwss {
+namespace {
+
+using IntDriver = driver::Driver<std::uint64_t, std::uint64_t>;
+using IntRegistry = driver::BackendRegistry<std::uint64_t, std::uint64_t>;
+using IntOp = core::Op<std::uint64_t, std::uint64_t>;
+
+// ---- registry lookup --------------------------------------------------------
+
+TEST(Registry, KnowsAllSevenDefaultBackends) {
+  const auto& reg = IntRegistry::instance();
+  for (const char* name :
+       {"m0", "m1", "m2", "iacono", "splay", "avl", "locked"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto d = reg.create(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_EQ(d->name(), name);
+    EXPECT_EQ(d->size(), 0u);
+  }
+}
+
+TEST(Registry, UnknownBackendThrowsListingKnownNames) {
+  const auto& reg = IntRegistry::instance();
+  EXPECT_FALSE(reg.contains("btree"));
+  try {
+    reg.create("btree");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("btree"), std::string::npos);
+    EXPECT_NE(msg.find("m2"), std::string::npos);
+  }
+}
+
+TEST(Registry, AddRejectsDuplicatesAndAcceptsNewFactories) {
+  // Duplicate rejection leaves the process-wide singleton unchanged.
+  EXPECT_FALSE(
+      IntRegistry::instance().add("m1", "dup", [](const driver::Options&) {
+        return std::unique_ptr<IntDriver>();
+      }));
+
+  // Extension is one add() call — exercised on a local registry so the
+  // singleton (shared by every other test in this process) stays pristine.
+  IntRegistry local;
+  EXPECT_FALSE(local.contains("m1-2w"));
+  ASSERT_TRUE(local.add(
+      "m1-2w", "M1 with a two-worker scheduler", [](const driver::Options&) {
+        driver::Options pinned;
+        pinned.workers = 2;
+        return std::make_unique<driver::AsyncDriver<
+            std::uint64_t, std::uint64_t,
+            core::M1Map<std::uint64_t, std::uint64_t>>>("m1-2w", pinned);
+      }));
+  EXPECT_FALSE(local.add("m1-2w", "dup", nullptr));
+  auto d = local.create("m1-2w");
+  ASSERT_NE(d->scheduler(), nullptr);
+  EXPECT_EQ(d->scheduler()->worker_count(), 2u);
+  EXPECT_TRUE(d->insert(1, 10));
+  EXPECT_EQ(d->search(1), 10u);
+  EXPECT_FALSE(IntRegistry::instance().contains("m1-2w"));
+}
+
+// ---- scheduler lifetime -----------------------------------------------------
+
+TEST(Driver, OwnsSchedulerForParallelBackendsOnly) {
+  driver::Options two_workers;
+  two_workers.workers = 2;
+  for (const char* name : {"m0", "m1", "m2", "iacono", "splay", "avl"}) {
+    auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name,
+                                                               two_workers);
+    ASSERT_NE(d->scheduler(), nullptr) << name;
+    EXPECT_EQ(d->scheduler()->worker_count(), 2u) << name;
+  }
+  auto locked = driver::make_driver<std::uint64_t, std::uint64_t>("locked");
+  EXPECT_EQ(locked->scheduler(), nullptr);
+}
+
+TEST(Driver, DestructionQuiescesInFlightWork) {
+  // Destroying a driver right after a burst of concurrent submissions must
+  // not crash or hang: the front end (and its in-flight tickets) dies
+  // before the scheduler the work runs on.
+  for (const char* name : {"m0", "m1", "m2", "locked"}) {
+    for (int round = 0; round < 3; ++round) {
+      auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::uint64_t i = 0; i < 500; ++i) {
+            d->insert(static_cast<std::uint64_t>(t) * 1000 + i, i);
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      EXPECT_EQ(d->size(), 2000u) << name;
+      EXPECT_TRUE(d->check()) << name;
+      // d destroyed here, scheduler last.
+    }
+  }
+}
+
+// ---- bulk vs blocking equivalence across backends ---------------------------
+
+class DriverBackendTest : public ::testing::TestWithParam<const char*> {};
+
+std::vector<IntOp> scripted_ops(std::uint64_t seed, std::size_t count) {
+  util::Xoshiro256 rng(seed);
+  std::vector<IntOp> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t key = rng.bounded(200);
+    switch (rng.bounded(4)) {
+      case 0:
+      case 1: ops.push_back(IntOp::insert(key, seed * 100000 + i)); break;
+      case 2: ops.push_back(IntOp::erase(key)); break;
+      default: ops.push_back(IntOp::search(key));
+    }
+  }
+  return ops;
+}
+
+core::Result<std::uint64_t> reference_apply(
+    std::map<std::uint64_t, std::uint64_t>& ref, const IntOp& op) {
+  core::Result<std::uint64_t> r;
+  const auto it = ref.find(op.key);
+  switch (op.type) {
+    case core::OpType::kSearch:
+      r.success = it != ref.end();
+      if (r.success) r.value = it->second;
+      break;
+    case core::OpType::kInsert:
+      r.success = it == ref.end();
+      ref[op.key] = op.value;
+      break;
+    case core::OpType::kErase:
+      r.success = it != ref.end();
+      if (r.success) {
+        r.value = it->second;
+        ref.erase(it);
+      }
+      break;
+  }
+  return r;
+}
+
+TEST_P(DriverBackendTest, BulkAndBlockingAgreeWithReference) {
+  const char* name = GetParam();
+  driver::Options opts;
+  opts.workers = 2;
+  auto bulk = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+  auto blocking =
+      driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+  std::map<std::uint64_t, std::uint64_t> ref;
+
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    const auto ops = scripted_ops(round * 31 + 5, 300);
+    const auto got = bulk->run(ops);
+    ASSERT_EQ(got.size(), ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto want = reference_apply(ref, ops[i]);
+      ASSERT_EQ(got[i].success, want.success)
+          << name << " round " << round << " op " << i;
+      ASSERT_EQ(got[i].value, want.value)
+          << name << " round " << round << " op " << i;
+      // The blocking per-op path must produce the identical result.
+      core::Result<std::uint64_t> single;
+      switch (ops[i].type) {
+        case core::OpType::kSearch: {
+          auto v = blocking->search(ops[i].key);
+          single.success = v.has_value();
+          single.value = v;
+          break;
+        }
+        case core::OpType::kInsert:
+          single.success = blocking->insert(ops[i].key, ops[i].value);
+          break;
+        case core::OpType::kErase: {
+          auto v = blocking->erase(ops[i].key);
+          single.success = v.has_value();
+          single.value = v;
+          break;
+        }
+      }
+      ASSERT_EQ(single.success, want.success) << name << " op " << i;
+      ASSERT_EQ(single.value, want.value) << name << " op " << i;
+    }
+    ASSERT_EQ(bulk->size(), ref.size()) << name;
+    ASSERT_EQ(blocking->size(), ref.size()) << name;
+  }
+  EXPECT_TRUE(bulk->check()) << name;
+  EXPECT_TRUE(blocking->check()) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DriverBackendTest,
+                         ::testing::Values("m0", "m1", "m2", "iacono",
+                                           "splay", "avl", "locked"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pwss

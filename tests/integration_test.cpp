@@ -1,17 +1,18 @@
 // Cross-module integration tests: the full stack (scheduler + buffer +
-// sort + segments + maps) exercised together, plus differential runs of
-// all three maps against each other on identical workloads.
+// sort + segments + maps + driver) exercised together. The cross-backend
+// suites are parameterized over BackendRegistry names — every backend is
+// run differentially against the M0 reference (the paper's model
+// structure) or a deterministic replay.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "core/async_map.hpp"
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
-#include "core/m2_map.hpp"
+#include "driver/registry.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
 
@@ -39,42 +40,134 @@ std::vector<IntOp> random_batch(util::Xoshiro256& rng, std::size_t size,
   return batch;
 }
 
-void expect_same(const std::vector<Result<std::uint64_t>>& a,
-                 const std::vector<Result<std::uint64_t>>& b, int round,
-                 const char* who) {
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].success, b[i].success) << who << " round " << round << " op " << i;
-    ASSERT_EQ(a[i].value, b[i].value) << who << " round " << round << " op " << i;
-  }
+driver::Options two_workers() {
+  driver::Options o;
+  o.workers = 2;
+  return o;
 }
 
-// M0, M1 and M2 agree batch-for-batch on identical inputs.
-TEST(Integration, ThreeMapsAgreeOnBatches) {
-  sched::Scheduler scheduler(4);
-  core::M0Map<std::uint64_t, std::uint64_t> m0;
-  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
-  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+class BackendIntegrationTest
+    : public ::testing::TestWithParam<std::string> {};
+
+// Every backend agrees batch-for-batch with the M0 reference.
+TEST_P(BackendIntegrationTest, AgreesWithM0ReferenceOnBatches) {
+  auto map = driver::make_driver<std::uint64_t, std::uint64_t>(GetParam(),
+                                                               two_workers());
+  core::M0Map<std::uint64_t, std::uint64_t> ref;
 
   util::Xoshiro256 rng(2024);
   for (int round = 0; round < 30; ++round) {
     const auto batch = random_batch(rng, 1 + rng.bounded(256), 300,
                                     static_cast<std::uint64_t>(round));
-    const auto r0 = m0.execute_batch(batch);
-    const auto r1 = m1.execute_batch(batch);
-    const auto r2 = m2.execute_batch(batch);
-    expect_same(r0, r1, round, "m0-vs-m1");
-    expect_same(r0, r2, round, "m0-vs-m2");
-    m2.quiesce();
-    ASSERT_EQ(m0.size(), m1.size()) << round;
-    ASSERT_EQ(m0.size(), m2.size()) << round;
+    const auto want = ref.execute_batch(batch);
+    const auto got = map->run(batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].success, want[i].success)
+          << GetParam() << " round " << round << " op " << i;
+      ASSERT_EQ(got[i].value, want[i].value)
+          << GetParam() << " round " << round << " op " << i;
+    }
+    ASSERT_EQ(map->size(), ref.size()) << GetParam() << " round " << round;
   }
-  EXPECT_TRUE(m0.check_invariants());
-  EXPECT_TRUE(m1.check_invariants());
-  EXPECT_TRUE(m2.check_invariants());
+  EXPECT_TRUE(map->check());
+  EXPECT_TRUE(ref.check_invariants());
 }
 
-// Zipf-heavy workload with all op kinds: invariants hold throughout.
+// Concurrent clients with per-thread key spaces: the backend converges to
+// exactly the state a sequential replay of each thread's ops predicts.
+TEST_P(BackendIntegrationTest, ConcurrentClientsConvergeToReplayState) {
+  auto map = driver::make_driver<std::uint64_t, std::uint64_t>(GetParam(),
+                                                               two_workers());
+  constexpr int kThreads = 4, kOpsPer = 800;
+
+  auto thread_ops = [](int t) {
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 131 + 7);
+    std::vector<IntOp> ops;
+    ops.reserve(kOpsPer);
+    for (int i = 0; i < kOpsPer; ++i) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(t) * 1000000 + rng.bounded(200);
+      switch (rng.bounded(3)) {
+        case 0: ops.push_back(IntOp::insert(key, rng.bounded(1 << 20))); break;
+        case 1: ops.push_back(IntOp::erase(key)); break;
+        default: ops.push_back(IntOp::search(key));
+      }
+    }
+    return ops;
+  };
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (const auto& op : thread_ops(t)) {
+        switch (op.type) {
+          case OpType::kInsert: map->insert(op.key, op.value); break;
+          case OpType::kErase: map->erase(op.key); break;
+          case OpType::kSearch: map->search(op.key); break;
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  map->quiesce();
+
+  // Replay: per-thread key spaces are disjoint, so the final state is the
+  // union of each thread's sequential outcome.
+  std::map<std::uint64_t, std::uint64_t> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& op : thread_ops(t)) {
+      if (op.type == OpType::kInsert) {
+        expected[op.key] = op.value;
+      } else if (op.type == OpType::kErase) {
+        expected.erase(op.key);
+      }
+    }
+  }
+  ASSERT_EQ(map->size(), expected.size()) << GetParam();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000000 + k;
+      const auto it = expected.find(key);
+      const auto got = map->search(key);
+      ASSERT_EQ(got.has_value(), it != expected.end())
+          << GetParam() << " key " << key;
+      if (it != expected.end()) {
+        ASSERT_EQ(*got, it->second) << GetParam() << " key " << key;
+      }
+    }
+  }
+  EXPECT_TRUE(map->check());
+}
+
+// Sustained growth and shrink cycles across segment-count transitions.
+TEST_P(BackendIntegrationTest, GrowShrinkCycles) {
+  auto map = driver::make_driver<std::uint64_t, std::uint64_t>(GetParam(),
+                                                               two_workers());
+  core::M0Map<std::uint64_t, std::uint64_t> ref;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::vector<IntOp> ins, del;
+    const std::uint64_t n = 1000 + static_cast<std::uint64_t>(cycle) * 700;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ins.push_back(IntOp::insert(i, i + static_cast<std::uint64_t>(cycle)));
+      if (i % 2 == 0) del.push_back(IntOp::erase(i));
+    }
+    map->run(ins);
+    ref.execute_batch(ins);
+    map->run(del);
+    ref.execute_batch(del);
+    ASSERT_EQ(map->size(), ref.size()) << GetParam() << " cycle " << cycle;
+    ASSERT_TRUE(map->check()) << GetParam() << " cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendIntegrationTest,
+                         ::testing::Values("m0", "m1", "m2", "iacono",
+                                           "splay", "avl", "locked"),
+                         [](const auto& info) { return info.param; });
+
+// Zipf-heavy workload with all op kinds: M1 invariants hold throughout
+// (structure-specific; uses the concrete type).
 TEST(Integration, ZipfWorkloadSoundness) {
   sched::Scheduler scheduler(4);
   core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
@@ -96,115 +189,39 @@ TEST(Integration, ZipfWorkloadSoundness) {
   }
 }
 
-// Hot items end up shallower than cold items in every map.
-TEST(Integration, WorkingSetPropertyAcrossMaps) {
-  sched::Scheduler scheduler(4);
-  core::M0Map<std::uint64_t, int> m0;
-  core::M1Map<std::uint64_t, int> m1(&scheduler);
-
-  std::vector<Op<std::uint64_t, int>> warm;
-  for (std::uint64_t i = 0; i < 5000; ++i) {
-    m0.insert(i, 1);
-    warm.push_back(Op<std::uint64_t, int>::insert(i, 1));
-  }
-  m1.execute_batch(warm);
-
-  // Drive a hot set (late-inserted, hence initially deep) through both.
-  for (int round = 0; round < 10; ++round) {
-    std::vector<Op<std::uint64_t, int>> hot;
-    for (std::uint64_t k = 4990; k < 4998; ++k) {
-      m0.search(k);
-      hot.push_back(Op<std::uint64_t, int>::search(k));
+// Hot items end up shallower than cold items in every working-set backend,
+// observed through the uniform depth_of() API.
+TEST(Integration, WorkingSetPropertyAcrossBackends) {
+  for (const char* name : {"m0", "m1", "iacono"}) {
+    auto map = driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, two_workers());
+    std::vector<Op<std::uint64_t, std::uint64_t>> warm;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      warm.push_back(Op<std::uint64_t, std::uint64_t>::insert(i, 1));
     }
-    m1.execute_batch(hot);
-  }
-  for (std::uint64_t k = 4990; k < 4998; ++k) {
-    EXPECT_LE(*m0.segment_of(k), 2u) << "m0 key " << k;
-    EXPECT_LE(*m1.segment_of(k), 2u) << "m1 key " << k;
-  }
-  // An untouched late-inserted key sits deeper than every hot key.
-  EXPECT_GT(*m0.segment_of(4000), 2u);
-  EXPECT_GT(*m1.segment_of(4000), 2u);
-}
+    map->run(warm);
 
-// Concurrent clients on AsyncMap<M1> and M2 with per-thread key spaces:
-// both maps end up with identical contents.
-TEST(Integration, AsyncM1AndM2ConvergeUnderConcurrency) {
-  sched::Scheduler scheduler(4);
-  core::AsyncMap<std::uint64_t, std::uint64_t,
-                 core::M1Map<std::uint64_t, std::uint64_t>>
-      am1(core::M1Map<std::uint64_t, std::uint64_t>(&scheduler), scheduler);
-  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
-
-  constexpr int kThreads = 4, kOpsPer = 800;
-  std::vector<std::thread> clients;
-  for (int t = 0; t < kThreads; ++t) {
-    clients.emplace_back([&, t] {
-      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 131 + 7);
-      for (int i = 0; i < kOpsPer; ++i) {
-        // Per-thread key space so both maps see the same per-key op order.
-        const std::uint64_t key =
-            static_cast<std::uint64_t>(t) * 1000000 + rng.bounded(200);
-        switch (rng.bounded(3)) {
-          case 0: {
-            const std::uint64_t val = rng.bounded(1 << 20);
-            am1.insert(key, val);
-            m2.insert(key, val);
-            break;
-          }
-          case 1:
-            am1.erase(key);
-            m2.erase(key);
-            break;
-          default: {
-            am1.search(key);
-            m2.search(key);
-          }
-        }
+    // Drive a hot set (late-inserted, hence initially deep).
+    for (int round = 0; round < 10; ++round) {
+      std::vector<Op<std::uint64_t, std::uint64_t>> hot;
+      for (std::uint64_t k = 4990; k < 4998; ++k) {
+        hot.push_back(Op<std::uint64_t, std::uint64_t>::search(k));
       }
-    });
-  }
-  for (auto& th : clients) th.join();
-  am1.quiesce();
-  m2.quiesce();
-  ASSERT_EQ(am1.map().size(), m2.size());
-  // Contents identical: every key in m1 is in m2 with the same value.
-  bool same = true;
-  for (int t = 0; t < kThreads; ++t) {
-    for (std::uint64_t k = 0; k < 200; ++k) {
-      const std::uint64_t key = static_cast<std::uint64_t>(t) * 1000000 + k;
-      auto v1 = am1.map().search(key);
-      auto v2 = m2.search(key);
-      if (v1 != v2) same = false;
+      map->run(hot);
     }
-  }
-  m2.quiesce();
-  EXPECT_TRUE(same);
-  EXPECT_TRUE(am1.map().check_invariants());
-  EXPECT_TRUE(m2.check_invariants());
-}
-
-// Sustained growth and shrink cycles across segment-count transitions.
-TEST(Integration, GrowShrinkCycles) {
-  sched::Scheduler scheduler(2);
-  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
-  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler, 2);
-  for (int cycle = 0; cycle < 4; ++cycle) {
-    std::vector<IntOp> ins, del;
-    const std::uint64_t n = 1000 + static_cast<std::uint64_t>(cycle) * 700;
-    for (std::uint64_t i = 0; i < n; ++i) {
-      ins.push_back(IntOp::insert(i, i + static_cast<std::uint64_t>(cycle)));
-      if (i % 2 == 0) del.push_back(IntOp::erase(i));
+    for (std::uint64_t k = 4990; k < 4998; ++k) {
+      ASSERT_TRUE(map->depth_of(k).has_value()) << name << " key " << k;
+      EXPECT_LE(*map->depth_of(k), 2u) << name << " key " << k;
     }
-    m1.execute_batch(ins);
-    m2.execute_batch(ins);
-    m1.execute_batch(del);
-    m2.execute_batch(del);
-    m2.quiesce();
-    ASSERT_EQ(m1.size(), m2.size()) << "cycle " << cycle;
-    ASSERT_TRUE(m1.check_invariants()) << "cycle " << cycle;
-    ASSERT_TRUE(m2.check_invariants()) << "cycle " << cycle;
+    // An untouched early key sits deeper than every hot key.
+    ASSERT_TRUE(map->depth_of(4000).has_value()) << name;
+    EXPECT_GT(*map->depth_of(4000), 2u) << name;
   }
+  // Non-adjusting backends have no recency depth.
+  auto avl =
+      driver::make_driver<std::uint64_t, std::uint64_t>("avl", two_workers());
+  avl->insert(1, 1);
+  EXPECT_FALSE(avl->depth_of(1).has_value());
 }
 
 }  // namespace

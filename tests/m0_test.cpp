@@ -73,7 +73,7 @@ TEST(M0, SegmentsFullExceptLast) {
   M0Map<int, int> m;
   for (int i = 0; i < 500; ++i) {
     m.insert(i, i);
-    if (i % 53 == 0) ASSERT_TRUE(m.check_invariants()) << "i=" << i;
+    if (i % 53 == 0) { ASSERT_TRUE(m.check_invariants()) << "i=" << i; }
   }
   EXPECT_TRUE(m.check_invariants());
 }
@@ -83,7 +83,7 @@ TEST(M0, EraseRepairsWithMostRecentOfNextSegment) {
   for (int i = 0; i < 300; ++i) m.insert(i, i);
   for (int i = 0; i < 150; ++i) {
     ASSERT_TRUE(m.erase(i).has_value());
-    if (i % 25 == 0) ASSERT_TRUE(m.check_invariants()) << "i=" << i;
+    if (i % 25 == 0) { ASSERT_TRUE(m.check_invariants()) << "i=" << i; }
   }
   EXPECT_EQ(m.size(), 150u);
   EXPECT_TRUE(m.check_invariants());
@@ -117,7 +117,7 @@ TEST(M0, DifferentialAgainstStdMap) {
         auto v = m.search(key);
         auto it = ref.find(key);
         ASSERT_EQ(v.has_value(), it != ref.end()) << "key " << key;
-        if (v) EXPECT_EQ(*v, it->second);
+        if (v) { EXPECT_EQ(*v, it->second); }
       }
     }
     ASSERT_EQ(m.size(), ref.size());

@@ -7,12 +7,14 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
-#include "baseline/splay_tree.hpp"
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "core/m2_map.hpp"
+#include "driver/registry.hpp"
 #include "sort/esort.hpp"
 #include "sort/pesort.hpp"
 #include "tree/jtree.hpp"
@@ -121,23 +123,30 @@ INSTANTIATE_TEST_SUITE_P(
                       SortCase{7, 100000, 1 << 10},
                       SortCase{8, 100000, 1 << 30}));
 
-// ---------- M0 == splay tree == std::map semantics across seeds -------------
+// ---------- every backend == std::map semantics across seeds ----------------
+// Parameterized over (registry backend, seed): the point-op stream drives
+// the driver's sequential step() path; every backend must agree with the
+// std::map reference op for op.
 
-class MapAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+class MapAgreementTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
 
-TEST_P(MapAgreementTest, M0SplayStdMapAgree) {
-  util::Xoshiro256 rng(GetParam());
-  core::M0Map<int, int> m0;
-  baseline::SplayTree<int, int> splay;
+TEST_P(MapAgreementTest, BackendAgreesWithStdMap) {
+  const auto& [backend, seed] = GetParam();
+  util::Xoshiro256 rng(seed);
+  driver::Options opts;
+  opts.workers = 2;
+  auto map = driver::make_driver<int, int>(backend, opts);
   std::map<int, int> ref;
+  using IntOp = core::Op<int, int>;
   for (int step = 0; step < 8000; ++step) {
     const int key = static_cast<int>(rng.bounded(200));
     switch (rng.bounded(3)) {
       case 0: {
         const int val = static_cast<int>(rng.bounded(1 << 20));
         const bool fresh = ref.find(key) == ref.end();
-        ASSERT_EQ(m0.insert(key, val), fresh);
-        ASSERT_EQ(splay.insert(key, val), fresh);
+        ASSERT_EQ(map->step(IntOp::insert(key, val)).success, fresh);
         ref[key] = val;
         break;
       }
@@ -145,8 +154,7 @@ TEST_P(MapAgreementTest, M0SplayStdMapAgree) {
         auto it = ref.find(key);
         const auto want = it == ref.end() ? std::optional<int>{}
                                           : std::optional<int>{it->second};
-        ASSERT_EQ(m0.erase(key), want);
-        ASSERT_EQ(splay.erase(key), want);
+        ASSERT_EQ(map->step(IntOp::erase(key)).value, want);
         if (it != ref.end()) ref.erase(it);
         break;
       }
@@ -154,16 +162,23 @@ TEST_P(MapAgreementTest, M0SplayStdMapAgree) {
         auto it = ref.find(key);
         const auto want = it == ref.end() ? std::optional<int>{}
                                           : std::optional<int>{it->second};
-        ASSERT_EQ(m0.search(key), want);
-        ASSERT_EQ(splay.search(key), want);
+        ASSERT_EQ(map->step(IntOp::search(key)).value, want);
       }
     }
   }
-  EXPECT_TRUE(m0.check_invariants());
+  EXPECT_EQ(map->size(), ref.size());
+  EXPECT_TRUE(map->check());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MapAgreementTest,
-                         ::testing::Values(11, 22, 33, 44, 55, 66));
+INSTANTIATE_TEST_SUITE_P(
+    BackendsXSeeds, MapAgreementTest,
+    ::testing::Combine(::testing::Values("m0", "m1", "m2", "iacono", "splay",
+                                         "avl", "locked"),
+                       ::testing::Values(11, 22, 33)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 // ---------- M2 across p values -----------------------------------------------
 
@@ -194,7 +209,7 @@ TEST_P(M2ParamTest, DifferentialAcrossBunchSizes) {
       switch (op.type) {
         case core::OpType::kSearch:
           ASSERT_EQ(got[i].success, it != ref.end()) << "p=" << p;
-          if (it != ref.end()) ASSERT_EQ(got[i].value, it->second);
+          if (it != ref.end()) { ASSERT_EQ(got[i].value, it->second); }
           break;
         case core::OpType::kInsert:
           ASSERT_EQ(got[i].success, it == ref.end()) << "p=" << p;
@@ -257,15 +272,20 @@ TEST_P(M1BatchSplitTest, SplittingBatchesPreservesFinalState) {
 INSTANTIATE_TEST_SUITE_P(ChunkSizes, M1BatchSplitTest,
                          ::testing::Values(1, 7, 64, 500, 3000));
 
-// ---------- Zipf workloads keep every map sound -----------------------------
+// ---------- Zipf workloads keep every backend sound --------------------------
+// Parameterized over (registry backend, theta): skewed mixed batches
+// through the bulk run() path, differential against an M0 reference batch
+// for batch (M0 is the paper's model structure for M1/M2 equivalence).
 
-class ZipfSoundnessTest : public ::testing::TestWithParam<double> {};
+class ZipfSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
 
-TEST_P(ZipfSoundnessTest, M1AndM2SurviveSkewedMixes) {
-  const double theta = GetParam();
-  sched::Scheduler scheduler(2);
-  core::M1Map<std::uint64_t, std::uint64_t> m1(&scheduler);
-  core::M2Map<std::uint64_t, std::uint64_t> m2(scheduler);
+TEST_P(ZipfSoundnessTest, BackendsSurviveSkewedMixes) {
+  const auto& [backend, theta] = GetParam();
+  driver::Options opts;
+  opts.workers = 2;
+  auto map = driver::make_driver<std::uint64_t, std::uint64_t>(backend, opts);
+  core::M0Map<std::uint64_t, std::uint64_t> ref;
   using IntOp = core::Op<std::uint64_t, std::uint64_t>;
 
   const auto keys = util::zipf_keys(1 << 10, theta, 8000, 9);
@@ -279,24 +299,31 @@ TEST_P(ZipfSoundnessTest, M1AndM2SurviveSkewedMixes) {
       case util::OpKind::kErase: batch.push_back(IntOp::erase(mixed[i].key)); break;
     }
     if (batch.size() == 1024 || i + 1 == mixed.size()) {
-      const auto r1 = m1.execute_batch(batch);
-      const auto r2 = m2.execute_batch(batch);
-      ASSERT_EQ(r1.size(), r2.size());
-      for (std::size_t j = 0; j < r1.size(); ++j) {
-        ASSERT_EQ(r1[j].success, r2[j].success) << "theta " << theta;
-        ASSERT_EQ(r1[j].value, r2[j].value);
+      const auto got = map->run(batch);
+      const auto want = ref.execute_batch(batch);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_EQ(got[j].success, want[j].success)
+            << backend << " theta " << theta << " op " << j;
+        ASSERT_EQ(got[j].value, want[j].value) << backend;
       }
       batch.clear();
     }
   }
-  m2.quiesce();
-  EXPECT_EQ(m1.size(), m2.size());
-  EXPECT_TRUE(m1.check_invariants());
-  EXPECT_TRUE(m2.check_invariants());
+  EXPECT_EQ(map->size(), ref.size());
+  EXPECT_TRUE(map->check());
+  EXPECT_TRUE(ref.check_invariants());
 }
 
-INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSoundnessTest,
-                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2));
+INSTANTIATE_TEST_SUITE_P(
+    BackendsXThetas, ZipfSoundnessTest,
+    ::testing::Combine(::testing::Values("m1", "m2", "splay", "locked"),
+                       ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2)),
+    [](const auto& info) {
+      const double theta = std::get<1>(info.param);
+      return std::get<0>(info.param) + "_theta" +
+             std::to_string(static_cast<int>(theta * 100));
+    });
 
 }  // namespace
 }  // namespace pwss

@@ -225,7 +225,7 @@ TEST(JTree, RandomizedDifferentialAgainstStdMap) {
         const int* v = t.find(key);
         auto it = ref.find(key);
         ASSERT_EQ(v != nullptr, it != ref.end());
-        if (v) EXPECT_EQ(*v, it->second);
+        if (v) { EXPECT_EQ(*v, it->second); }
         break;
       }
     }
