@@ -70,5 +70,14 @@ int main(int argc, char** argv) {
   map->quiesce();
   std::printf("%s: size after 4 concurrent clients = %zu (invariants %s)\n",
               chosen.c_str(), map->size(), map->check() ? "ok" : "BROKEN");
+
+  // ---- 4. Sharding: any backend name works with a sharded: prefix -------
+  // --shards instances behind one shared scheduler; point ops route by key
+  // hash, bulk batches scatter/gather per shard.
+  auto sharded = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+      "sharded:m1", cli.driver);
+  sharded->run(batch);  // the same bulk batch as section 2
+  std::printf("sharded:m1: %zu items across shards (invariants %s)\n",
+              sharded->size(), sharded->check() ? "ok" : "BROKEN");
   return 0;
 }

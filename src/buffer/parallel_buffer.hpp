@@ -44,8 +44,11 @@ class ParallelBuffer {
     Slot& slot = slots_[this_thread_slot() % slots_.size()];
     slot.lock_spin();
     slot.items.push_back(std::move(item));
-    slot.lock.unlock();
+    // Publish the count under the slot lock: a flush() racing with this
+    // submit would otherwise take the item and fetch_sub before our
+    // fetch_add, wrapping pending_ below zero.
     pending_.fetch_add(1, std::memory_order_release);
+    slot.lock.unlock();
   }
 
   /// Approximate number of buffered items (exact when quiescent).
@@ -62,9 +65,14 @@ class ParallelBuffer {
       std::vector<T> taken;
       slot.lock_spin();
       taken.swap(slot.items);
-      slot.lock.unlock();
+      // Debit under the same lock that credited: per slot, subs are
+      // serialized after the adds for the items taken, so pending_ is
+      // always >= the true buffered count and never wraps.
       if (!taken.empty()) {
         pending_.fetch_sub(taken.size(), std::memory_order_release);
+      }
+      slot.lock.unlock();
+      if (!taken.empty()) {
         if (out.empty()) {
           out = std::move(taken);
         } else {

@@ -71,9 +71,20 @@ class AsyncMap {
 
   /// Submits without blocking; caller later waits on the ticket.
   void submit(Op<K, V> op, OpTicket<V>* ticket) {
-    input_.submit(Submission{std::move(op), ticket});
+    // Claim before publish: drive() may fulfill the op and fetch_sub the
+    // moment it is visible in input_, so incrementing afterwards would let
+    // in_flight_ wrap below zero and quiesce() transiently observe a clean
+    // state with the op still buffered.
     in_flight_.fetch_add(1, std::memory_order_release);
+    input_.submit(Submission{std::move(op), ticket});
     poke();
+  }
+
+  /// Operations claimed but not yet fulfilled. Never wraps below zero:
+  /// every fetch_sub is for ops whose claiming fetch_add happened-before
+  /// their publication in input_. Exact only when quiescent.
+  std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
   }
 
   /// Blocks until every submitted operation has completed.

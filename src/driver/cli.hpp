@@ -7,8 +7,12 @@
 //   --backend=all              every registered backend
 //   --workers=N                scheduler worker count (0 = hardware)
 //   --p=N                      M2 bunch parameter p (0 = worker count)
+//   --shards=N                 shard count for sharded:* backends (0 = 4)
 //   --list-backends            print the registry and exit
 //   --help                     usage
+//
+// `--backend=sharded:NAME` wraps any registered backend in the sharded
+// driver (validated against the registry like every other name).
 //
 // parse() validates every requested name against the registry and exits
 // with the known-backend list on a miss, so a typo cannot silently fall
@@ -81,13 +85,17 @@ CliOptions parse(int argc, char** argv,
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--backend=NAME[,NAME...]|all] [--workers=N] [--p=N]\n"
-          "          [--list-backends]\n",
+          "          [--shards=N] [--list-backends]\n"
+          "       (NAME may be sharded:NAME, e.g. --backend=sharded:m1)\n",
           argv[0]);
       std::exit(0);
     } else if (arg == "--list-backends") {
       for (const auto& e : registry.entries()) {
         std::printf("%-8s %s\n", e.name.c_str(), e.description.c_str());
       }
+      std::printf(
+          "sharded:<name>  any of the above, --shards instances behind one "
+          "shared scheduler\n");
       std::exit(0);
     } else if (arg.starts_with("--backend=")) {
       const std::string_view val = arg.substr(std::string_view("--backend=").size());
@@ -100,6 +108,10 @@ CliOptions parse(int argc, char** argv,
     } else if (arg.starts_with("--p=")) {
       cli.driver.p = detail::parse_unsigned(
           argv[0], "--p", arg.substr(std::string_view("--p=").size()));
+    } else if (arg.starts_with("--shards=")) {
+      cli.driver.shards = detail::parse_unsigned(
+          argv[0], "--shards",
+          arg.substr(std::string_view("--shards=").size()));
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
                    argv[0], argv[i]);
@@ -107,8 +119,10 @@ CliOptions parse(int argc, char** argv,
     }
   }
 
-  if (cli.driver.workers > 4096 || cli.driver.p > 4096) {
-    std::fprintf(stderr, "%s: --workers/--p must be at most 4096\n", argv[0]);
+  if (cli.driver.workers > 4096 || cli.driver.p > 4096 ||
+      cli.driver.shards > 4096) {
+    std::fprintf(stderr, "%s: --workers/--p/--shards must be at most 4096\n",
+                 argv[0]);
     std::exit(2);
   }
   if (cli.backends.empty()) {

@@ -45,6 +45,13 @@ struct Options {
   unsigned workers = 0;
   /// M2's p (bunch size p^2); 0 = the scheduler's worker count.
   unsigned p = 0;
+  /// Shard count for sharded:* backends; 0 = kDefaultShards. Ignored by
+  /// unsharded backends.
+  unsigned shards = 0;
+  /// When non-null the driver runs on this scheduler instead of owning
+  /// one (it must outlive the driver). ShardedDriver uses this to put all
+  /// its shards behind one shared pool. Ignored by schedulerless backends.
+  sched::Scheduler* scheduler = nullptr;
 };
 
 /// Type-erased handle to a wired backend. Obtained from BackendRegistry.
@@ -93,8 +100,10 @@ class Driver {
   /// first); backends without check_invariants() vacuously pass.
   virtual bool check() = 0;
 
-  /// The scheduler this driver owns, or nullptr for schedulerless
-  /// backends (the sequential baselines and the locked map).
+  /// The scheduler this driver owns or runs on (a caller-supplied
+  /// Options::scheduler is shared, not owned), or nullptr for
+  /// schedulerless backends (the sequential baselines and the locked
+  /// map).
   virtual sched::Scheduler* scheduler() noexcept = 0;
 
   /// Registry name this driver was created under ("m2", "avl", ...).
@@ -109,6 +118,21 @@ class Driver {
 };
 
 namespace detail {
+
+/// Owned-or-shared scheduler wiring: owns a pool sized by Options::workers
+/// unless Options::scheduler supplies an external one (which must then
+/// outlive the driver). Declare it before the backend/front-end member so
+/// an owned pool dies last.
+struct SchedulerHandle {
+  explicit SchedulerHandle(const Options& opts)
+      : owned(opts.scheduler
+                  ? nullptr
+                  : std::make_unique<sched::Scheduler>(opts.workers)),
+        ptr(opts.scheduler ? opts.scheduler : owned.get()) {}
+
+  std::unique_ptr<sched::Scheduler> owned;
+  sched::Scheduler* ptr;
+};
 
 template <typename B, typename K, typename V>
 bool checked_invariants(B& backend) {
@@ -178,8 +202,8 @@ class AsyncDriver final : public Driver<K, V> {
  public:
   AsyncDriver(std::string name, const Options& opts)
       : Driver<K, V>(std::move(name)),
-        scheduler_(std::make_unique<sched::Scheduler>(opts.workers)),
-        async_(make_backend(*scheduler_), *scheduler_) {}
+        scheduler_(opts),
+        async_(make_backend(*scheduler_.ptr), *scheduler_.ptr) {}
 
   std::vector<core::Result<V>> run(
       const std::vector<core::Op<K, V>>& ops) override {
@@ -205,7 +229,7 @@ class AsyncDriver final : public Driver<K, V> {
     async_.quiesce();
     return detail::checked_invariants<B, K, V>(async_.map());
   }
-  sched::Scheduler* scheduler() noexcept override { return scheduler_.get(); }
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   /// The wrapped backend; safe only when quiescent.
   B& backend() {
@@ -233,7 +257,7 @@ class AsyncDriver final : public Driver<K, V> {
   // Declaration order is destruction-order-critical: the AsyncMap (and
   // the backend inside it) must die before the scheduler its drive loop
   // and forks run on.
-  std::unique_ptr<sched::Scheduler> scheduler_;
+  detail::SchedulerHandle scheduler_;
   core::AsyncMap<K, V, B> async_;
 };
 
@@ -246,8 +270,8 @@ class NativeAsyncDriver final : public Driver<K, V> {
  public:
   NativeAsyncDriver(std::string name, const Options& opts)
       : Driver<K, V>(std::move(name)),
-        scheduler_(std::make_unique<sched::Scheduler>(opts.workers)),
-        backend_(*scheduler_, opts.p) {}
+        scheduler_(opts),
+        backend_(*scheduler_.ptr, opts.p) {}
 
   std::vector<core::Result<V>> run(
       const std::vector<core::Op<K, V>>& ops) override {
@@ -271,7 +295,7 @@ class NativeAsyncDriver final : public Driver<K, V> {
     backend_.quiesce();
     return detail::checked_invariants<B, K, V>(backend_);
   }
-  sched::Scheduler* scheduler() noexcept override { return scheduler_.get(); }
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   B& backend() { return backend_; }
 
@@ -283,7 +307,7 @@ class NativeAsyncDriver final : public Driver<K, V> {
   }
 
  private:
-  std::unique_ptr<sched::Scheduler> scheduler_;  // must outlive backend_
+  detail::SchedulerHandle scheduler_;  // must outlive backend_
   B backend_;
 };
 

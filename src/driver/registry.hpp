@@ -17,6 +17,10 @@
 //   splay    bottom-up splay tree               AsyncMap front end
 //   avl      join-based AVL (non-adjusting)     AsyncMap front end
 //   locked   mutex around the AVL               direct point ops
+//
+// Any registered name also resolves with a `sharded:` prefix
+// (`sharded:m1`, `sharded:locked`, ...): Options::shards instances of the
+// named backend behind one shared scheduler (driver/sharded.hpp).
 
 #include <functional>
 #include <memory>
@@ -31,6 +35,7 @@
 #include "core/m1_map.hpp"
 #include "core/m2_map.hpp"
 #include "driver/driver.hpp"
+#include "driver/sharded.hpp"
 
 namespace pwss::driver {
 
@@ -62,15 +67,32 @@ class BackendRegistry {
     return true;
   }
 
-  bool contains(std::string_view name) const { return find(name) != nullptr; }
+  /// True for registered names and for `sharded:<registered name>`
+  /// (sharding does not nest).
+  bool contains(std::string_view name) const {
+    if (name.starts_with(kShardedPrefix)) {
+      return find(name.substr(kShardedPrefix.size())) != nullptr;
+    }
+    return find(name) != nullptr;
+  }
 
   /// Creates a driver, or throws std::invalid_argument naming the known
-  /// backends. Use contains() to probe without throwing.
+  /// backends. Use contains() to probe without throwing. A `sharded:`
+  /// prefix wraps Options::shards instances of the named backend behind
+  /// one shared scheduler.
   std::unique_ptr<Driver<K, V>> create(std::string_view name,
                                        const Options& opts = {}) const {
-    if (const Entry* e = find(name)) return e->make(opts);
+    if (name.starts_with(kShardedPrefix)) {
+      if (const Entry* e = find(name.substr(kShardedPrefix.size()))) {
+        return std::make_unique<ShardedDriver<K, V>>(std::string(name), opts,
+                                                     e->make);
+      }
+    } else if (const Entry* e = find(name)) {
+      return e->make(opts);
+    }
     std::string msg = "unknown backend '" + std::string(name) + "'; known:";
     for (const auto& e : entries_) msg += " " + e.name;
+    msg += " (each also as sharded:<name>)";
     throw std::invalid_argument(msg);
   }
 

@@ -1,0 +1,202 @@
+#pragma once
+// ShardedDriver — multi-instance scaling on top of the driver layer: S
+// independent backend instances (each with its own front end, any registry
+// wiring) behind ONE shared scheduler, presented as a single Driver<K, V>.
+//
+//   * point ops route by key hash: each key lives in exactly one shard, so
+//     per-key program order is the shard's program order;
+//   * bulk run() scatters the batch by shard, executes the per-shard
+//     sub-batches concurrently (each on its own thread, their internal
+//     parallelism on the shared pool), and gathers results back into
+//     submission order — a legal linearization per shard (Definition 8:
+//     per-key order preserved, results in submission order);
+//   * size()/check()/quiesce() aggregate across shards; depth_of() routes
+//     to the shard holding the key.
+//
+// Like the AsyncMap-wrapped drivers, the bulk path must not race with
+// concurrent blocking callers on shards whose wiring forbids it (each
+// inner run() quiesces its own shard first).
+//
+// The shards are created through an injected factory — the registry passes
+// the wrapped backend's own factory, so `sharded:<name>` works for every
+// registered backend without this header depending on the registry.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "driver/driver.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pwss::driver {
+
+/// Shard count used when Options::shards is 0.
+inline constexpr unsigned kDefaultShards = 4;
+
+/// The registry resolves `sharded:<name>` for every registered backend;
+/// benches that apply their own wrapper strip this prefix first.
+inline constexpr std::string_view kShardedPrefix = "sharded:";
+
+template <typename K, typename V>
+class ShardedDriver final : public Driver<K, V> {
+ public:
+  using ShardFactory =
+      std::function<std::unique_ptr<Driver<K, V>>(const Options&)>;
+
+  /// `make_shard` builds one inner driver; it is called S times with
+  /// Options whose scheduler field points at the shared pool — the
+  /// caller's Options::scheduler when supplied, else a pool this driver
+  /// owns. An owned pool is dropped again when no shard wired itself to
+  /// it (e.g. sharded:locked, whose shards are schedulerless).
+  ShardedDriver(std::string name, const Options& opts, ShardFactory make_shard)
+      : Driver<K, V>(std::move(name)), scheduler_(opts) {
+    const unsigned count = opts.shards == 0 ? kDefaultShards : opts.shards;
+    Options inner = opts;
+    inner.scheduler = scheduler_.ptr;
+    inner.shards = 0;
+    shards_.reserve(count);
+    for (unsigned s = 0; s < count; ++s) shards_.push_back(make_shard(inner));
+    if (scheduler_.owned) {
+      bool used = false;
+      for (auto& s : shards_) used = used || s->scheduler() != nullptr;
+      if (!used) {
+        scheduler_.owned.reset();
+        scheduler_.ptr = nullptr;
+      }
+    }
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// The s-th shard's driver; aggregate state is only meaningful when
+  /// quiescent.
+  Driver<K, V>& shard(std::size_t s) { return *shards_[s]; }
+
+  /// The shard index `key` routes to (stable for the driver's lifetime).
+  std::size_t shard_of(const K& key) const {
+    // std::hash is the identity for integers on common stdlibs; finalize
+    // (murmur3 fmix64) so contiguous key ranges spread across shards.
+    auto h = static_cast<std::uint64_t>(std::hash<K>{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % shards_.size());
+  }
+
+  std::vector<core::Result<V>> run(
+      const std::vector<core::Op<K, V>>& ops) override {
+    const std::size_t n = shards_.size();
+    std::vector<std::vector<core::Op<K, V>>> scatter(n);
+    std::vector<std::vector<std::size_t>> origin(n);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::size_t s = shard_of(ops[i].key);
+      scatter[s].push_back(ops[i]);
+      origin[s].push_back(i);
+    }
+
+    // Per-shard run()s go on dedicated threads, NOT on pool workers: an
+    // inner run() may block its thread on pool progress (M2's
+    // execute_batch awaits pipeline activations; AsyncMap's quiesce
+    // spins), so hosting it on the pool deadlocks once blocking shard
+    // tasks occupy every worker. The shards' internal parallelism still
+    // runs on the one shared scheduler. The calling thread takes the
+    // first non-empty shard itself. Exceptions are captured per shard
+    // and the first rethrown after every helper joined, matching the
+    // unsharded drivers' propagation.
+    std::vector<core::Result<V>> out(ops.size());
+    std::vector<std::vector<core::Result<V>>> partial(n);
+    std::vector<std::exception_ptr> errors(n);
+    auto run_shard = [&](std::size_t s) noexcept {
+      try {
+        partial[s] = shards_[s]->run(scatter[s]);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    };
+    std::vector<std::thread> helpers;
+    std::size_t own = n;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (scatter[s].empty()) continue;
+      if (own == n) {
+        own = s;
+      } else {
+        helpers.emplace_back([&run_shard, s] { run_shard(s); });
+      }
+    }
+    if (own != n) run_shard(own);
+    for (auto& th : helpers) th.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t j = 0; j < origin[s].size(); ++j) {
+        out[origin[s][j]] = std::move(partial[s][j]);
+      }
+    }
+    return out;
+  }
+
+  core::Result<V> step(core::Op<K, V> op) override {
+    const std::size_t s = shard_of(op.key);
+    return shards_[s]->step(std::move(op));
+  }
+
+  std::optional<std::size_t> depth_of(const K& key) override {
+    return shards_[shard_of(key)]->depth_of(key);
+  }
+
+  void quiesce() override {
+    for (auto& s : shards_) s->quiesce();
+  }
+
+  std::size_t size() override {
+    std::size_t total = 0;
+    for (auto& s : shards_) total += s->size();
+    return total;
+  }
+
+  bool check() override {
+    bool ok = true;
+    for (auto& s : shards_) ok = s->check() && ok;
+    return ok;
+  }
+
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
+
+ protected:
+  core::Result<V> run_one(core::Op<K, V> op) override {
+    Driver<K, V>& s = *shards_[shard_of(op.key)];
+    core::Result<V> r;
+    switch (op.type) {
+      case core::OpType::kSearch:
+        r.value = s.search(op.key);
+        r.success = r.value.has_value();
+        break;
+      case core::OpType::kInsert:
+        r.success = s.insert(op.key, std::move(op.value));
+        break;
+      case core::OpType::kErase:
+        r.value = s.erase(op.key);
+        r.success = r.value.has_value();
+        break;
+    }
+    return r;
+  }
+
+ private:
+  // Shards die before the shared scheduler their front ends run on.
+  detail::SchedulerHandle scheduler_;
+  std::vector<std::unique_ptr<Driver<K, V>>> shards_;
+};
+
+}  // namespace pwss::driver

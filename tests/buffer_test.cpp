@@ -107,6 +107,79 @@ TEST(FeedBuffer, FifoAcrossBunches) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
 }
 
+TEST(FeedBuffer, TopUpAccumulatesAcrossManySmallAppends) {
+  buffer::FeedBuffer<int> feed(5);
+  // Five 1-element appends must coalesce into ONE bunch, not five.
+  for (int i = 0; i < 5; ++i) {
+    feed.append({i});
+    EXPECT_EQ(feed.bunch_count(), 1u) << "after append " << i;
+    EXPECT_EQ(feed.size(), static_cast<std::size_t>(i) + 1);
+  }
+  // The sixth element starts a fresh bunch.
+  feed.append({5});
+  EXPECT_EQ(feed.bunch_count(), 2u);
+  auto first = feed.take_bunches(1);
+  ASSERT_EQ(first.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(first[static_cast<size_t>(i)], i);
+  EXPECT_EQ(feed.take_bunches(1), std::vector<int>{5});
+}
+
+TEST(FeedBuffer, ExactlyFullLastBunchTakesNoTopUp) {
+  buffer::FeedBuffer<int> feed(4);
+  feed.append({0, 1, 2, 3});  // exactly one full bunch
+  EXPECT_EQ(feed.bunch_count(), 1u);
+  feed.append({4, 5});  // no room in the last bunch: a fresh one
+  EXPECT_EQ(feed.bunch_count(), 2u);
+  EXPECT_EQ(feed.take_bunches(1).size(), 4u);
+  EXPECT_EQ(feed.take_bunches(1).size(), 2u);
+}
+
+TEST(FeedBuffer, AppendEmptyInputIsANoOp) {
+  buffer::FeedBuffer<int> feed(3);
+  feed.append({});
+  EXPECT_TRUE(feed.empty());
+  EXPECT_EQ(feed.size(), 0u);
+  EXPECT_EQ(feed.bunch_count(), 0u);
+  feed.append({1, 2});
+  feed.append({});
+  EXPECT_EQ(feed.size(), 2u);
+  EXPECT_EQ(feed.bunch_count(), 1u);
+}
+
+TEST(FeedBuffer, TakeZeroBunchesLeavesEverything) {
+  buffer::FeedBuffer<int> feed(3);
+  feed.append({1, 2, 3, 4});
+  EXPECT_TRUE(feed.take_bunches(0).empty());
+  EXPECT_EQ(feed.size(), 4u);
+  EXPECT_EQ(feed.bunch_count(), 2u);
+}
+
+TEST(FeedBuffer, TotalAccountingSurvivesMixedTakeAndAppend) {
+  buffer::FeedBuffer<int> feed(4);
+  feed.append({0, 1, 2, 3, 4, 5});  // bunches [4][2], total 6
+  EXPECT_EQ(feed.size(), 6u);
+  auto front = feed.take_bunches(1);  // removes [4]
+  EXPECT_EQ(front.size(), 4u);
+  EXPECT_EQ(feed.size(), 2u);
+  // The partial [2] bunch is now the LAST bunch; a new append tops it up
+  // (take must not have corrupted the top-up invariant).
+  feed.append({6, 7, 8});  // [2+2][1]
+  EXPECT_EQ(feed.size(), 5u);
+  EXPECT_EQ(feed.bunch_count(), 2u);
+  auto second = feed.take_bunches(1);
+  ASSERT_EQ(second.size(), 4u);
+  EXPECT_EQ(second, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(feed.size(), 1u);
+  auto rest = feed.take_bunches(5);
+  EXPECT_EQ(rest, std::vector<int>{8});
+  EXPECT_EQ(feed.size(), 0u);
+  EXPECT_TRUE(feed.empty());
+  // Draining to empty and re-appending starts fresh bunches.
+  feed.append({9});
+  EXPECT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed.bunch_count(), 1u);
+}
+
 TEST(AsyncGate, BeginFinishSingleOwner) {
   sync::AsyncGate g;
   EXPECT_TRUE(g.begin());

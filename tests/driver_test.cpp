@@ -12,6 +12,7 @@
 
 #include "core/m1_map.hpp"
 #include "driver/registry.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace pwss {
@@ -208,9 +209,10 @@ TEST_P(DriverBackendTest, BulkAndBlockingAgreeWithReference) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, DriverBackendTest,
                          ::testing::Values("m0", "m1", "m2", "iacono",
-                                           "splay", "avl", "locked"),
+                                           "splay", "avl", "locked",
+                                           "sharded:m1"),
                          [](const auto& info) {
-                           return std::string(info.param);
+                           return testutil::gtest_safe(info.param);
                          });
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "driver/registry.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
 
@@ -163,8 +164,11 @@ TEST_P(BackendIntegrationTest, GrowShrinkCycles) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendIntegrationTest,
                          ::testing::Values("m0", "m1", "m2", "iacono",
-                                           "splay", "avl", "locked"),
-                         [](const auto& info) { return info.param; });
+                                           "splay", "avl", "locked",
+                                           "sharded:m1", "sharded:locked"),
+                         [](const auto& info) {
+                           return testutil::gtest_safe(info.param);
+                         });
 
 // Zipf-heavy workload with all op kinds: M1 invariants hold throughout
 // (structure-specific; uses the concrete type).

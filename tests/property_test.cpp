@@ -17,6 +17,7 @@
 #include "driver/registry.hpp"
 #include "sort/esort.hpp"
 #include "sort/pesort.hpp"
+#include "test_util.hpp"
 #include "tree/jtree.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
@@ -173,10 +174,11 @@ TEST_P(MapAgreementTest, BackendAgreesWithStdMap) {
 INSTANTIATE_TEST_SUITE_P(
     BackendsXSeeds, MapAgreementTest,
     ::testing::Combine(::testing::Values("m0", "m1", "m2", "iacono", "splay",
-                                         "avl", "locked"),
+                                         "avl", "locked", "sharded:m1",
+                                         "sharded:locked"),
                        ::testing::Values(11, 22, 33)),
     [](const auto& info) {
-      return std::get<0>(info.param) + "_seed" +
+      return testutil::gtest_safe(std::get<0>(info.param)) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
 
@@ -317,11 +319,12 @@ TEST_P(ZipfSoundnessTest, BackendsSurviveSkewedMixes) {
 
 INSTANTIATE_TEST_SUITE_P(
     BackendsXThetas, ZipfSoundnessTest,
-    ::testing::Combine(::testing::Values("m1", "m2", "splay", "locked"),
+    ::testing::Combine(::testing::Values("m1", "m2", "splay", "locked",
+                                         "sharded:m1"),
                        ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2)),
     [](const auto& info) {
       const double theta = std::get<1>(info.param);
-      return std::get<0>(info.param) + "_theta" +
+      return testutil::gtest_safe(std::get<0>(info.param)) + "_theta" +
              std::to_string(static_cast<int>(theta * 100));
     });
 

@@ -1,0 +1,18 @@
+#pragma once
+// Shared helpers for the gtest suites.
+
+#include <string>
+
+namespace pwss::testutil {
+
+/// gtest test names allow only [A-Za-z0-9_]; "sharded:m1" -> "sharded_m1".
+inline std::string gtest_safe(std::string name) {
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+}  // namespace pwss::testutil
