@@ -10,7 +10,13 @@
 // map saturates; the gap widens under skew (theta=0.99) because hot items
 // sit in tiny front segments.
 //
+// A second panel (E5b) drives the bulk run() path in fixed-size batches —
+// the synchronous execute_batch cost every implicit batch ultimately pays —
+// at 1024 and 8192 ops per batch; 8192 is the allocation-lean PR's
+// acceptance metric.
+//
 //   ./bench_e5_m1_scaling [--backend=NAME[,NAME...]] [--workers=N]
+//                         [--json=FILE]
 
 #include <atomic>
 #include <chrono>
@@ -22,6 +28,7 @@
 #include "bench_util.hpp"
 #include "driver/cli.hpp"
 #include "util/rng.hpp"
+#include "util/workload.hpp"
 #include "util/zipf.hpp"
 
 namespace {
@@ -59,13 +66,21 @@ double mops(IntDriver& map, unsigned clients, double theta) {
   return static_cast<double>(total.load()) / kRunSeconds / 1e6;
 }
 
+double bulk_mops(IntDriver& map, const std::vector<std::uint64_t>& keys,
+                 std::size_t batch_size) {
+  const double ms = pwss::bench::chunked_search_ms(map, keys, batch_size);
+  return static_cast<double>(keys.size()) / ms / 1e3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = pwss::bench::consume_json_flag(argc, argv, "e5");
   auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
       argc, argv, {"m1", "locked"});
   // Pin the worker pool so the client-scaling column is readable.
   if (cli.driver.workers == 0) cli.driver.workers = 4;
+  auto& json = pwss::bench::BenchJson::instance();
 
   std::vector<std::string> cols = {"theta", "clients"};
   for (const auto& b : cli.backends) cols.push_back(b);
@@ -82,14 +97,48 @@ int main(int argc, char** argv) {
         // Pre-populate half the universe.
         pwss::bench::prepopulate(*map, kUniverse, 2,
                                  [](std::uint64_t i) { return i; });
-        pwss::bench::print_cell(mops(*map, clients, theta));
+        const double m = mops(*map, clients, theta);
+        pwss::bench::print_cell(m);
+        json.record("blocking_clients", name, "ops_per_sec", m * 1e6,
+                    {{"workers", cli.driver.workers},
+                     {"clients", clients},
+                     {"theta_x100", theta * 100}});
       }
       pwss::bench::end_row();
     }
   }
+
+  // E5b: the synchronous bulk path — per-backend execute_batch throughput
+  // at fixed batch sizes (8192 is the perf-PR acceptance metric).
+  std::vector<std::string> bcols = {"theta", "batch"};
+  for (const auto& b : cli.backends) bcols.push_back(b);
+  pwss::bench::print_header(
+      "E5b: bulk run() Mops/s, zipf searches (universe 2^16)", bcols);
+  constexpr std::size_t kBulkOps = 1u << 17;
+  for (const double theta : {0.0, 0.99}) {
+    const auto keys = pwss::util::zipf_keys(kUniverse, theta, kBulkOps, 17);
+    for (const std::size_t batch : {std::size_t{1024}, std::size_t{8192}}) {
+      pwss::bench::print_cell(theta);
+      pwss::bench::print_cell(std::to_string(batch));
+      for (const auto& name : cli.backends) {
+        auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+            name, cli.driver);
+        pwss::bench::prepopulate(*map, kUniverse, 2,
+                                 [](std::uint64_t i) { return i; });
+        const double m = bulk_mops(*map, keys, batch);
+        pwss::bench::print_cell(m);
+        json.record("bulk_run", name, "ops_per_sec", m * 1e6,
+                    {{"workers", cli.driver.workers},
+                     {"batch", static_cast<double>(batch)},
+                     {"theta_x100", theta * 100}});
+      }
+      pwss::bench::end_row();
+    }
+  }
+
   std::printf(
       "\nShape: batched columns grow with clients (implicit batching "
       "amortizes structure passes); the locked column flattens/declines "
-      "under contention.\n");
+      "under contention. E5b isolates the synchronous batch core.\n");
   return 0;
 }

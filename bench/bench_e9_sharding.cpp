@@ -75,9 +75,11 @@ double blocking_mops(IntDriver& map, const std::vector<std::uint64_t>& keys) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = pwss::bench::consume_json_flag(argc, argv, "e9");
   auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
       argc, argv, {"m1", "avl"});
   if (cli.driver.workers == 0) cli.driver.workers = 4;
+  auto& json = pwss::bench::BenchJson::instance();
 
   // The sweep applies its own sharded: wrapper per row; accept
   // --backend=sharded:NAME by stripping the prefix rather than
@@ -104,7 +106,13 @@ int main(int argc, char** argv) {
       pwss::bench::print_cell(static_cast<double>(shards));
       for (const auto& name : cli.backends) {
         auto map = sharded_driver(name, shards, cli.driver);
-        pwss::bench::print_cell(blocking_mops(*map, keys));
+        const double m = blocking_mops(*map, keys);
+        pwss::bench::print_cell(m);
+        json.record("blocking_search", name, "ops_per_sec", m * 1e6,
+                    {{"workers", cli.driver.workers},
+                     {"shards", shards},
+                     {"clients", kClients},
+                     {"theta_x100", theta * 100}});
       }
       pwss::bench::end_row();
     }
@@ -119,7 +127,13 @@ int main(int argc, char** argv) {
       for (const auto& name : cli.backends) {
         auto map = sharded_driver(name, shards, cli.driver);
         const double ms = pwss::bench::chunked_search_ms(*map, keys, 4096);
-        pwss::bench::print_cell(static_cast<double>(keys.size()) / ms / 1e3);
+        const double m = static_cast<double>(keys.size()) / ms / 1e3;
+        pwss::bench::print_cell(m);
+        json.record("bulk_run", name, "ops_per_sec", m * 1e6,
+                    {{"workers", cli.driver.workers},
+                     {"shards", shards},
+                     {"batch", 4096},
+                     {"theta_x100", theta * 100}});
       }
       pwss::bench::end_row();
     }

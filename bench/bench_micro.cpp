@@ -1,14 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the substrates: join-tree point
-// and batch ops, segment batch ops, PESort, scheduler fork/join overhead,
-// plus a per-backend batch-search micro resolved through the
+// and batch ops, segment batch ops, PESort, scheduler fork/join + spawn
+// overhead, plus a per-backend batch-search micro resolved through the
 // BackendRegistry. Regression guards rather than paper experiments.
 //
-//   ./bench_micro [--backend=NAME[,NAME...]] [gbench flags]
+//   ./bench_micro [--backend=NAME[,NAME...]] [--json=FILE] [gbench flags]
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -101,6 +103,32 @@ void BM_SchedulerForkJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerForkJoin);
 
+// Steady-state spawn/execute cycle: the path M2 activations and AsyncMap
+// drive loops live on. With the SBO closure + pooled task nodes this is
+// allocation-free once warm.
+void BM_SchedulerSpawnChain(benchmark::State& state) {
+  pwss::sched::Scheduler s(2);
+  for (auto _ : state) {
+    std::atomic<int> remaining{256};
+    s.run_sync([&] {
+      struct Chain {
+        pwss::sched::Scheduler& s;
+        std::atomic<int>& remaining;
+        void operator()() const {
+          if (remaining.fetch_sub(1) > 1) s.spawn(Chain{s, remaining});
+        }
+      };
+      Chain{s, remaining}();
+    });
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    benchmark::DoNotOptimize(remaining.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_SchedulerSpawnChain);
+
 // Per-backend micro: one 1024-op zipf search batch through the bulk path
 // of a pre-populated registry backend.
 void BM_BackendBatchSearch(benchmark::State& state, std::string name,
@@ -121,9 +149,32 @@ void BM_BackendBatchSearch(benchmark::State& state, std::string name,
                           static_cast<std::int64_t>(batch.size()));
 }
 
+// Console output as usual, plus one JSON Lines record per run when --json
+// is given (items_per_second when the bench reports it, else ns/iteration).
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    auto& json = pwss::bench::BenchJson::instance();
+    if (!json.enabled()) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        json.record("micro", run.benchmark_name(), "items_per_sec",
+                    items->second);
+      } else {
+        json.record("micro", run.benchmark_name(), "ns_per_iter",
+                    run.GetAdjustedRealTime());
+      }
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = pwss::bench::consume_json_flag(argc, argv, "micro");
   // Split our registry flags from google-benchmark's.
   std::vector<char*> ours{argv[0]};
   std::vector<char*> gbench{argv[0]};
@@ -153,7 +204,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

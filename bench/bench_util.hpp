@@ -1,12 +1,16 @@
 #pragma once
 // Shared helpers for the experiment harnesses (bench/bench_e*.cpp): wall
-// timing and aligned table printing. Each harness prints the series its
-// experiment row in DESIGN.md promises; EXPERIMENTS.md records the shapes.
+// timing, aligned table printing, and the machine-readable perf trajectory
+// (--json=FILE, JSON Lines). Each harness prints the series its experiment
+// row in DESIGN.md promises; EXPERIMENTS.md records the shapes and the
+// BENCH_baseline.json schema.
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ops.hpp"
@@ -42,6 +46,99 @@ inline void print_cell(const std::string& s) {
   std::printf("%16s", s.c_str());
 }
 inline void end_row() { std::printf("\n"); }
+
+// ---- machine-readable perf baseline (--json=FILE) ---------------------------
+//
+// Every harness accepting --json=FILE appends one JSON object per line
+// (JSON Lines) so several binaries can contribute to one trajectory file
+// (CI writes bench_micro + E5 + E9 into BENCH_baseline.json and uploads it
+// as an artifact). Record shape:
+//
+//   {"schema":"pwss-bench-v1","bench":"e5","panel":"bulk_run",
+//    "backend":"m1","metric":"ops_per_sec","value":1234567.0,
+//    "params":{"workers":4,"batch":8192}}
+
+/// Process-wide JSON Lines recorder; inert until open() is called.
+class BenchJson {
+ public:
+  static BenchJson& instance() {
+    static BenchJson j;
+    return j;
+  }
+
+  /// Opens `path` for appending; returns false (with a message) on failure.
+  bool open(const std::string& path, const std::string& bench) {
+    close();
+    file_ = std::fopen(path.c_str(), "a");
+    bench_ = bench;
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "bench: cannot open --json file '%s'\n",
+                   path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Records one measurement. `params` are numeric key/values (workers,
+  /// batch size, theta x100, ...); strings never need escaping because
+  /// every name comes from our own flag-validated registry.
+  void record(const std::string& panel, const std::string& backend,
+              const std::string& metric, double value,
+              std::initializer_list<std::pair<const char*, double>> params = {}) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "{\"schema\":\"pwss-bench-v1\",\"bench\":\"%s\","
+                 "\"panel\":\"%s\",\"backend\":\"%s\",\"metric\":\"%s\","
+                 "\"value\":%.6f,\"params\":{",
+                 bench_.c_str(), panel.c_str(), backend.c_str(),
+                 metric.c_str(), value);
+    bool first = true;
+    for (const auto& [k, v] : params) {
+      std::fprintf(file_, "%s\"%s\":%.6f", first ? "" : ",", k, v);
+      first = false;
+    }
+    std::fprintf(file_, "}}\n");
+    std::fflush(file_);
+  }
+
+  void close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  ~BenchJson() { close(); }
+
+ private:
+  BenchJson() = default;
+  std::FILE* file_ = nullptr;
+  std::string bench_;
+};
+
+/// Scans argv for --json=FILE; when present, removes it from argv (so the
+/// remaining flags go to driver::parse / google-benchmark untouched) and
+/// opens the process-wide recorder under the given bench name. Returns the
+/// new argc.
+inline int consume_json_flag(int argc, char** argv, const std::string& bench) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      const char* path = argv[i] + 7;
+      if (*path == '\0' || !BenchJson::instance().open(path, bench)) {
+        std::fprintf(stderr, "%s: --json expects a writable file path\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  return out;
+}
 
 /// Bulk-inserts keys {0, stride, 2*stride, ...} below `n` with value
 /// value_of(key) via one run() batch — the shared warm-up for benches and

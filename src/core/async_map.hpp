@@ -135,10 +135,11 @@ class AsyncMap {
                std::ceil(std::log2(n) / static_cast<double>(p_))));
     std::vector<Submission> batch = feed_.take_bunches(bunches);
     if (batch.empty()) return;
-    std::vector<Op<K, V>> ops;
-    ops.reserve(batch.size());
-    for (auto& s : batch) ops.push_back(std::move(s.op));
-    std::vector<Result<V>> results = map_.execute_batch(ops);
+    // ops_scratch_ is safe to reuse: the gate guarantees one drive owner.
+    ops_scratch_.clear();
+    ops_scratch_.reserve(batch.size());
+    for (auto& s : batch) ops_scratch_.push_back(std::move(s.op));
+    std::vector<Result<V>> results = map_.execute_batch(ops_scratch_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].ticket->fulfill(std::move(results[i]));
     }
@@ -152,6 +153,7 @@ class AsyncMap {
   buffer::FeedBuffer<Submission> feed_;
   sync::AsyncGate gate_;
   std::atomic<std::size_t> in_flight_{0};
+  std::vector<Op<K, V>> ops_scratch_;  // drive-loop batch staging
 };
 
 }  // namespace pwss::core

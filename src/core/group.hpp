@@ -12,11 +12,15 @@
 // The delivery `Target` is a template parameter: M1 delivers results by
 // batch index (size_t), M2 by per-operation ticket pointer.
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/ops.hpp"
+#include "util/small_vec.hpp"
 
 namespace pwss::core {
 
@@ -31,10 +35,12 @@ struct PendingOp {
 };
 
 /// All pending operations on one key within a batch, in program order.
+/// Under low-duplication workloads almost every group is a singleton, so
+/// the first op lives inline in the group — no per-group heap allocation.
 template <typename K, typename V, typename Target>
 struct GroupOp {
   K key;
-  std::vector<PendingOp<K, V, Target>> ops;
+  util::SmallVec<PendingOp<K, V, Target>, 1> ops;
 
   /// Arrival sequence within the batch (used to order fresh insertions).
   std::size_t seq = 0;
@@ -48,9 +54,10 @@ struct GroupOp {
 /// Applies `ops` in order against `initial` (the key's value where the
 /// group met the item, or nullopt if absent), emitting one Result per op
 /// through `emit(target, Result<V>)`. Returns the net final state.
+/// Accepts any contiguous op sequence (GroupOp::ops, filter-entry lists).
 template <typename K, typename V, typename Target, typename Emit>
 std::optional<V> resolve_ops(std::optional<V> initial,
-                             const std::vector<PendingOp<K, V, Target>>& ops,
+                             std::span<const PendingOp<K, V, Target>> ops,
                              Emit&& emit) {
   std::optional<V> cur = std::move(initial);
   for (const auto& op : ops) {
@@ -76,11 +83,13 @@ std::optional<V> resolve_ops(std::optional<V> initial,
 }
 
 /// Coalesces a key-sorted batch (per-key program order preserved — callers
-/// use the stable PESort) into GroupOps, numbering them by arrival order.
+/// use the stable PESort) into `groups`, numbering them by arrival order.
+/// `sorted`'s elements are consumed; `groups` is cleared first, so a
+/// caller-owned buffer keeps its capacity across batches.
 template <typename K, typename V, typename Target>
-std::vector<GroupOp<K, V, Target>> coalesce_sorted(
-    std::vector<PendingOp<K, V, Target>> sorted) {
-  std::vector<GroupOp<K, V, Target>> groups;
+void coalesce_sorted_into(std::vector<PendingOp<K, V, Target>>& sorted,
+                          std::vector<GroupOp<K, V, Target>>& groups) {
+  groups.clear();
   for (auto& op : sorted) {
     if (groups.empty() || !(groups.back().key == op.key)) {
       GroupOp<K, V, Target> g;
@@ -90,7 +99,44 @@ std::vector<GroupOp<K, V, Target>> coalesce_sorted(
     }
     groups.back().ops.push_back(std::move(op));
   }
+}
+
+template <typename K, typename V, typename Target>
+std::vector<GroupOp<K, V, Target>> coalesce_sorted(
+    std::vector<PendingOp<K, V, Target>> sorted) {
+  std::vector<GroupOp<K, V, Target>> groups;
+  coalesce_sorted_into(sorted, groups);
   return groups;
+}
+
+/// Index-based group: the ops live at positions [begin, end) of the
+/// stable-sorted batch they were coalesced from (same-key ops are
+/// contiguous after the sort). 16 bytes, trivially movable, no per-group
+/// allocation — the representation M1's sweep churns through. M2 keeps the
+/// owning GroupOp because its groups outlive the batch frame (filter
+/// entries, stage inboxes).
+template <typename K>
+struct IndexGroup {
+  K key;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// Coalesces a key-sorted batch into index groups (cleared `groups` buffer
+/// reused across batches). The batch itself is not consumed — groups
+/// reference it by position.
+template <typename K, typename V, typename Target>
+void coalesce_sorted_index(std::span<const PendingOp<K, V, Target>> sorted,
+                           std::vector<IndexGroup<K>>& groups) {
+  assert(sorted.size() <= 0xffffffffu && "batch exceeds index-group range");
+  groups.clear();
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+    if (groups.empty() || !(groups.back().key == sorted[i].key)) {
+      groups.push_back(IndexGroup<K>{sorted[i].key, i, i + 1});
+    } else {
+      groups.back().end = i + 1;
+    }
+  }
 }
 
 }  // namespace pwss::core

@@ -28,6 +28,7 @@
 #include "core/backend.hpp"
 #include "core/group.hpp"
 #include "core/ops.hpp"
+#include "core/scratch.hpp"
 #include "core/segment.hpp"
 #include "sched/scheduler.hpp"
 #include "sort/pesort.hpp"
@@ -57,35 +58,37 @@ class M1Map {
     std::vector<Result<V>> results(ops.size());
     if (ops.empty()) return results;
 
-    // Tag with result indices, entropy-sort by key, coalesce.
-    std::vector<PendingOp<K, V, std::size_t>> tagged;
+    // Tag with result indices, entropy-sort by key, coalesce — all through
+    // the instance arena, so a steady stream of batches reuses capacity.
+    auto& tagged = scratch_.tagged;
+    tagged.clear();
     tagged.reserve(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
       tagged.push_back({ops[i].type, ops[i].key, ops[i].value, i});
     }
     sort::pesort(
         tagged, [](const PendingOp<K, V, std::size_t>& p) { return p.key; },
-        scheduler_);
-    std::vector<GroupOp<K, V, std::size_t>> groups =
-        coalesce_sorted(std::move(tagged));
+        scheduler_, {}, &scratch_.sort);
+    coalesce_sorted_index(std::span<const PendingOp<K, V, std::size_t>>(tagged),
+                          scratch_.pending);
 
-    process_groups(std::move(groups), results);
+    process_groups(results);
     return results;
   }
 
-  /// Convenience point ops (each a singleton batch) — for tests/examples.
+  /// Convenience point ops (each a singleton batch on the caller's stack —
+  /// no per-op vector) — for tests/examples and the driver's step path.
   std::optional<V> search(const K& key) {
-    auto r = execute_batch(std::vector<Op<K, V>>{Op<K, V>::search(key)});
-    return r[0].value;
+    const Op<K, V> one[1] = {Op<K, V>::search(key)};
+    return execute_batch(std::span<const Op<K, V>>(one))[0].value;
   }
   bool insert(const K& key, V value) {
-    auto r = execute_batch(
-        std::vector<Op<K, V>>{Op<K, V>::insert(key, std::move(value))});
-    return r[0].success;
+    const Op<K, V> one[1] = {Op<K, V>::insert(key, std::move(value))};
+    return execute_batch(std::span<const Op<K, V>>(one))[0].success;
   }
   std::optional<V> erase(const K& key) {
-    auto r = execute_batch(std::vector<Op<K, V>>{Op<K, V>::erase(key)});
-    return r[0].value;
+    const Op<K, V> one[1] = {Op<K, V>::erase(key)};
+    return execute_batch(std::span<const Op<K, V>>(one))[0].value;
   }
 
   std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
@@ -134,36 +137,49 @@ class M1Map {
     return cum;
   }
 
-  void process_groups(std::vector<GroupOp<K, V, std::size_t>> groups,
-                      std::vector<Result<V>>& results) {
+  /// Ops of one index group within the sorted batch.
+  std::span<const PendingOp<K, V, std::size_t>> ops_of(
+      const IndexGroup<K>& g) const {
+    return std::span<const PendingOp<K, V, std::size_t>>(scratch_.tagged)
+        .subspan(g.begin, g.end - g.begin);
+  }
+
+  /// Processes scratch_.pending (the coalesced batch) against the segment
+  /// sweep; every temporary lives in the instance arena. Groups are index
+  /// ranges into scratch_.tagged — 16 bytes each, no per-group list.
+  void process_groups(std::vector<Result<V>>& results) {
     auto emit = [&](std::size_t idx, Result<V> r) {
       results[idx] = std::move(r);
     };
 
-    std::vector<GroupOp<K, V, std::size_t>> pending = std::move(groups);
+    auto& pending = scratch_.pending;
+    auto& unfinished = scratch_.unfinished;
+    auto& keys = scratch_.keys;
+    auto& found = scratch_.found;
+    auto& to_promote = scratch_.promote;
     for (std::size_t k = 0; k < segments_.size() && !pending.empty(); ++k) {
       // Batch-extract the groups' keys from S[k].
-      std::vector<K> keys;
+      keys.clear();
       keys.reserve(pending.size());
       for (const auto& g : pending) keys.push_back(g.key);
-      std::vector<Item> found = segments_[k].extract_by_keys(keys, ctx_);
+      segments_[k].extract_by_keys(keys, found, ctx_, &scratch_.seg);
 
       // found is key-sorted, as is pending: walk them together.
-      std::vector<GroupOp<K, V, std::size_t>> unfinished;
-      std::vector<Item> to_promote;  // successful searches/updates
+      unfinished.clear();
+      to_promote.clear();  // successful searches/updates
       std::size_t fi = 0;
-      for (auto& g : pending) {
+      for (const auto& g : pending) {
         if (fi < found.size() && found[fi].key == g.key) {
           Item item = std::move(found[fi++]);
-          std::optional<V> fin =
-              resolve_ops<K, V, std::size_t>(std::move(item.value), g.ops, emit);
+          std::optional<V> fin = resolve_ops<K, V, std::size_t>(
+              std::move(item.value), ops_of(g), emit);
           if (fin) {
             item.value = std::move(*fin);
             to_promote.push_back(std::move(item));  // keeps S[k] stamp order
           }
           // Net deletion: item stays removed; group finished.
         } else {
-          unfinished.push_back(std::move(g));
+          unfinished.push_back(g);
         }
       }
 
@@ -171,49 +187,56 @@ class M1Map {
       // their relative (recency) order.
       if (!to_promote.empty()) {
         const std::size_t dest = k == 0 ? 0 : k - 1;
-        segments_[dest].insert_front_batch(std::move(to_promote), ctx_);
+        segments_[dest].insert_front_batch(std::span<Item>(to_promote), ctx_,
+                                           &scratch_.seg);
       }
       restore_capacity(k);
-      pending = std::move(unfinished);
+      std::swap(pending, unfinished);
     }
 
     // Groups whose keys are absent everywhere.
-    std::vector<Item> to_insert;
-    for (auto& g : pending) {
+    auto& to_insert = scratch_.promote;
+    to_insert.clear();
+    for (const auto& g : pending) {
       std::optional<V> fin =
-          resolve_ops<K, V, std::size_t>(std::nullopt, g.ops, emit);
+          resolve_ops<K, V, std::size_t>(std::nullopt, ops_of(g), emit);
       if (fin) {
         // M0's rule: each insertion goes *behind* the previous one, so an
         // earlier batch position is more recent. The inverted batch index
         // is restamped at insertion but preserves that relative order.
         to_insert.push_back(
-            Item{g.key, std::move(*fin), ~g.ops.front().target});
+            Item{g.key, std::move(*fin), ~scratch_.tagged[g.begin].target});
       }
     }
-    append_new_items(std::move(to_insert));
+    pending.clear();
+    append_new_items(to_insert);
     restore_capacity(segments_.size());
     while (!segments_.empty() && segments_.back().empty()) {
       segments_.pop_back();
     }
   }
 
-  /// Appends fresh items at the back of the last segment, creating new
-  /// segments for overflow (Section 6.1's final insertion step).
-  void append_new_items(std::vector<Item> items) {
+  /// Appends fresh items (consumed in place) at the back of the last
+  /// segment, creating new segments for overflow (Section 6.1's final
+  /// insertion step).
+  void append_new_items(std::vector<Item>& items) {
     if (items.empty()) return;
     size_ += items.size();
     if (segments_.empty()) segments_.emplace_back();
     std::size_t last = segments_.size() - 1;
-    segments_[last].insert_back_batch(std::move(items), ctx_);
+    segments_[last].insert_back_batch(std::span<Item>(items), ctx_,
+                                      &scratch_.seg);
     // Carve overflow into new segments back-to-front.
+    auto& spill = scratch_.moved;
     while (segments_[last].size() > segment_capacity(last)) {
       const std::size_t excess =
           segments_[last].size() -
           static_cast<std::size_t>(segment_capacity(last));
-      std::vector<Item> spill = segments_[last].extract_least_recent(excess, ctx_);
+      segments_[last].extract_least_recent(excess, spill, ctx_, &scratch_.seg);
       segments_.emplace_back();
       ++last;
-      segments_[last].insert_front_batch(std::move(spill), ctx_);
+      segments_[last].insert_front_batch(std::span<Item>(spill), ctx_,
+                                         &scratch_.seg);
     }
   }
 
@@ -223,21 +246,24 @@ class M1Map {
   void restore_capacity(std::size_t upto) {
     size_ = recompute_size();  // group resolution may have deleted items
     upto = std::min(upto, segments_.empty() ? 0 : segments_.size() - 1);
+    auto& moved = scratch_.moved;
     for (std::size_t i = upto; i >= 1; --i) {
       const std::size_t target = capacity_prefix(i);
       std::size_t prefix = 0;
       for (std::size_t j = 0; j < i; ++j) prefix += segments_[j].size();
       if (prefix > target) {
         // Demote the excess: back of S[i-1] -> front of S[i].
-        std::vector<Item> moved =
-            segments_[i - 1].extract_least_recent(prefix - target, ctx_);
-        segments_[i].insert_front_batch(std::move(moved), ctx_);
+        segments_[i - 1].extract_least_recent(prefix - target, moved, ctx_,
+                                              &scratch_.seg);
+        segments_[i].insert_front_batch(std::span<Item>(moved), ctx_,
+                                        &scratch_.seg);
       } else if (prefix < target) {
         // Pull forward: front of S[i] -> back of S[i-1].
         const std::size_t want = target - prefix;
-        std::vector<Item> moved = segments_[i].extract_most_recent(
-            std::min(want, segments_[i].size()), ctx_);
-        segments_[i - 1].insert_back_batch(std::move(moved), ctx_);
+        segments_[i].extract_most_recent(std::min(want, segments_[i].size()),
+                                         moved, ctx_, &scratch_.seg);
+        segments_[i - 1].insert_back_batch(std::span<Item>(moved), ctx_,
+                                           &scratch_.seg);
       }
     }
   }
@@ -252,6 +278,10 @@ class M1Map {
   sched::Scheduler* scheduler_;
   tree::ParCtx ctx_;
   std::size_t size_ = 0;
+  // Per-instance batch arena; safe because execute_batch has a single
+  // owner (backend_traits: not point_thread_safe). Never shared across
+  // instances.
+  BatchScratch<K, V, std::size_t> scratch_;
 };
 
 /// M1's batch internals fork through the scheduler (a null scheduler is a

@@ -40,6 +40,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -268,17 +269,17 @@ class M2Map {
     groups = first_slab_sweep(std::move(groups));
 
     // Step 3 (part 2) to step 5: S[m-1], the filter, and S[m]'s buffer are
-    // shared with the final slab, guarded by B[0] and FL[0]. The state
-    // lives on the heap: a parked continuation outlives this frame.
-    auto state = std::make_shared<std::vector<Group>>(std::move(groups));
+    // shared with the final slab, guarded by B[0] and FL[0]. The groups
+    // move through the continuation captures (Closure allows move-only
+    // captures); a parked continuation carries them past this frame.
     nlocks_[0]->acquire(
         /*key=*/0,
-        [this, state] {
+        [this, groups = std::move(groups)]() mutable {
           flocks_[0]->acquire(
               /*key=*/2,
-              [this, state] {
+              [this, groups = std::move(groups)]() mutable {
                 std::vector<Group> unfinished =
-                    boundary_segment_sweep(std::move(*state));
+                    boundary_segment_sweep(std::move(groups));
                 filter_and_feed_stage0(std::move(unfinished));
                 flocks_[0]->release(lo_sink());
                 nlocks_[0]->release(lo_sink());
@@ -482,24 +483,22 @@ class M2Map {
 
     // 4b-4f: the front-locked section (filter + S[m'] access). Stage 0
     // already holds FL[0]; deeper stages acquire FL[j]..FL[1] descending
-    // then FL[0]. State is heap-shared: a parked continuation outlives
-    // this frame, and DedicatedLock::Continuation requires copyability.
-    auto run = std::make_shared<StageRun>();
-    run->batch = std::move(batch);
-    run->found = std::move(found);
-    acquire_front_chain(j, [this, j, k, run] {
-      front_section(j, k, std::move(run->batch), std::move(run->found));
+    // then FL[0]. The batch state moves through the continuation captures;
+    // a parked continuation carries it past this frame. j and k are packed
+    // into one word so the capture is exactly 64 bytes (this + jk + two
+    // vectors) and stage 0 — which runs the body inline — stays on the
+    // closure's SBO path.
+    const std::uint64_t jk = (static_cast<std::uint64_t>(j) << 32) | k;
+    acquire_front_chain(j, [this, jk, batch = std::move(batch),
+                            found = std::move(found)]() mutable {
+      front_section(jk >> 32, jk & 0xffffffffu, std::move(batch),
+                    std::move(found));
     });
   }
 
-  struct StageRun {
-    std::vector<Group> batch;
-    std::vector<Item> found;
-  };
-
   /// Acquires FL[j]..FL[0] (descending) for stage j > 0; stage 0 holds
   /// FL[0] already. Then runs `body`.
-  void acquire_front_chain(std::size_t j, std::function<void()> body) {
+  void acquire_front_chain(std::size_t j, sched::Closure body) {
     if (j == 0) {
       body();
       return;
@@ -508,15 +507,15 @@ class M2Map {
   }
 
   void acquire_front_from(std::size_t stage_j, std::size_t lock_i,
-                          std::function<void()> body) {
+                          sched::Closure body) {
     const std::size_t key = lock_i == stage_j ? 0 : 1;
     flocks_[lock_i]->acquire(
         key,
-        [this, stage_j, lock_i, body] {
+        [this, stage_j, lock_i, body = std::move(body)]() mutable {
           if (lock_i == 0) {
             body();
           } else {
-            acquire_front_from(stage_j, lock_i - 1, body);
+            acquire_front_from(stage_j, lock_i - 1, std::move(body));
           }
         },
         hi_sink());

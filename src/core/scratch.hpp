@@ -1,0 +1,52 @@
+#pragma once
+// BatchScratch — the per-instance arena behind M1's (and M0's, via the
+// shared Segment paths) batch processing. Every execute_batch used to build
+// ~7 fresh vectors per segment sweep (tagged ops, sort scratch, group lists,
+// key lists, extracted items, promotion lists, capacity transfers) plus the
+// PESort scratch copy; with the arena those buffers live as long as the map
+// instance and repeated batches reuse capacity instead of reallocating.
+//
+// Ownership rule (see DESIGN.md "Allocation discipline"): one arena per map
+// instance, used only under that instance's single-owner batch contract.
+// Arenas are never shared across driver instances (each ShardedDriver shard
+// owns its own backend and therefore its own arena) and never touched by
+// two batches concurrently.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/segment.hpp"
+#include "sort/pesort.hpp"
+
+namespace pwss::core {
+
+template <typename K, typename V, typename Target>
+struct BatchScratch {
+  using Pending = PendingOp<K, V, Target>;
+
+  /// Tagged + entropy-sorted copy of the incoming batch. Groups reference
+  /// it by index, so it must stay unmoved for the whole batch.
+  std::vector<Pending> tagged;
+  /// PESort partition + classification buffers.
+  sort::PESortScratch<Pending> sort;
+  /// Coalesced index groups still looking for their item.
+  std::vector<IndexGroup<K>> pending;
+  /// Groups that continue past the current segment (swapped with pending).
+  std::vector<IndexGroup<K>> unfinished;
+  /// Keys extracted per segment sweep.
+  std::vector<K> keys;
+  /// Items found in the current segment.
+  std::vector<typename Segment<K, V>::Item> found;
+  /// Successful searches/updates shifting one segment forward.
+  std::vector<typename Segment<K, V>::Item> promote;
+  /// Items in transit during capacity restoration / overflow carving.
+  std::vector<typename Segment<K, V>::Item> moved;
+  /// Segment-internal buffers (tree batch I/O, restamping).
+  SegmentScratch<K, V> seg;
+
+  /// Drops everything the arena holds (capacity included); handy in tests.
+  void release() { *this = BatchScratch(); }
+};
+
+}  // namespace pwss::core

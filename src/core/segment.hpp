@@ -55,6 +55,23 @@ constexpr std::uint64_t segment_capacity(std::size_t k) noexcept {
   return 1ULL << exponent;
 }
 
+/// Reusable buffers for a Segment's batched operations. Owned by the
+/// structure that drives the batches (one arena per M1 instance, inside
+/// core::BatchScratch) and passed down by pointer; a null scratch falls
+/// back to per-call buffers. Never share one arena across concurrently
+/// mutated segments — the owner must serialize batch calls, which M1's
+/// single-owner batch contract already guarantees.
+template <typename K, typename V>
+struct SegmentScratch {
+  std::vector<std::optional<std::pair<V, std::uint64_t>>> entries;
+  std::vector<std::uint64_t> stamps;
+  std::vector<std::optional<K>> removed_keys;
+  std::vector<K> keys;
+  std::vector<std::pair<K, std::pair<V, std::uint64_t>>> key_entries;
+  std::vector<std::pair<std::uint64_t, K>> rec_entries;
+  std::vector<std::size_t> idx;
+};
+
 template <typename K, typename V>
 class Segment {
  public:
@@ -102,22 +119,31 @@ class Segment {
 
   /// Inserts a batch at the front, preserving the arrivals' relative
   /// recency (larger incoming stamp stays more recent). Items may be in any
-  /// order; sorted by key internally.
-  void insert_front_batch(std::vector<Item> items,
-                          const tree::ParCtx& ctx = {}) {
-    restamp(items, /*front=*/true);
+  /// order; sorted by key internally. The span's items are consumed
+  /// (moved-from); the caller keeps the backing buffer for reuse.
+  void insert_front_batch(std::span<Item> items, const tree::ParCtx& ctx = {},
+                          SegmentScratch<K, V>* s = nullptr) {
+    restamp(items, /*front=*/true, s);
     std::sort(items.begin(), items.end(),
               [](const Item& a, const Item& b) { return a.key < b.key; });
-    insert_items(std::move(items), ctx);
+    insert_items(items, ctx, s);
+  }
+  void insert_front_batch(std::vector<Item> items,
+                          const tree::ParCtx& ctx = {}) {
+    insert_front_batch(std::span<Item>(items), ctx);
   }
 
   /// Inserts a batch at the back, preserving relative recency.
-  void insert_back_batch(std::vector<Item> items,
-                         const tree::ParCtx& ctx = {}) {
-    restamp(items, /*front=*/false);
+  void insert_back_batch(std::span<Item> items, const tree::ParCtx& ctx = {},
+                         SegmentScratch<K, V>* s = nullptr) {
+    restamp(items, /*front=*/false, s);
     std::sort(items.begin(), items.end(),
               [](const Item& a, const Item& b) { return a.key < b.key; });
-    insert_items(std::move(items), ctx);
+    insert_items(items, ctx, s);
+  }
+  void insert_back_batch(std::vector<Item> items,
+                         const tree::ParCtx& ctx = {}) {
+    insert_back_batch(std::span<Item>(items), ctx);
   }
 
   /// Inserts an item; the stamp must be distinct from all stamps present.
@@ -149,24 +175,31 @@ class Segment {
 
   // ---- batched operations (used by M1 / M2) ------------------------------
 
-  /// Removes every present key from `keys` (sorted, distinct); returns the
-  /// removed items sorted by key.
-  std::vector<Item> extract_by_keys(std::span<const K> keys,
-                                    const tree::ParCtx& ctx = {}) {
-    std::vector<std::optional<std::pair<V, std::uint64_t>>> entries;
-    by_key_.multi_extract(keys, entries, ctx);
-    std::vector<Item> found;
-    std::vector<std::uint64_t> stamps;
+  /// Removes every present key from `keys` (sorted, distinct); appends the
+  /// removed items to `out` sorted by key. `out` is cleared first, so a
+  /// caller-owned buffer keeps its capacity across batches.
+  void extract_by_keys(std::span<const K> keys, std::vector<Item>& out,
+                       const tree::ParCtx& ctx = {},
+                       SegmentScratch<K, V>* s = nullptr) {
+    SegmentScratch<K, V> local;
+    SegmentScratch<K, V>& sc = s ? *s : local;
+    out.clear();
+    by_key_.multi_extract(keys, sc.entries, ctx);
+    sc.stamps.clear();
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (entries[i]) {
-        found.push_back(
-            Item{keys[i], std::move(entries[i]->first), entries[i]->second});
-        stamps.push_back(entries[i]->second);
+      if (sc.entries[i]) {
+        out.push_back(Item{keys[i], std::move(sc.entries[i]->first),
+                           sc.entries[i]->second});
+        sc.stamps.push_back(sc.entries[i]->second);
       }
     }
-    std::sort(stamps.begin(), stamps.end());
-    std::vector<std::optional<K>> removed_keys;
-    by_recency_.multi_extract(stamps, removed_keys, ctx);
+    std::sort(sc.stamps.begin(), sc.stamps.end());
+    by_recency_.multi_extract(sc.stamps, sc.removed_keys, ctx);
+  }
+  std::vector<Item> extract_by_keys(std::span<const K> keys,
+                                    const tree::ParCtx& ctx = {}) {
+    std::vector<Item> found;
+    extract_by_keys(keys, found, ctx);
     return found;
   }
 
@@ -178,34 +211,55 @@ class Segment {
     by_key_.multi_find(keys, out, ctx);
   }
 
-  /// Inserts items (sorted by key, distinct keys, distinct stamps).
-  void insert_items(std::vector<Item> items, const tree::ParCtx& ctx = {}) {
+  /// Inserts items (sorted by key, distinct keys, distinct stamps). The
+  /// span's values are moved out; the caller keeps the backing buffer.
+  void insert_items(std::span<Item> items, const tree::ParCtx& ctx = {},
+                    SegmentScratch<K, V>* s = nullptr) {
     if (items.empty()) return;
-    std::vector<std::pair<K, std::pair<V, std::uint64_t>>> key_entries;
-    key_entries.reserve(items.size());
+    SegmentScratch<K, V> local;
+    SegmentScratch<K, V>& sc = s ? *s : local;
+    sc.key_entries.clear();
+    sc.key_entries.reserve(items.size());
     for (auto& it : items) {
-      key_entries.emplace_back(it.key,
-                               std::pair<V, std::uint64_t>{it.value, it.stamp});
+      sc.key_entries.emplace_back(
+          it.key, std::pair<V, std::uint64_t>{std::move(it.value), it.stamp});
     }
-    by_key_.multi_insert(key_entries, ctx);
-    std::vector<std::pair<std::uint64_t, K>> rec_entries;
-    rec_entries.reserve(items.size());
-    for (auto& it : items) rec_entries.emplace_back(it.stamp, it.key);
-    std::sort(rec_entries.begin(), rec_entries.end(),
+    by_key_.multi_insert(sc.key_entries, ctx);
+    sc.rec_entries.clear();
+    sc.rec_entries.reserve(items.size());
+    for (auto& it : items) sc.rec_entries.emplace_back(it.stamp, it.key);
+    std::sort(sc.rec_entries.begin(), sc.rec_entries.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    by_recency_.multi_insert(rec_entries, ctx);
+    by_recency_.multi_insert(sc.rec_entries, ctx);
+  }
+  void insert_items(std::vector<Item> items, const tree::ParCtx& ctx = {}) {
+    insert_items(std::span<Item>(items), ctx);
   }
 
-  /// Removes the `c` least-recent items; returned sorted by key.
+  /// Removes the `c` least-recent items into `out` (cleared), sorted by key.
+  void extract_least_recent(std::size_t c, std::vector<Item>& out,
+                            const tree::ParCtx& ctx = {},
+                            SegmentScratch<K, V>* s = nullptr) {
+    extract_by_recency(by_recency_.extract_prefix(c), out, ctx, s);
+  }
   std::vector<Item> extract_least_recent(std::size_t c,
                                          const tree::ParCtx& ctx = {}) {
-    return extract_by_recency(by_recency_.extract_prefix(c), ctx);
+    std::vector<Item> out;
+    extract_least_recent(c, out, ctx);
+    return out;
   }
 
-  /// Removes the `c` most-recent items; returned sorted by key.
+  /// Removes the `c` most-recent items into `out` (cleared), sorted by key.
+  void extract_most_recent(std::size_t c, std::vector<Item>& out,
+                           const tree::ParCtx& ctx = {},
+                           SegmentScratch<K, V>* s = nullptr) {
+    extract_by_recency(by_recency_.extract_suffix(c), out, ctx, s);
+  }
   std::vector<Item> extract_most_recent(std::size_t c,
                                         const tree::ParCtx& ctx = {}) {
-    return extract_by_recency(by_recency_.extract_suffix(c), ctx);
+    std::vector<Item> out;
+    extract_most_recent(c, out, ctx);
+    return out;
   }
 
   /// Removes everything; returned sorted by key.
@@ -239,9 +293,12 @@ class Segment {
   /// Reassigns stamps so arrivals land at the front (above every stamp in
   /// this segment) or at the back (below), preserving the arrivals'
   /// relative order as given by their incoming stamps.
-  void restamp(std::vector<Item>& items, bool front) {
+  void restamp(std::span<Item> items, bool front,
+               SegmentScratch<K, V>* s = nullptr) {
     // Order of (index, old stamp) ascending by old stamp.
-    std::vector<std::size_t> idx(items.size());
+    SegmentScratch<K, V> local;
+    std::vector<std::size_t>& idx = (s ? *s : local).idx;
+    idx.resize(items.size());
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
     std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
       return items[a].stamp < items[b].stamp;
@@ -257,23 +314,23 @@ class Segment {
     }
   }
 
-  std::vector<Item> extract_by_recency(
-      std::vector<std::pair<std::uint64_t, K>> rec_items,
-      const tree::ParCtx& ctx) {
-    std::vector<K> keys;
-    keys.reserve(rec_items.size());
-    for (auto& [stamp, key] : rec_items) keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    std::vector<std::optional<std::pair<V, std::uint64_t>>> entries;
-    by_key_.multi_extract(keys, entries, ctx);
-    std::vector<Item> out;
-    out.reserve(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      assert(entries[i] && "recency map referenced a missing key");
-      out.push_back(
-          Item{keys[i], std::move(entries[i]->first), entries[i]->second});
+  void extract_by_recency(std::vector<std::pair<std::uint64_t, K>> rec_items,
+                          std::vector<Item>& out, const tree::ParCtx& ctx,
+                          SegmentScratch<K, V>* s = nullptr) {
+    SegmentScratch<K, V> local;
+    SegmentScratch<K, V>& sc = s ? *s : local;
+    sc.keys.clear();
+    sc.keys.reserve(rec_items.size());
+    for (auto& [stamp, key] : rec_items) sc.keys.push_back(std::move(key));
+    std::sort(sc.keys.begin(), sc.keys.end());
+    by_key_.multi_extract(sc.keys, sc.entries, ctx);
+    out.clear();
+    out.reserve(sc.keys.size());
+    for (std::size_t i = 0; i < sc.keys.size(); ++i) {
+      assert(sc.entries[i] && "recency map referenced a missing key");
+      out.push_back(Item{std::move(sc.keys[i]), std::move(sc.entries[i]->first),
+                         sc.entries[i]->second});
     }
-    return out;
   }
 
   tree::JTree<K, std::pair<V, std::uint64_t>> by_key_;

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -185,9 +186,9 @@ core::Result<V> point_apply(B& backend, core::Op<K, V> op) {
     }
     return r;
   } else {
-    std::vector<core::Op<K, V>> one;
-    one.push_back(std::move(op));
-    return backend.execute_batch(one)[0];
+    // Singleton batch on the stack — no per-op vector allocation.
+    const core::Op<K, V> one[1] = {std::move(op)};
+    return backend.execute_batch(std::span<const core::Op<K, V>>(one))[0];
   }
 }
 

@@ -1,0 +1,152 @@
+#pragma once
+// Closure — a fixed-size small-buffer-optimized callable, the allocation-lean
+// replacement for std::function<void()> on the scheduler's hot paths.
+//
+// M2's continuation-passing stages and AsyncMap's drive loop spawn a task per
+// tick; with std::function every spawn pays a heap allocation for any capture
+// beyond ~16 bytes. Closure keeps up to kInlineCapacity bytes of capture
+// state inline (64 bytes covers every spawn site in core/ — typically a
+// `this` pointer plus an index or a shared_ptr) and falls back to the heap
+// only for oversized captures. Closure is move-only, so move-only captures
+// (unique_ptr, tickets) are supported, which std::function forbids.
+//
+// ClosureSink is the matching two-pointer "where do resumed continuations
+// go" handle used by sync::DedicatedLock: copying it is free, unlike the
+// std::function-of-std::function sink it replaces.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pwss::sched {
+
+class Closure {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineCapacity = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True iff a callable of type F will use the inline buffer.
+  template <typename F>
+  static constexpr bool fits_inline() noexcept {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  Closure() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, Closure> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  Closure(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      vt_ = &vtable_inline<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(fn));
+      vt_ = &vtable_heap<D>;
+    }
+  }
+
+  Closure(Closure&& other) noexcept { take(std::move(other)); }
+  Closure& operator=(Closure&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(std::move(other));
+    }
+    return *this;
+  }
+  Closure(const Closure&) = delete;
+  Closure& operator=(const Closure&) = delete;
+  ~Closure() { reset(); }
+
+  void operator()() {
+    vt_->invoke(buf_);
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// True iff the held callable lives in the inline buffer (for tests).
+  bool is_inline() const noexcept { return vt_ != nullptr && !vt_->heap; }
+
+  /// Destroys the held callable, leaving the closure empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* src, void* dst) noexcept;  // move + destroy src
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr VTable vtable_inline = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      /*heap=*/false,
+  };
+
+  template <typename D>
+  static constexpr VTable vtable_heap = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        *reinterpret_cast<D**>(dst) = *std::launder(reinterpret_cast<D**>(src));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+      /*heap=*/true,
+  };
+
+  void take(Closure&& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+/// Non-owning two-pointer sink for resumed continuations: "hand this Closure
+/// to whoever should run it". The context (a Scheduler, or nothing for the
+/// inline test sink) must outlive every use of the sink.
+class ClosureSink {
+ public:
+  using Fn = void (*)(void* ctx, Closure&& cont);
+
+  constexpr ClosureSink() noexcept = default;
+  constexpr ClosureSink(void* ctx, Fn fn) noexcept : ctx_(ctx), fn_(fn) {}
+
+  /// A sink that runs continuations inline on the calling thread.
+  static ClosureSink inline_runner() noexcept {
+    return ClosureSink(nullptr, [](void*, Closure&& c) {
+      Closure local = std::move(c);
+      local();
+    });
+  }
+
+  void operator()(Closure cont) const { fn_(ctx_, std::move(cont)); }
+
+  explicit operator bool() const noexcept { return fn_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  Fn fn_ = nullptr;
+};
+
+}  // namespace pwss::sched

@@ -1,6 +1,8 @@
 #include "sched/scheduler.hpp"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 
 #include "util/rng.hpp"
 
@@ -13,15 +15,49 @@ struct TlsWorker {
   void* worker = nullptr;
 };
 thread_local TlsWorker tls_worker;
+
+// Per-worker free-list cap: enough to absorb every in-flight activation of
+// M2's pipeline plus drive-loop churn, small enough that a burst does not
+// pin memory forever.
+constexpr std::size_t kFreeListCap = 128;
 }  // namespace
 
 struct Scheduler::Worker {
   explicit Worker(unsigned idx, bool prefers_high, std::uint64_t seed)
       : index(idx), prefer_high(prefers_high), rng(seed) {}
+  ~Worker() {
+    while (SpawnTask* t = pop_free()) delete t;
+  }
+
+  SpawnTask* pop_free() noexcept {
+    SpawnTask* t = free_list;
+    if (t != nullptr) {
+      free_list = t->pool_next;
+      t->pool_next = nullptr;
+      free_count.store(free_count.load(std::memory_order_relaxed) - 1,
+                       std::memory_order_relaxed);
+    }
+    return t;
+  }
+  /// Returns false when the list is full (caller deletes the node).
+  bool push_free(SpawnTask* t) noexcept {
+    const std::size_t n = free_count.load(std::memory_order_relaxed);
+    if (n >= kFreeListCap) return false;
+    t->pool_next = free_list;
+    free_list = t;
+    free_count.store(n + 1, std::memory_order_relaxed);
+    return true;
+  }
+
   unsigned index;
   bool prefer_high;  // polls the high queue before stealing
   ChaseLevDeque deque;
   util::Xoshiro256 rng;
+  // Free SpawnTask nodes; list touched only by the owning worker thread.
+  // The count is atomic solely so pooled_task_count() can read it from
+  // other threads (tests/stats) without a data race.
+  SpawnTask* free_list = nullptr;
+  std::atomic<std::size_t> free_count{0};
 };
 
 Scheduler::Scheduler(unsigned workers) {
@@ -51,24 +87,59 @@ Scheduler::~Scheduler() {
   }
   for (auto& t : threads_) t.join();
   // Delete tasks that were never run (user spawned past quiescence).
-  for (TaskBase* t : global_hi_) delete t;
-  for (TaskBase* t : global_lo_) delete t;
+  while (SpawnTask* t = global_hi_.pop()) delete t;
+  while (SpawnTask* t = global_lo_.pop()) delete t;
 }
 
 bool Scheduler::on_worker() const noexcept {
   return tls_worker.scheduler == this;
 }
 
-void Scheduler::spawn(std::function<void()> fn, Priority pri) {
-  auto* task = new SpawnTask(std::move(fn));
+std::size_t Scheduler::pooled_task_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& w : workers_) {
+    n += w->free_count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+SpawnTask* Scheduler::allocate_spawn_node(Closure fn) {
+  if (on_worker()) {
+    auto* w = static_cast<Worker*>(tls_worker.worker);
+    if (SpawnTask* t = w->pop_free()) {
+      t->rearm(std::move(fn));
+      return t;
+    }
+  }
+  return new SpawnTask(std::move(fn));
+}
+
+void Scheduler::recycle_spawn_node(SpawnTask* node) {
+  if (on_worker()) {
+    auto* w = static_cast<Worker*>(tls_worker.worker);
+    if (w->push_free(node)) return;
+  }
+  delete node;
+}
+
+void Scheduler::spawn(Closure fn, Priority pri) {
+  SpawnTask* task = allocate_spawn_node(std::move(fn));
   {
     std::lock_guard<std::mutex> lk(global_mu_);
-    (pri == Priority::kHigh ? global_hi_ : global_lo_).push_back(task);
+    (pri == Priority::kHigh ? global_hi_ : global_lo_).push(task);
   }
   cv_.notify_one();
 }
 
-void Scheduler::run_sync(const std::function<void()>& fn) {
+void Scheduler::spawn_high_trampoline(void* self, Closure&& cont) {
+  static_cast<Scheduler*>(self)->spawn(std::move(cont), Priority::kHigh);
+}
+
+void Scheduler::spawn_low_trampoline(void* self, Closure&& cont) {
+  static_cast<Scheduler*>(self)->spawn(std::move(cont), Priority::kLow);
+}
+
+void Scheduler::run_sync_view(FnView fn) {
   if (on_worker()) {
     fn();
     return;
@@ -78,7 +149,7 @@ void Scheduler::run_sync(const std::function<void()>& fn) {
     std::condition_variable cv;
     bool done = false;
   } sync;
-  spawn([&] {
+  spawn([&sync, fn] {
     fn();
     std::lock_guard<std::mutex> lk(sync.mu);
     sync.done = true;
@@ -123,11 +194,7 @@ void Scheduler::notify_one_sleeper() {
 
 TaskBase* Scheduler::pop_global(Priority pri) {
   std::lock_guard<std::mutex> lk(global_mu_);
-  auto& q = pri == Priority::kHigh ? global_hi_ : global_lo_;
-  if (q.empty()) return nullptr;
-  TaskBase* t = q.front();
-  q.pop_front();
-  return t;
+  return (pri == Priority::kHigh ? global_hi_ : global_lo_).pop();
 }
 
 TaskBase* Scheduler::steal_from_others(Worker& w) {
@@ -154,7 +221,10 @@ TaskBase* Scheduler::acquire_task(Worker& w) {
 
 void Scheduler::execute(TaskBase* task) {
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
-  if (task->execute()) delete task;
+  if (task->execute()) {
+    // Only SpawnTask::execute returns true; fork frames are stack-owned.
+    recycle_spawn_node(static_cast<SpawnTask*>(task));
+  }
 }
 
 void Scheduler::worker_loop(unsigned index) {

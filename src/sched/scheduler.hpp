@@ -22,14 +22,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sched/chase_lev.hpp"
+#include "sched/closure.hpp"
 #include "sched/task.hpp"
 
 namespace pwss::sched {
@@ -62,14 +61,22 @@ class Scheduler {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Fire-and-forget task; callable from any thread.
-  void spawn(std::function<void()> fn, Priority pri = Priority::kLow);
+  /// Fire-and-forget task; callable from any thread. Captures up to
+  /// Closure::kInlineCapacity bytes are stored inline, and the task node
+  /// itself comes from a per-worker free list, so steady-state spawns from
+  /// pool workers perform zero heap allocations.
+  void spawn(Closure fn, Priority pri = Priority::kLow);
 
   /// Runs `fn` on the pool and blocks the calling thread until `fn` *and
   /// all fork/join work it creates* complete (fn itself must join its
   /// forks, which parallel_invoke/parallel_for guarantee). If called from a
-  /// worker thread, runs inline.
-  void run_sync(const std::function<void()>& fn);
+  /// worker thread, runs inline. `fn` is borrowed, not owned: the caller's
+  /// frame outlives the run by construction.
+  template <typename F>
+  void run_sync(F&& fn) {
+    FnView view(fn);
+    run_sync_view(view);
+  }
 
   /// Structured fork/join: f and g both complete before returning. On a
   /// worker, g is exposed for stealing while the caller runs f; off-pool it
@@ -95,11 +102,11 @@ class Scheduler {
 
   /// ResumeSink adapter for sync::DedicatedLock: resumed continuations are
   /// spawned at the given priority (Section 7.2: a resumed thread goes back
-  /// to its original queue).
-  std::function<void(std::function<void()>)> resume_sink(Priority pri) {
-    return [this, pri](std::function<void()> cont) {
-      spawn(std::move(cont), pri);
-    };
+  /// to its original queue). The sink is a two-pointer value — copying and
+  /// invoking it never allocates.
+  ClosureSink resume_sink(Priority pri) noexcept {
+    return ClosureSink(this, pri == Priority::kHigh ? &spawn_high_trampoline
+                                                    : &spawn_low_trampoline);
   }
 
   /// Number of tasks executed so far (approximate; for tests/benches).
@@ -107,8 +114,39 @@ class Scheduler {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  /// Free SpawnTask nodes pooled across all workers (approximate; for
+  /// tests: call only when the pool is quiescent).
+  std::size_t pooled_task_count() const noexcept;
+
  private:
   struct Worker;
+
+  /// Intrusive FIFO of SpawnTask nodes (linked through pool_next); the
+  /// injection queues hold only spawn nodes, so queueing one allocates
+  /// nothing. Guarded by global_mu_.
+  struct SpawnQueue {
+    SpawnTask* head = nullptr;
+    SpawnTask* tail = nullptr;
+    bool empty() const noexcept { return head == nullptr; }
+    void push(SpawnTask* t) noexcept {
+      t->pool_next = nullptr;
+      if (tail != nullptr) {
+        tail->pool_next = t;
+      } else {
+        head = t;
+      }
+      tail = t;
+    }
+    SpawnTask* pop() noexcept {
+      SpawnTask* t = head;
+      if (t != nullptr) {
+        head = t->pool_next;
+        if (head == nullptr) tail = nullptr;
+        t->pool_next = nullptr;
+      }
+      return t;
+    }
+  };
 
   template <typename F>
   void pfor_impl(std::size_t lo, std::size_t hi, std::size_t grain,
@@ -123,10 +161,16 @@ class Scheduler {
     parallel_invoke(FnView(left), FnView(right));
   }
 
+  static void spawn_high_trampoline(void* self, Closure&& cont);
+  static void spawn_low_trampoline(void* self, Closure&& cont);
+
+  void run_sync_view(FnView fn);
   void worker_loop(unsigned index);
   TaskBase* acquire_task(Worker& w);
   TaskBase* steal_from_others(Worker& w);
   TaskBase* pop_global(Priority pri);
+  SpawnTask* allocate_spawn_node(Closure fn);
+  void recycle_spawn_node(SpawnTask* node);
   void execute(TaskBase* task);
   void notify_one_sleeper();
 
@@ -135,8 +179,8 @@ class Scheduler {
 
   std::mutex global_mu_;
   std::condition_variable cv_;
-  std::deque<TaskBase*> global_hi_;
-  std::deque<TaskBase*> global_lo_;
+  SpawnQueue global_hi_;
+  SpawnQueue global_lo_;
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tasks_executed_{0};

@@ -2,47 +2,67 @@
 // Task representations for the work-stealing scheduler.
 //
 // Two kinds of tasks flow through the deques:
-//  * SpawnTask  — heap-allocated fire-and-forget closure (deleted after run)
+//  * SpawnTask  — fire-and-forget Closure node; recycled through a
+//                 per-worker free list after running (see scheduler.cpp)
+//                 instead of being deleted, so steady-state spawn/execute
+//                 cycles perform no allocator traffic.
 //  * ForkTask   — stack-allocated right branch of a parallel_invoke; the
 //                 parent either pops it back (not stolen) or waits on its
 //                 `done` flag while helping with other work.
 
 #include <atomic>
-#include <functional>
 #include <utility>
+
+#include "sched/closure.hpp"
 
 namespace pwss::sched {
 
 class TaskBase {
  public:
   virtual ~TaskBase() = default;
-  /// Runs the task. Returns true if the object should be deleted by the
-  /// executor afterwards (heap tasks), false if it is owned elsewhere.
+  /// Runs the task. Returns true if the object should be recycled/deleted
+  /// by the executor afterwards (spawn nodes), false if it is owned
+  /// elsewhere (fork frames).
   virtual bool execute() = 0;
 };
 
+/// Fire-and-forget closure node. The scheduler is the only creator and the
+/// only deleter; `pool_next` links free nodes into a worker's free list and
+/// queued nodes into the global injection queues (a node is never in both).
 class SpawnTask final : public TaskBase {
  public:
-  explicit SpawnTask(std::function<void()> fn) : fn_(std::move(fn)) {}
+  explicit SpawnTask(Closure fn) : fn_(std::move(fn)) {}
+
   bool execute() override {
+    // Run, then drop the captures immediately: the node may sit in a free
+    // list for a while, and captures (tickets, shared state) must not
+    // outlive their logical task.
     fn_();
+    fn_.reset();
     return true;
   }
 
+  /// Re-arms a recycled node with a fresh closure.
+  void rearm(Closure fn) { fn_ = std::move(fn); }
+
+  SpawnTask* pool_next = nullptr;
+
  private:
-  std::function<void()> fn_;
+  Closure fn_;
 };
 
 /// Right branch of a fork. Lives on the forking frame's stack; `done` is the
 /// last field the thief touches, which makes the parent's wait-then-destroy
-/// safe.
+/// safe. FnView keeps the fast path free of ownership transfers: the parent
+/// frame outlives the task by construction.
 class ForkTask final : public TaskBase {
  public:
   template <typename F>
-  explicit ForkTask(F& fn) : fn_([&fn] { fn(); }) {}
+  explicit ForkTask(F& fn) noexcept
+      : obj_(&fn), call_([](void* o) { (*static_cast<F*>(o))(); }) {}
 
   bool execute() override {
-    fn_();
+    call_(obj_);
     done_.store(true, std::memory_order_release);
     return false;
   }
@@ -50,7 +70,8 @@ class ForkTask final : public TaskBase {
   bool done() const noexcept { return done_.load(std::memory_order_acquire); }
 
  private:
-  std::function<void()> fn_;
+  void* obj_;
+  void (*call_)(void*);
   std::atomic<bool> done_{false};
 };
 

@@ -14,33 +14,40 @@
 #include <vector>
 
 #include "baseline/iacono_map.hpp"
+#include "util/small_vec.hpp"
 
 namespace pwss::sort {
+
+/// Position list for one distinct key. Most keys occur once or twice, so
+/// the first two positions live inline in the dictionary node — no heap
+/// allocation per distinct key.
+using EsortPositions = util::SmallVec<std::size_t, 2>;
 
 template <typename T, typename KeyFn>
 std::vector<std::size_t> esort(const std::vector<T>& input,
                                const KeyFn& key_of) {
   using Key = std::decay_t<decltype(key_of(input[0]))>;
-  baseline::IaconoMap<Key, std::vector<std::size_t>> dict;
+  baseline::IaconoMap<Key, EsortPositions> dict;
 
   for (std::size_t i = 0; i < input.size(); ++i) {
     const Key k = key_of(input[i]);
     if (auto* positions = dict.search(k)) {
       positions->push_back(i);
     } else {
-      dict.insert(k, std::vector<std::size_t>{i});
+      dict.insert(k, EsortPositions{i});
     }
   }
 
   // Each segment is sorted by key already; merge them smallest-capacity
   // first. Segment sizes are doubly exponential, so the repeated two-way
   // merge costs O(u) total over u distinct keys.
-  using Tagged = std::pair<Key, const std::vector<std::size_t>*>;
+  using Tagged = std::pair<Key, const EsortPositions*>;
   std::vector<Tagged> merged;
+  merged.reserve(dict.size());
   for (const auto& seg : dict.segments()) {
     std::vector<Tagged> seg_items;
     seg_items.reserve(seg.size());
-    seg.for_each([&](const Key& k, const std::vector<std::size_t>& pos,
+    seg.for_each([&](const Key& k, const EsortPositions& pos,
                      std::uint64_t) { seg_items.emplace_back(k, &pos); });
     if (merged.empty()) {
       merged = std::move(seg_items);

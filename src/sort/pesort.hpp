@@ -23,18 +23,50 @@
 
 namespace pwss::sort {
 
+/// Ranges at or below PESortOptions::base_case use the sequential stable
+/// sort; whole *inputs* at or below 2x this threshold skip the block/median
+/// machinery (and its scratch allocation) entirely — see pesort().
+inline constexpr std::size_t kSmallSortThreshold = 64;
+
 struct PESortOptions {
   /// Use the easier randomized pivot (the Remark after Lemma 34) instead of
   /// the deterministic PPivot. Ablated in bench E3.
   bool random_pivot = false;
   std::uint64_t seed = 0x5eed5eed5eedULL;
   /// Ranges at or below this size use the sequential stable sort.
-  std::size_t base_case = 64;
+  std::size_t base_case = kSmallSortThreshold;
   /// Minimum range size for forking the two recursive calls.
   std::size_t grain = 2048;
 };
 
+/// Reusable buffers for pesort: the partition scratch copy and the per-pass
+/// classification bytes. Owned by the caller (e.g. core::BatchScratch) so
+/// repeated sorts reuse capacity instead of reallocating; a null scratch
+/// falls back to per-call buffers.
+template <typename T>
+struct PESortScratch {
+  std::vector<T> buf;
+  std::vector<std::uint8_t> cls;
+};
+
 namespace detail {
+
+/// Stable insertion sort for tiny ranges — the base case of the recursion
+/// and the whole-input small cutoff. Unlike std::stable_sort it never
+/// allocates (libstdc++/libc++ stable_sort buys a temporary merge buffer
+/// per call), which keeps point-op batches and recursion leaves off the
+/// allocator entirely.
+template <typename T, typename KeyFn>
+void insertion_sort(std::span<T> v, const KeyFn& key_of) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    T tmp = std::move(v[i]);
+    const auto key = key_of(tmp);
+    std::size_t j = i;
+    // Strict < keeps equal keys in place: stable.
+    for (; j > 0 && key < key_of(v[j - 1]); --j) v[j] = std::move(v[j - 1]);
+    v[j] = std::move(tmp);
+  }
+}
 
 /// Parallel Pivot Algorithm (Lemma 34): split into blocks of size ~log k,
 /// take each block's median, return the median of medians — always within
@@ -88,13 +120,13 @@ auto random_quartile_pivot(std::span<const T> v, const KeyFn& key_of,
 }
 
 template <typename T, typename KeyFn>
-void pesort_rec(std::span<T> data, std::span<T> scratch, const KeyFn& key_of,
+void pesort_rec(std::span<T> data, std::span<T> scratch,
+                std::span<std::uint8_t> cls, const KeyFn& key_of,
                 sched::Scheduler* scheduler, const PESortOptions& opts,
                 std::uint64_t seed) {
   const std::size_t n = data.size();
   if (n <= opts.base_case) {
-    std::stable_sort(data.begin(), data.end(),
-                     [&](const T& a, const T& b) { return key_of(a) < key_of(b); });
+    insertion_sort(data, key_of);
     return;
   }
 
@@ -106,8 +138,9 @@ void pesort_rec(std::span<T> data, std::span<T> scratch, const KeyFn& key_of,
     return ppivot(std::span<const T>(data), key_of, scheduler);
   }();
 
-  // Classify, partition into scratch, copy back.
-  std::vector<std::uint8_t> cls(n);
+  // Classify, partition into scratch, copy back. `cls` is the top-level
+  // classification buffer sliced in lockstep with data/scratch, so no
+  // recursion level allocates its own.
   auto classify = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const auto k = key_of(data[i]);
@@ -132,12 +165,12 @@ void pesort_rec(std::span<T> data, std::span<T> scratch, const KeyFn& key_of,
   }
 
   auto left = [&] {
-    pesort_rec(data.subspan(0, eq), scratch.subspan(0, eq), key_of, scheduler,
-               opts, seed * 0x9e3779b97f4a7c15ULL + 1);
+    pesort_rec(data.subspan(0, eq), scratch.subspan(0, eq), cls.subspan(0, eq),
+               key_of, scheduler, opts, seed * 0x9e3779b97f4a7c15ULL + 1);
   };
   auto right = [&] {
-    pesort_rec(data.subspan(above), scratch.subspan(above), key_of, scheduler,
-               opts, seed * 0xda942042e4dd58b5ULL + 3);
+    pesort_rec(data.subspan(above), scratch.subspan(above), cls.subspan(above),
+               key_of, scheduler, opts, seed * 0xda942042e4dd58b5ULL + 3);
   };
   if (scheduler && n > opts.grain) {
     scheduler->parallel_invoke(sched::FnView(left), sched::FnView(right));
@@ -151,15 +184,30 @@ void pesort_rec(std::span<T> data, std::span<T> scratch, const KeyFn& key_of,
 
 /// Stable entropy-adaptive sort of `v` by `key_of(v[i])`. Passing a
 /// scheduler enables the parallel recursion; nullptr runs sequentially with
-/// identical results.
+/// identical results. A non-null `scratch` supplies the partition and
+/// classification buffers, so repeated sorts (one per batch in M1/M2)
+/// reuse capacity instead of reallocating.
+///
+/// Small inputs (<= 2 * base_case) take a sequential stable insertion sort
+/// directly: no pivot blocks, no medians, no scratch, no allocation — the
+/// path point-op batches and small bunches ride.
 template <typename T, typename KeyFn>
 void pesort(std::vector<T>& v, const KeyFn& key_of,
             sched::Scheduler* scheduler = nullptr,
-            const PESortOptions& opts = {}) {
+            const PESortOptions& opts = {},
+            PESortScratch<T>* scratch = nullptr) {
   if (v.size() <= 1) return;
-  std::vector<T> scratch(v.size());
+  if (v.size() <= 2 * opts.base_case) {
+    detail::insertion_sort(std::span<T>(v), key_of);
+    return;
+  }
+  PESortScratch<T> local;
+  PESortScratch<T>& s = scratch ? *scratch : local;
+  if (s.buf.size() < v.size()) s.buf.resize(v.size());
+  if (s.cls.size() < v.size()) s.cls.resize(v.size());
   auto run = [&] {
-    detail::pesort_rec(std::span<T>(v), std::span<T>(scratch), key_of,
+    detail::pesort_rec(std::span<T>(v), std::span<T>(s.buf).first(v.size()),
+                       std::span<std::uint8_t>(s.cls).first(v.size()), key_of,
                        scheduler, opts, opts.seed);
   };
   if (scheduler && !scheduler->on_worker() && v.size() > opts.grain) {

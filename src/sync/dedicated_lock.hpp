@@ -11,20 +11,26 @@
 // `cont` inline (lock obtained immediately) or parks it; release hands the
 // lock directly to the next parked continuation and schedules it through the
 // caller-provided `resume` sink, so no OS thread ever blocks.
+//
+// Continuations are sched::Closure values (64-byte SBO, move-only captures
+// allowed) and the sink is the two-pointer sched::ClosureSink, so the
+// uncontended acquire/release fast path performs no heap allocation; only a
+// *parked* continuation costs one node.
 
 #include <atomic>
 #include <cstddef>
-#include <functional>
-#include <memory>
 #include <vector>
+
+#include "sched/closure.hpp"
 
 namespace pwss::sync {
 
 class DedicatedLock {
  public:
-  using Continuation = std::function<void()>;
-  /// Sink used to schedule a resumed continuation (e.g. Scheduler::spawn).
-  using ResumeSink = std::function<void(Continuation)>;
+  using Continuation = sched::Closure;
+  /// Sink used to schedule a resumed continuation (e.g. Scheduler::spawn
+  /// via Scheduler::resume_sink, or ClosureSink::inline_runner in tests).
+  using ResumeSink = sched::ClosureSink;
 
   explicit DedicatedLock(std::size_t keys);
   DedicatedLock(const DedicatedLock&) = delete;

@@ -1,0 +1,168 @@
+#pragma once
+// SmallVec — an inline-first vector: the first N elements live inside the
+// object; growing past N spills everything into a heap vector once.
+//
+// Motivation (ESort, Definition 29): the working-set dictionary keeps one
+// position list per distinct key, and under high-entropy inputs almost every
+// list is a singleton — with std::vector that is one heap allocation per
+// distinct key. SmallVec<std::size_t, 2> makes the common case free.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace pwss::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVec() noexcept = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVec(const SmallVec& other) {
+    if (other.spilled()) {
+      heap_ = other.heap_;
+      inline_count_ = kSpilled;
+    } else {
+      for (std::size_t i = 0; i < other.inline_count_; ++i) {
+        push_back(other.inline_at(i));
+      }
+    }
+  }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      SmallVec copy(other);
+      move_from(std::move(copy));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { clear(); }
+
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept {
+    return spilled() ? heap_.size() : inline_count_;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (!spilled()) {
+      if (inline_count_ < N) {
+        T* slot = ::new (inline_slot(inline_count_))
+            T(std::forward<Args>(args)...);
+        ++inline_count_;
+        return *slot;
+      }
+      // Materialize before spilling: the argument may alias an inline slot
+      // (push_back(v[0])), which spill() is about to move from and destroy.
+      T tmp(std::forward<Args>(args)...);
+      spill();
+      return heap_.emplace_back(std::move(tmp));
+    }
+    return heap_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size(); }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size());
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size());
+    return data()[i];
+  }
+
+  T* data() noexcept {
+    return spilled() ? heap_.data() : std::launder(inline_slot(0));
+  }
+  const T* data() const noexcept {
+    return spilled() ? heap_.data()
+                     : std::launder(const_cast<SmallVec*>(this)->inline_slot(0));
+  }
+
+  /// True iff the elements have spilled to the heap (for tests).
+  bool spilled() const noexcept { return inline_count_ == kSpilled; }
+
+  void clear() noexcept {
+    if (spilled()) {
+      heap_.clear();
+      heap_.shrink_to_fit();
+      inline_count_ = 0;
+    } else {
+      destroy_inline();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSpilled = static_cast<std::size_t>(-1);
+
+  T* inline_slot(std::size_t i) noexcept {
+    return reinterpret_cast<T*>(buf_) + i;
+  }
+  T& inline_at(std::size_t i) noexcept { return *std::launder(inline_slot(i)); }
+  const T& inline_at(std::size_t i) const noexcept {
+    return *std::launder(const_cast<SmallVec*>(this)->inline_slot(i));
+  }
+
+  void destroy_inline() noexcept {
+    for (std::size_t i = inline_count_; i > 0; --i) {
+      inline_at(i - 1).~T();
+    }
+    inline_count_ = 0;
+  }
+
+  void spill() {
+    heap_.reserve(2 * N);
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      heap_.push_back(std::move(inline_at(i)));
+    }
+    destroy_inline();
+    inline_count_ = kSpilled;
+  }
+
+  void move_from(SmallVec&& other) noexcept {
+    if (other.spilled()) {
+      heap_ = std::move(other.heap_);
+      inline_count_ = kSpilled;
+      other.heap_.clear();
+      other.inline_count_ = 0;
+    } else {
+      for (std::size_t i = 0; i < other.inline_count_; ++i) {
+        ::new (inline_slot(i)) T(std::move(other.inline_at(i)));
+      }
+      inline_count_ = other.inline_count_;
+      other.destroy_inline();
+    }
+  }
+
+  alignas(T) unsigned char buf_[N * sizeof(T)];
+  std::size_t inline_count_ = 0;
+  std::vector<T> heap_;
+};
+
+}  // namespace pwss::util

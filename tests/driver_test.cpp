@@ -159,6 +159,53 @@ core::Result<std::uint64_t> reference_apply(
   return r;
 }
 
+void expect_matches_reference(std::map<std::uint64_t, std::uint64_t>& ref,
+                              const std::vector<IntOp>& ops,
+                              const std::vector<core::Result<std::uint64_t>>& got,
+                              const char* what) {
+  ASSERT_EQ(got.size(), ops.size()) << what;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto want = reference_apply(ref, ops[i]);
+    ASSERT_EQ(got[i].success, want.success) << what << " op " << i;
+    ASSERT_EQ(got[i].value, want.value) << what << " op " << i;
+  }
+}
+
+TEST(Driver, BatchArenasIndependentAcrossInstances) {
+  // Each M1 instance owns its BatchScratch arena; interleaving bulk batches
+  // across instances (including the sharded driver's per-shard backends,
+  // which run shard batches on concurrent threads) must never bleed state.
+  driver::Options opts;
+  opts.workers = 2;
+  auto a = driver::make_driver<std::uint64_t, std::uint64_t>("m1", opts);
+  auto b = driver::make_driver<std::uint64_t, std::uint64_t>("m1", opts);
+  opts.shards = 2;
+  auto c =
+      driver::make_driver<std::uint64_t, std::uint64_t>("sharded:m1", opts);
+  std::map<std::uint64_t, std::uint64_t> ref_a, ref_b, ref_c;
+
+  util::Xoshiro256 rng(123);
+  for (int round = 0; round < 25; ++round) {
+    // Different batch shapes per instance in the same round, so any shared
+    // buffer would be resized mid-flight by the other instance.
+    const auto ops_a = scripted_ops(1000 + round, 1 + rng.bounded(600));
+    const auto ops_b = scripted_ops(2000 + round, 1 + rng.bounded(40));
+    const auto ops_c = scripted_ops(3000 + round, 1 + rng.bounded(300));
+    const auto got_a = a->run(ops_a);
+    const auto got_b = b->run(ops_b);
+    const auto got_c = c->run(ops_c);
+    expect_matches_reference(ref_a, ops_a, got_a, "instance a");
+    expect_matches_reference(ref_b, ops_b, got_b, "instance b");
+    expect_matches_reference(ref_c, ops_c, got_c, "instance c");
+  }
+  EXPECT_TRUE(a->check());
+  EXPECT_TRUE(b->check());
+  EXPECT_TRUE(c->check());
+  EXPECT_EQ(a->size(), ref_a.size());
+  EXPECT_EQ(b->size(), ref_b.size());
+  EXPECT_EQ(c->size(), ref_c.size());
+}
+
 TEST_P(DriverBackendTest, BulkAndBlockingAgreeWithReference) {
   const char* name = GetParam();
   driver::Options opts;

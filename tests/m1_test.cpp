@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -216,6 +217,35 @@ TEST(M1, EraseEverything) {
   EXPECT_EQ(m.size(), 0u);
   EXPECT_EQ(m.segment_count(), 0u);
   EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M1, ArenaReuseManyBatchesDifferentialVsM0) {
+  // The per-instance BatchScratch arena is reused by every execute_batch;
+  // a long stream of batches with wildly varying sizes (straddling the
+  // pesort small-sort cutoff and shrinking/growing the arena's buffers)
+  // must stay exactly equivalent to M0's sequential reference semantics.
+  util::Xoshiro256 rng(77);
+  M1Map<int, int> m1;
+  core::M0Map<int, int> m0;
+  const std::size_t sizes[] = {1, 3, 700, 2, 130, 1, 900, 40, 8, 300};
+  for (int round = 0; round < 60; ++round) {
+    std::vector<IntOp> batch;
+    const std::size_t b = sizes[static_cast<std::size_t>(round) % 10];
+    for (std::size_t i = 0; i < b; ++i) {
+      const int key = static_cast<int>(rng.bounded(256));
+      switch (rng.bounded(4)) {
+        case 0:
+        case 1: batch.push_back(IntOp::insert(key, round * 10000 + static_cast<int>(i))); break;
+        case 2: batch.push_back(IntOp::erase(key)); break;
+        default: batch.push_back(IntOp::search(key));
+      }
+    }
+    expect_equal_results(m1.execute_batch(batch), m0.execute_batch(batch),
+                         "arena-reuse");
+    ASSERT_EQ(m1.size(), m0.size()) << "round " << round;
+    ASSERT_TRUE(m1.check_invariants()) << "round " << round;
+  }
+  ASSERT_TRUE(m0.check_invariants());
 }
 
 // Parameterized: parallel execution must match sequential execution exactly.

@@ -49,7 +49,7 @@ TEST(NonBlockingLock, MutualExclusionUnderContention) {
 // Runs parked continuations inline on the releasing thread — enough for
 // single-threaded protocol tests.
 sync::DedicatedLock::ResumeSink inline_sink() {
-  return [](sync::DedicatedLock::Continuation c) { c(); };
+  return sync::DedicatedLock::ResumeSink::inline_runner();
 }
 
 TEST(DedicatedLock, UncontendedAcquireRunsInline) {
@@ -101,7 +101,7 @@ TEST(DedicatedLock, MutualExclusionAcrossThreads) {
   auto worker = [&](std::size_t key) {
     for (int i = 0; i < kIters; ++i) {
       std::atomic<bool> my_turn_done{false};
-      auto sink = [](sync::DedicatedLock::Continuation c) { c(); };
+      const auto sink = sync::DedicatedLock::ResumeSink::inline_runner();
       lock.acquire(
           key,
           [&] {
