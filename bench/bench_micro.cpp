@@ -24,8 +24,12 @@
 
 namespace {
 
+// The production configuration: trees draw nodes from an instance pool
+// (warm insert/erase churn is heap-free). BM_JTreeInsertEraseUnpooled
+// keeps the plain new/delete shape for contrast.
 void BM_JTreeInsertErase(benchmark::State& state) {
-  pwss::tree::JTree<std::uint64_t, std::uint64_t> t;
+  pwss::tree::JTree<std::uint64_t, std::uint64_t>::Pool pool;
+  pwss::tree::JTree<std::uint64_t, std::uint64_t> t(&pool);
   pwss::util::Xoshiro256 rng(1);
   const std::uint64_t universe = static_cast<std::uint64_t>(state.range(0));
   for (std::uint64_t i = 0; i < universe / 2; ++i) t.insert(i * 2, i);
@@ -37,24 +41,45 @@ void BM_JTreeInsertErase(benchmark::State& state) {
 }
 BENCHMARK(BM_JTreeInsertErase)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_JTreeMultiInsert(benchmark::State& state) {
+void BM_JTreeInsertEraseUnpooled(benchmark::State& state) {
+  pwss::tree::JTree<std::uint64_t, std::uint64_t> t;
+  pwss::util::Xoshiro256 rng(1);
+  const std::uint64_t universe = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < universe / 2; ++i) t.insert(i * 2, i);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.bounded(universe);
+    t.insert(k, k);
+    benchmark::DoNotOptimize(t.erase(k));
+  }
+}
+BENCHMARK(BM_JTreeInsertEraseUnpooled)->Arg(1 << 16);
+
+// Renamed from BM_JTreeMultiInsert: besides the pool, the timed region
+// changed (tree teardown now happens under PauseTiming), so the old
+// series must not be compared against this one.
+void BM_JTreeMultiInsertPooled(benchmark::State& state) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  pwss::tree::JTree<std::uint64_t, std::uint64_t>::Pool pool;
   for (auto _ : state) {
     state.PauseTiming();
-    pwss::tree::JTree<std::uint64_t, std::uint64_t> t;
-    for (std::uint64_t i = 0; i < (1u << 16); i += 2) t.insert(i, i);
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
-    for (std::size_t i = 0; i < batch; ++i) {
-      items.emplace_back(i * 4 + 1, i);
-    }
+    {
+      pwss::tree::JTree<std::uint64_t, std::uint64_t> t(&pool);
+      for (std::uint64_t i = 0; i < (1u << 16); i += 2) t.insert(i, i);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+      for (std::size_t i = 0; i < batch; ++i) {
+        items.emplace_back(i * 4 + 1, i);
+      }
+      state.ResumeTiming();
+      t.multi_insert(items);
+      benchmark::DoNotOptimize(t.size());
+      state.PauseTiming();
+    }  // teardown (bulk chain recycle) outside the timed region
     state.ResumeTiming();
-    t.multi_insert(items);
-    benchmark::DoNotOptimize(t.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_JTreeMultiInsert)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_JTreeMultiInsertPooled)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_SegmentExtractByKeys(benchmark::State& state) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));

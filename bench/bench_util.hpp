@@ -9,12 +9,20 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/ops.hpp"
 #include "driver/driver.hpp"
+
+// Baked in by CMake from `git rev-parse --short HEAD` at configure time
+// (re-run the cmake configure step after committing to refresh it); every
+// JSON record carries it so baseline files are attributable to a commit.
+#ifndef PWSS_GIT_REV
+#define PWSS_GIT_REV "unknown"
+#endif
 
 namespace pwss::bench {
 
@@ -56,7 +64,12 @@ inline void end_row() { std::printf("\n"); }
 //
 //   {"schema":"pwss-bench-v1","bench":"e5","panel":"bulk_run",
 //    "backend":"m1","metric":"ops_per_sec","value":1234567.0,
+//    "rev":"1a2b3c4","ts":1753228800,
 //    "params":{"workers":4,"batch":8192}}
+//
+// "rev" (git short sha at build time) and "ts" (unix seconds at record
+// time) attribute each record; consumers (bench/compare_baseline.py) must
+// tolerate their absence — older baseline files don't carry them.
 
 /// Process-wide JSON Lines recorder; inert until open() is called.
 class BenchJson {
@@ -91,9 +104,10 @@ class BenchJson {
     std::fprintf(file_,
                  "{\"schema\":\"pwss-bench-v1\",\"bench\":\"%s\","
                  "\"panel\":\"%s\",\"backend\":\"%s\",\"metric\":\"%s\","
-                 "\"value\":%.6f,\"params\":{",
+                 "\"value\":%.6f,\"rev\":\"%s\",\"ts\":%lld,\"params\":{",
                  bench_.c_str(), panel.c_str(), backend.c_str(),
-                 metric.c_str(), value);
+                 metric.c_str(), value, PWSS_GIT_REV,
+                 static_cast<long long>(std::time(nullptr)));
     bool first = true;
     for (const auto& [k, v] : params) {
       std::fprintf(file_, "%s\"%s\":%.6f", first ? "" : ",", k, v);
@@ -169,10 +183,11 @@ double chunked_search_ms(driver::Driver<K, V>& map,
   WallTimer t;
   std::vector<core::Op<K, V>> batch;
   batch.reserve(chunk);
+  std::vector<core::Result<V>> results;  // reused across chunks
   for (std::size_t i = 0; i < keys.size(); ++i) {
     batch.push_back(core::Op<K, V>::search(keys[i]));
     if (batch.size() == chunk || i + 1 == keys.size()) {
-      map.run(batch);
+      map.run(batch, results);
       batch.clear();
     }
   }

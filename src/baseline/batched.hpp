@@ -37,6 +37,14 @@ class Batched {
   std::vector<core::Result<V>> execute_batch(
       std::span<const core::Op<K, V>> ops) {
     std::vector<core::Result<V>> results;
+    execute_batch(ops, results);
+    return results;
+  }
+
+  /// Results into a caller-owned buffer (capacity reused across batches).
+  void execute_batch(std::span<const core::Op<K, V>> ops,
+                     std::vector<core::Result<V>>& results) {
+    results.clear();
     results.reserve(ops.size());
     for (const auto& op : ops) {
       core::Result<V> r;
@@ -59,7 +67,6 @@ class Batched {
       }
       results.push_back(std::move(r));
     }
-    return results;
   }
 
   // Point passthroughs, normalized to the optional<V> shape.

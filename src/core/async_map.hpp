@@ -15,6 +15,7 @@
 
 #include "buffer/feed_buffer.hpp"
 #include "buffer/parallel_buffer.hpp"
+#include "core/backend.hpp"
 #include "core/ops.hpp"
 #include "sched/scheduler.hpp"
 #include "sync/async_gate.hpp"
@@ -135,13 +136,16 @@ class AsyncMap {
                std::ceil(std::log2(n) / static_cast<double>(p_))));
     std::vector<Submission> batch = feed_.take_bunches(bunches);
     if (batch.empty()) return;
-    // ops_scratch_ is safe to reuse: the gate guarantees one drive owner.
+    // The scratch buffers are safe to reuse: the gate guarantees one
+    // drive owner, so steady-state cut batches recycle both the staged
+    // ops and the results capacity.
     ops_scratch_.clear();
     ops_scratch_.reserve(batch.size());
     for (auto& s : batch) ops_scratch_.push_back(std::move(s.op));
-    std::vector<Result<V>> results = map_.execute_batch(ops_scratch_);
+    execute_batch_into<K, V>(map_, std::span<const Op<K, V>>(ops_scratch_),
+                             results_scratch_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].ticket->fulfill(std::move(results[i]));
+      batch[i].ticket->fulfill(std::move(results_scratch_[i]));
     }
     in_flight_.fetch_sub(batch.size(), std::memory_order_release);
   }
@@ -153,7 +157,8 @@ class AsyncMap {
   buffer::FeedBuffer<Submission> feed_;
   sync::AsyncGate gate_;
   std::atomic<std::size_t> in_flight_{0};
-  std::vector<Op<K, V>> ops_scratch_;  // drive-loop batch staging
+  std::vector<Op<K, V>> ops_scratch_;       // drive-loop batch staging
+  std::vector<Result<V>> results_scratch_;  // drive-loop results reuse
 };
 
 }  // namespace pwss::core

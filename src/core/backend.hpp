@@ -49,6 +49,28 @@ struct backend_traits {
   static constexpr bool point_thread_safe = false;
 };
 
+/// True when the backend can also deliver batch results into a
+/// caller-owned buffer (capacity reused across batches). The driver layer
+/// and AsyncMap's drive loop prefer this surface so a steady stream of
+/// batches stops reallocating its results vector.
+template <typename B, typename K, typename V>
+concept HasBatchInto =
+    requires(B b, std::span<const Op<K, V>> ops, std::vector<Result<V>>& out) {
+      b.execute_batch(ops, out);
+    };
+
+/// One batch through the best surface the backend has: the reusable-buffer
+/// overload when present, else the allocating one.
+template <typename K, typename V, typename B>
+void execute_batch_into(B& backend, std::span<const Op<K, V>> ops,
+                        std::vector<Result<V>>& out) {
+  if constexpr (HasBatchInto<B, K, V>) {
+    backend.execute_batch(ops, out);
+  } else {
+    out = backend.execute_batch(ops);
+  }
+}
+
 /// True when the backend exposes check_invariants(); drivers surface it
 /// through Driver::check() so cross-backend tests can validate uniformly.
 template <typename B>

@@ -14,6 +14,7 @@
 // implementation ("model") in M1/M2 equivalence tests.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -28,6 +29,11 @@ template <typename K, typename V>
 class M0Map {
  public:
   using Item = typename Segment<K, V>::Item;
+
+  /// Sequential map: a single-shard pool domain (no scheduler). The pools
+  /// live behind a unique_ptr so the map stays movable (AsyncMap takes it
+  /// by value) without invalidating the segments' pool pointers.
+  M0Map() : pools_(std::make_unique<SegmentPools<K, V>>(nullptr)) {}
 
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
@@ -74,10 +80,10 @@ class M0Map {
         return false;
       }
     }
-    if (segments_.empty()) segments_.emplace_back();
+    if (segments_.empty()) segments_.emplace_back(pools_.get());
     std::size_t last = segments_.size() - 1;
     if (segments_[last].size() >= segment_capacity(last)) {
-      segments_.emplace_back();
+      segments_.emplace_back(pools_.get());
       ++last;
     }
     segments_[last].insert_back(Item{key, std::move(value), 0});
@@ -108,6 +114,15 @@ class M0Map {
   /// Executes a batch sequentially (reference semantics for M1/M2 tests).
   std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
     std::vector<Result<V>> results;
+    execute_batch(ops, results);
+    return results;
+  }
+
+  /// Same batch, results into a caller-owned buffer whose capacity is
+  /// reused across batches (cleared first).
+  void execute_batch(std::span<const Op<K, V>> ops,
+                     std::vector<Result<V>>& results) {
+    results.clear();
     results.reserve(ops.size());
     for (const auto& op : ops) {
       Result<V> r;
@@ -130,7 +145,6 @@ class M0Map {
       }
       results.push_back(std::move(r));
     }
-    return results;
   }
 
   /// Index of the segment currently holding `key` (for rank-invariant
@@ -168,6 +182,8 @@ class M0Map {
     }
   }
 
+  // Pool domain first: segments (declared after) die before their pools.
+  std::unique_ptr<SegmentPools<K, V>> pools_;
   std::vector<Segment<K, V>> segments_;
   std::size_t size_ = 0;
 };

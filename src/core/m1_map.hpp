@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,7 +43,8 @@ class M1Map {
   /// scheduler may be null for a fully sequential map (used in tests to
   /// differentiate logic bugs from concurrency bugs).
   explicit M1Map(sched::Scheduler* scheduler = nullptr)
-      : scheduler_(scheduler) {
+      : pools_(std::make_unique<SegmentPools<K, V>>(scheduler)),
+        scheduler_(scheduler) {
     ctx_.scheduler = scheduler;
   }
 
@@ -55,8 +57,19 @@ class M1Map {
   /// different keys commute (they are on distinct items), so this realizes
   /// a legal linearization of the batch (Definition 8).
   std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
-    std::vector<Result<V>> results(ops.size());
-    if (ops.empty()) return results;
+    std::vector<Result<V>> results;
+    execute_batch(ops, results);
+    return results;
+  }
+
+  /// Same batch, results into a caller-owned buffer (cleared, then sized
+  /// to the batch): a steady stream of batches reuses the results
+  /// capacity the same way it reuses the instance arena.
+  void execute_batch(std::span<const Op<K, V>> ops,
+                     std::vector<Result<V>>& results) {
+    results.clear();
+    results.resize(ops.size());
+    if (ops.empty()) return;
 
     // Tag with result indices, entropy-sort by key, coalesce — all through
     // the instance arena, so a steady stream of batches reuses capacity.
@@ -73,7 +86,6 @@ class M1Map {
                           scratch_.pending);
 
     process_groups(results);
-    return results;
   }
 
   /// Convenience point ops (each a singleton batch on the caller's stack —
@@ -222,7 +234,7 @@ class M1Map {
   void append_new_items(std::vector<Item>& items) {
     if (items.empty()) return;
     size_ += items.size();
-    if (segments_.empty()) segments_.emplace_back();
+    if (segments_.empty()) segments_.emplace_back(pools_.get());
     std::size_t last = segments_.size() - 1;
     segments_[last].insert_back_batch(std::span<Item>(items), ctx_,
                                       &scratch_.seg);
@@ -233,7 +245,7 @@ class M1Map {
           segments_[last].size() -
           static_cast<std::size_t>(segment_capacity(last));
       segments_[last].extract_least_recent(excess, spill, ctx_, &scratch_.seg);
-      segments_.emplace_back();
+      segments_.emplace_back(pools_.get());
       ++last;
       segments_[last].insert_front_batch(std::span<Item>(spill), ctx_,
                                          &scratch_.seg);
@@ -274,6 +286,10 @@ class M1Map {
     return total;
   }
 
+  // Pool domain first: segments (declared after) die before their pools.
+  // unique_ptr keeps the domain's address stable across M1Map moves
+  // (AsyncMap takes the backend by value).
+  std::unique_ptr<SegmentPools<K, V>> pools_;
   std::vector<Segment<K, V>> segments_;
   sched::Scheduler* scheduler_;
   tree::ParCtx ctx_;

@@ -73,9 +73,17 @@ class M2Map {
         p_(p ? p : std::max(1u, scheduler.worker_count())),
         bunch_(static_cast<std::size_t>(p_) * p_),
         m_(first_slab_segments_for(p_)),
+        pools_(&scheduler),
+        filter_pool_(&scheduler),
         feed_(bunch_),
-        first_slab_(m_),
         stages_(kMaxStages) {
+    // All segments (first slab + pipeline stages) share this instance's
+    // pool domain: stage k's extractions recycle exactly the nodes the
+    // S[m'] front insertions re-draw, and the per-worker shards keep the
+    // concurrently running stages from contending on one lock.
+    first_slab_.reserve(m_);
+    for (std::size_t k = 0; k < m_; ++k) first_slab_.emplace_back(&pools_);
+    for (auto& st : stages_) st.seg.bind_pools(&pools_);
     for (std::size_t j = 0; j <= kMaxStages; ++j) {
       // B[j]: key 0 = left user (interface for j==0, stage j-1 otherwise),
       // key 1 = stage j.
@@ -112,15 +120,26 @@ class M2Map {
   /// Blocking convenience: submits the whole batch and waits for every
   /// result. Per-key program order is preserved within the batch.
   std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<Result<V>> results;
+    execute_batch(ops, results);
+    return results;
+  }
+
+  /// Same batch, results into a caller-owned buffer (cleared, then sized
+  /// to the batch) so a steady bulk caller reuses the results capacity.
+  /// Remains safe from concurrent threads as long as each brings its own
+  /// buffer (the tickets are per-call).
+  void execute_batch(std::span<const Op<K, V>> ops,
+                     std::vector<Result<V>>& results) {
     std::vector<OpTicket<V>> tickets(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
       submit(ops[i], &tickets[i]);
     }
-    std::vector<Result<V>> results(ops.size());
+    results.clear();
+    results.resize(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
       results[i] = tickets[i].wait();
     }
-    return results;
   }
   std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
     return execute_batch(std::span<const Op<K, V>>(ops));
@@ -201,6 +220,12 @@ class M2Map {
     std::mutex inbox_mu;
     std::vector<std::vector<Group>> inbox;  // sorted batches, merged on flush
     sync::AsyncGate gate;
+    /// Body of the stage's in-flight front-lock chain, parked here so the
+    /// per-hop lock continuations capture only (this, indices) and stay on
+    /// the Closure SBO path instead of boxing a 72-byte Closure per hop.
+    /// Safe as a single slot: the stage gate admits one run at a time and
+    /// the body is consumed before the run can end.
+    sched::Closure front_body;
   };
 
   struct FilterEntry {
@@ -272,22 +297,22 @@ class M2Map {
     // shared with the final slab, guarded by B[0] and FL[0]. The groups
     // move through the continuation captures (Closure allows move-only
     // captures); a parked continuation carries them past this frame.
-    nlocks_[0]->acquire(
-        /*key=*/0,
-        [this, groups = std::move(groups)]() mutable {
-          flocks_[0]->acquire(
-              /*key=*/2,
-              [this, groups = std::move(groups)]() mutable {
-                std::vector<Group> unfinished =
-                    boundary_segment_sweep(std::move(groups));
-                filter_and_feed_stage0(std::move(unfinished));
-                flocks_[0]->release(lo_sink());
-                nlocks_[0]->release(lo_sink());
-                interface_epilogue();
-              },
-              lo_sink());
-        },
-        lo_sink());
+    auto boundary_cont = [this, groups = std::move(groups)]() mutable {
+      auto front_cont = [this, groups = std::move(groups)]() mutable {
+        std::vector<Group> unfinished =
+            boundary_segment_sweep(std::move(groups));
+        filter_and_feed_stage0(std::move(unfinished));
+        flocks_[0]->release(lo_sink());
+        nlocks_[0]->release(lo_sink());
+        interface_epilogue();
+      };
+      static_assert(sched::Closure::fits_inline<decltype(front_cont)>(),
+                    "interface continuations must stay on the SBO path");
+      flocks_[0]->acquire(/*key=*/2, std::move(front_cont), lo_sink());
+    };
+    static_assert(sched::Closure::fits_inline<decltype(boundary_cont)>(),
+                  "interface continuations must stay on the SBO path");
+    nlocks_[0]->acquire(/*key=*/0, std::move(boundary_cont), lo_sink());
   }
 
   /// Step 6: reactivate while ready; otherwise release ownership (the
@@ -489,36 +514,43 @@ class M2Map {
     // vectors) and stage 0 — which runs the body inline — stays on the
     // closure's SBO path.
     const std::uint64_t jk = (static_cast<std::uint64_t>(j) << 32) | k;
-    acquire_front_chain(j, [this, jk, batch = std::move(batch),
-                            found = std::move(found)]() mutable {
+    auto body = [this, jk, batch = std::move(batch),
+                 found = std::move(found)]() mutable {
       front_section(jk >> 32, jk & 0xffffffffu, std::move(batch),
                     std::move(found));
-    });
+    };
+    static_assert(sched::Closure::fits_inline<decltype(body)>(),
+                  "stage body must stay on the closure SBO path");
+    acquire_front_chain(j, std::move(body));
   }
 
   /// Acquires FL[j]..FL[0] (descending) for stage j > 0; stage 0 holds
-  /// FL[0] already. Then runs `body`.
+  /// FL[0] already. Then runs `body`. The body is parked in the stage's
+  /// front_body slot, NOT captured per hop — wrapping the 72-byte Closure
+  /// at every chain level used to heap-allocate once per hop.
   void acquire_front_chain(std::size_t j, sched::Closure body) {
     if (j == 0) {
       body();
       return;
     }
-    acquire_front_from(j, j, std::move(body));
+    assert(!stages_[j].front_body && "front chain already in flight");
+    stages_[j].front_body = std::move(body);
+    acquire_front_from(j, j);
   }
 
-  void acquire_front_from(std::size_t stage_j, std::size_t lock_i,
-                          sched::Closure body) {
+  void acquire_front_from(std::size_t stage_j, std::size_t lock_i) {
     const std::size_t key = lock_i == stage_j ? 0 : 1;
-    flocks_[lock_i]->acquire(
-        key,
-        [this, stage_j, lock_i, body = std::move(body)]() mutable {
-          if (lock_i == 0) {
-            body();
-          } else {
-            acquire_front_from(stage_j, lock_i - 1, std::move(body));
-          }
-        },
-        hi_sink());
+    auto cont = [this, stage_j, lock_i] {
+      if (lock_i == 0) {
+        sched::Closure body = std::move(stages_[stage_j].front_body);
+        body();
+      } else {
+        acquire_front_from(stage_j, lock_i - 1);
+      }
+    };
+    static_assert(sched::Closure::fits_inline<decltype(cont)>(),
+                  "front-chain hops must stay on the closure SBO path");
+    flocks_[lock_i]->acquire(key, std::move(cont), hi_sink());
   }
 
   void release_front_chain(std::size_t j) {
@@ -740,6 +772,10 @@ class M2Map {
   std::size_t bunch_;
   std::size_t m_;
 
+  // Pool domains first: every segment/tree below dies before its pool.
+  SegmentPools<K, V> pools_;
+  typename tree::JTree<K, FilterEntry>::Pool filter_pool_;
+
   buffer::ParallelBuffer<POp> input_;
   buffer::FeedBuffer<POp> feed_;
   sync::AsyncGate interface_gate_;
@@ -748,7 +784,7 @@ class M2Map {
   std::vector<Stage> stages_;              // S[m..m+kMaxStages-1]
   std::atomic<std::size_t> terminal_{0};   // stage index of the terminal seg
 
-  tree::JTree<K, FilterEntry> filter_;     // guarded by FL[0]
+  tree::JTree<K, FilterEntry> filter_{&filter_pool_};  // guarded by FL[0]
   std::atomic<std::size_t> filter_size_{0};
 
   std::vector<std::unique_ptr<Lock>> nlocks_;  // B[0..kMaxStages]

@@ -55,6 +55,28 @@ constexpr std::uint64_t segment_capacity(std::size_t k) noexcept {
   return 1ULL << exponent;
 }
 
+/// One node-pool domain for a map instance: every segment of the instance
+/// allocates its key-map nodes from `key_pool` and its recency-map nodes
+/// from `rec_pool`. Sharing the domain across the instance's segments is
+/// what makes segment→segment batch transfers heap-free at steady state —
+/// the extract side recycles exactly the nodes the insert side re-draws.
+/// Pools are never shared across instances (driver_test's arena/pool
+/// independence guarantee); the owner must keep the pools alive until
+/// every segment is gone (declare the pools before the segments).
+template <typename K, typename V>
+struct SegmentPools {
+  using KeyTree = tree::JTree<K, std::pair<V, std::uint64_t>>;
+  using RecTree = tree::JTree<std::uint64_t, K>;
+
+  typename KeyTree::Pool key_pool;
+  typename RecTree::Pool rec_pool;
+
+  /// The scheduler the instance forks batch work on (null for sequential
+  /// instances): the pools shard their free lists by its worker ids.
+  explicit SegmentPools(sched::Scheduler* scheduler = nullptr)
+      : key_pool(scheduler), rec_pool(scheduler) {}
+};
+
 /// Reusable buffers for a Segment's batched operations. Owned by the
 /// structure that drives the batches (one arena per M1 instance, inside
 /// core::BatchScratch) and passed down by pointer; a null scratch falls
@@ -80,6 +102,19 @@ class Segment {
     V value;
     std::uint64_t stamp;
   };
+
+  Segment() = default;
+  /// Binds both trees to the instance's pool domain (null = unpooled).
+  explicit Segment(SegmentPools<K, V>* pools)
+      : by_key_(pools != nullptr ? &pools->key_pool : nullptr),
+        by_recency_(pools != nullptr ? &pools->rec_pool : nullptr) {}
+
+  /// Late binding for segments that must be default-constructed first
+  /// (vector-of-count members, M2's Stage); only legal while empty.
+  void bind_pools(SegmentPools<K, V>* pools) noexcept {
+    by_key_.set_pool(pools != nullptr ? &pools->key_pool : nullptr);
+    by_recency_.set_pool(pools != nullptr ? &pools->rec_pool : nullptr);
+  }
 
   std::size_t size() const noexcept { return by_key_.size(); }
   bool empty() const noexcept { return by_key_.empty(); }

@@ -76,8 +76,17 @@ class Driver {
 
   /// Bulk path: one batch through the backend, results in submission
   /// order with per-key program order preserved.
-  virtual std::vector<core::Result<V>> run(
-      const std::vector<core::Op<K, V>>& ops) = 0;
+  std::vector<core::Result<V>> run(const std::vector<core::Op<K, V>>& ops) {
+    std::vector<core::Result<V>> out;
+    run(ops, out);
+    return out;
+  }
+
+  /// Same bulk path, results into a caller-owned buffer (cleared, then
+  /// sized to the batch): a steady bulk caller reuses the results
+  /// capacity across batches instead of reallocating it per run.
+  virtual void run(const std::vector<core::Op<K, V>>& ops,
+                   std::vector<core::Result<V>>& out) = 0;
 
   /// Single-owner sequential fast path: executes one operation
   /// synchronously on the calling thread, bypassing the async front end
@@ -206,10 +215,12 @@ class AsyncDriver final : public Driver<K, V> {
         scheduler_(opts),
         async_(make_backend(*scheduler_.ptr), *scheduler_.ptr) {}
 
-  std::vector<core::Result<V>> run(
-      const std::vector<core::Op<K, V>>& ops) override {
+  using Driver<K, V>::run;
+  void run(const std::vector<core::Op<K, V>>& ops,
+           std::vector<core::Result<V>>& out) override {
     async_.quiesce();
-    return async_.map().execute_batch(ops);
+    core::execute_batch_into<K, V>(
+        async_.map(), std::span<const core::Op<K, V>>(ops), out);
   }
 
   core::Result<V> step(core::Op<K, V> op) override {
@@ -274,9 +285,11 @@ class NativeAsyncDriver final : public Driver<K, V> {
         scheduler_(opts),
         backend_(*scheduler_.ptr, opts.p) {}
 
-  std::vector<core::Result<V>> run(
-      const std::vector<core::Op<K, V>>& ops) override {
-    return backend_.execute_batch(ops);
+  using Driver<K, V>::run;
+  void run(const std::vector<core::Op<K, V>>& ops,
+           std::vector<core::Result<V>>& out) override {
+    core::execute_batch_into<K, V>(
+        backend_, std::span<const core::Op<K, V>>(ops), out);
   }
 
   core::Result<V> step(core::Op<K, V> op) override {
@@ -322,9 +335,11 @@ class DirectDriver final : public Driver<K, V> {
   DirectDriver(std::string name, const Options&)
       : Driver<K, V>(std::move(name)) {}
 
-  std::vector<core::Result<V>> run(
-      const std::vector<core::Op<K, V>>& ops) override {
-    return backend_.execute_batch(ops);
+  using Driver<K, V>::run;
+  void run(const std::vector<core::Op<K, V>>& ops,
+           std::vector<core::Result<V>>& out) override {
+    core::execute_batch_into<K, V>(
+        backend_, std::span<const core::Op<K, V>>(ops), out);
   }
 
   core::Result<V> step(core::Op<K, V> op) override {

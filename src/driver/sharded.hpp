@@ -92,8 +92,9 @@ class ShardedDriver final : public Driver<K, V> {
     return static_cast<std::size_t>(h % shards_.size());
   }
 
-  std::vector<core::Result<V>> run(
-      const std::vector<core::Op<K, V>>& ops) override {
+  using Driver<K, V>::run;
+  void run(const std::vector<core::Op<K, V>>& ops,
+           std::vector<core::Result<V>>& out) override {
     const std::size_t n = shards_.size();
     std::vector<std::vector<core::Op<K, V>>> scatter(n);
     std::vector<std::vector<std::size_t>> origin(n);
@@ -112,7 +113,8 @@ class ShardedDriver final : public Driver<K, V> {
     // first non-empty shard itself. Exceptions are captured per shard
     // and the first rethrown after every helper joined, matching the
     // unsharded drivers' propagation.
-    std::vector<core::Result<V>> out(ops.size());
+    out.clear();
+    out.resize(ops.size());
     std::vector<std::vector<core::Result<V>>> partial(n);
     std::vector<std::exception_ptr> errors(n);
     auto run_shard = [&](std::size_t s) noexcept {
@@ -143,7 +145,6 @@ class ShardedDriver final : public Driver<K, V> {
         out[origin[s][j]] = std::move(partial[s][j]);
       }
     }
-    return out;
   }
 
   core::Result<V> step(core::Op<K, V> op) override {

@@ -95,6 +95,11 @@ bool Scheduler::on_worker() const noexcept {
   return tls_worker.scheduler == this;
 }
 
+std::size_t Scheduler::worker_slot() const noexcept {
+  if (tls_worker.scheduler != this) return 0;
+  return static_cast<Worker*>(tls_worker.worker)->index + 1;
+}
+
 std::size_t Scheduler::pooled_task_count() const noexcept {
   std::size_t n = 0;
   for (const auto& w : workers_) {

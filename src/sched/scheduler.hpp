@@ -100,6 +100,13 @@ class Scheduler {
   /// True iff the calling thread is one of this scheduler's workers.
   bool on_worker() const noexcept;
 
+  /// Pool-shard slot for the calling thread: 1 + worker index when the
+  /// thread is one of this scheduler's workers, 0 for every external
+  /// thread (and for workers of other schedulers). util::NodePool shards
+  /// its free lists by this, the same identity the SpawnTask free lists
+  /// key on.
+  std::size_t worker_slot() const noexcept;
+
   /// ResumeSink adapter for sync::DedicatedLock: resumed continuations are
   /// spawned at the given priority (Section 7.2: a resumed thread goes back
   /// to its original queue). The sink is a two-pointer value — copying and

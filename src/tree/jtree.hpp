@@ -15,6 +15,15 @@
 // Concurrency contract: a JTree is externally synchronized (the maps
 // guarantee exclusive access via the paper's locking schemes). Batch reads
 // (multi_find) may run concurrently with each other but not with mutation.
+//
+// Allocation contract: a JTree constructed over a util::NodePool (the
+// production configuration — see core::SegmentPools) draws every node from
+// that pool and returns every node to it: point insert/erase churn is
+// heap-free once the pool is warm, multi_extract hands extracted nodes
+// straight back, and teardown (clear, destructor, dropped subtrees)
+// recycles iteratively as ONE spliced free chain instead of node-by-node
+// deletes. The pool must outlive the tree. A pool-less JTree (tests,
+// ad-hoc use) falls back to plain new/delete.
 
 #include <cassert>
 #include <cstddef>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "util/node_pool.hpp"
 
 namespace pwss::tree {
 
@@ -38,12 +48,23 @@ struct ParCtx {
 
 template <typename K, typename V, typename Compare = std::less<K>>
 class JTree {
+ private:
+  struct Node;
+
  public:
+  /// The node pool a production JTree allocates from; owned by the map
+  /// instance (one pool domain per instance, shared by all its segments'
+  /// trees of this shape) and passed in by pointer.
+  using Pool = util::NodePool<Node>;
+
   JTree() = default;
   explicit JTree(Compare cmp) : cmp_(std::move(cmp)) {}
+  explicit JTree(Pool* pool) : pool_(pool) {}
+  JTree(Compare cmp, Pool* pool) : cmp_(std::move(cmp)), pool_(pool) {}
   JTree(const JTree&) = delete;
   JTree& operator=(const JTree&) = delete;
-  JTree(JTree&& other) noexcept : root_(other.root_), cmp_(other.cmp_) {
+  JTree(JTree&& other) noexcept
+      : root_(other.root_), cmp_(other.cmp_), pool_(other.pool_) {
     other.root_ = nullptr;
   }
   JTree& operator=(JTree&& other) noexcept {
@@ -52,10 +73,19 @@ class JTree {
       root_ = other.root_;
       other.root_ = nullptr;
       cmp_ = other.cmp_;
+      pool_ = other.pool_;
     }
     return *this;
   }
   ~JTree() { destroy(root_); }
+
+  /// Late pool binding for trees that must be default-constructed first
+  /// (vector-of-count members); only legal while empty.
+  void set_pool(Pool* pool) noexcept {
+    assert(root_ == nullptr && "pool can only be bound to an empty tree");
+    pool_ = pool;
+  }
+  Pool* pool() const noexcept { return pool_; }
 
   std::size_t size() const noexcept { return node_size(root_); }
   bool empty() const noexcept { return root_ == nullptr; }
@@ -93,7 +123,7 @@ class JTree {
     if (m) {
       m->value = std::move(value);
     } else {
-      m = new Node(key, std::move(value));
+      m = create_node(key, std::move(value));
     }
     root_ = join(l, m, r);
     return fresh;
@@ -105,7 +135,7 @@ class JTree {
     std::optional<V> out;
     if (m) {
       out = std::move(m->value);
-      delete m;
+      dispose_node(m);
     }
     root_ = join2(l, r);
     return out;
@@ -221,10 +251,10 @@ class JTree {
 
   /// Builds from a sorted, duplicate-free vector in O(n).
   static JTree from_sorted(std::span<const std::pair<K, V>> items,
-                           Compare cmp = {}) {
-    JTree t(std::move(cmp));
+                           Compare cmp = {}, Pool* pool = nullptr) {
+    JTree t(std::move(cmp), pool);
     t.assert_sorted_pairs(items);
-    t.root_ = build_balanced(items);
+    t.root_ = t.build_balanced(items);
     return t;
   }
 
@@ -247,6 +277,41 @@ class JTree {
     int height = 1;
     std::size_t size = 1;
   };
+
+  // ---- node lifecycle (pooled when a pool is bound) ----------------------
+
+  template <typename VV>
+  Node* create_node(const K& key, VV&& value) {
+    if (pool_ != nullptr) return pool_->create(key, std::forward<VV>(value));
+    return new Node(key, std::forward<VV>(value));
+  }
+
+  void dispose_node(Node* n) noexcept {
+    if (pool_ != nullptr) {
+      pool_->destroy(n);
+    } else {
+      delete n;
+    }
+  }
+
+  /// Tears down a whole subtree iteratively (right-spine rotation walk —
+  /// O(n) time, O(1) extra space, no recursion depth to blow on degenerate
+  /// shapes) and applies `dispose` to every node exactly once.
+  template <typename Dispose>
+  static void flatten_dispose(Node* t, Dispose dispose) noexcept {
+    while (t != nullptr) {
+      if (t->left != nullptr) {
+        Node* l = t->left;
+        t->left = l->right;
+        l->right = t;
+        t = l;
+      } else {
+        Node* r = t->right;
+        dispose(t);
+        t = r;
+      }
+    }
+  }
 
   static int node_height(const Node* n) noexcept { return n ? n->height : 0; }
   static std::size_t node_size(const Node* n) noexcept {
@@ -395,7 +460,7 @@ class JTree {
     if (m) {
       m->value = items[mid].second;
     } else {
-      m = new Node(items[mid].first, items[mid].second);
+      m = create_node(items[mid].first, items[mid].second);
     }
     Node* nl = nullptr;
     Node* nr = nullptr;
@@ -421,7 +486,7 @@ class JTree {
     auto [l, m, r] = split(t, keys[mid]);
     if (m) {
       out[base + mid] = std::move(m->value);
-      delete m;
+      dispose_node(m);  // straight back to the instance pool
     }
     Node* nl = nullptr;
     Node* nr = nullptr;
@@ -441,21 +506,27 @@ class JTree {
     return join2(nl, nr);
   }
 
-  static Node* build_balanced(std::span<const std::pair<K, V>> items) {
+  Node* build_balanced(std::span<const std::pair<K, V>> items) {
     if (items.empty()) return nullptr;
     const std::size_t mid = items.size() / 2;
-    auto* n = new Node(items[mid].first, items[mid].second);
+    Node* n = create_node(items[mid].first, items[mid].second);
     n->left = build_balanced(items.subspan(0, mid));
     n->right = build_balanced(items.subspan(mid + 1));
     return update(n);
   }
 
-  static void collect_destroy(Node* t, std::vector<std::pair<K, V>>& out) {
+  /// Moves (key, value) pairs out in order, then bulk-recycles the whole
+  /// subtree as one spliced free chain.
+  void collect_destroy(Node* t, std::vector<std::pair<K, V>>& out) {
+    collect_rec(t, out);
+    destroy(t);
+  }
+
+  static void collect_rec(Node* t, std::vector<std::pair<K, V>>& out) {
     if (!t) return;
-    collect_destroy(t->left, out);
+    collect_rec(t->left, out);
     out.emplace_back(t->key, std::move(t->value));
-    collect_destroy(t->right, out);
-    delete t;
+    collect_rec(t->right, out);
   }
 
   template <typename Fn>
@@ -466,11 +537,20 @@ class JTree {
     for_each_rec(t->right, fn);
   }
 
-  static void destroy(Node* t) noexcept {
-    if (!t) return;
-    destroy(t->left);
-    destroy(t->right);
-    delete t;
+  /// Iterative teardown; with a pool the subtree goes back as ONE spliced
+  /// free chain (a single pool splice instead of n shard pushes).
+  void destroy(Node* t) noexcept {
+    if (t == nullptr) return;
+    if (pool_ != nullptr) {
+      typename Pool::FreeChain chain;
+      flatten_dispose(t, [&chain](Node* n) noexcept {
+        n->~Node();
+        chain.push(static_cast<void*>(n));
+      });
+      pool_->recycle_chain(std::move(chain));
+    } else {
+      flatten_dispose(t, [](Node* n) noexcept { delete n; });
+    }
   }
 
   void check_rec(const Node* t, const K* lo, const K* hi, bool& ok) const {
@@ -505,6 +585,7 @@ class JTree {
 
   Node* root_ = nullptr;
   Compare cmp_;
+  Pool* pool_ = nullptr;
 };
 
 }  // namespace pwss::tree

@@ -1,0 +1,350 @@
+#pragma once
+// NodePool — a parallel-safe free-list allocator for tree nodes, the
+// allocation-discipline layer under tree/jtree.hpp (see DESIGN.md
+// "Allocation discipline"). Every segment of the working-set hierarchy is a
+// pair of JTrees, so every insert/extract/split/join used to pay one global
+// `new`/`delete` per node; the pool turns that steady-state churn into
+// pointer pushes on a worker-local free list.
+//
+// Structure:
+//  * storage comes from chunk allocations (kDefaultChunkNodes nodes per
+//    heap call), tracked on an intrusive chunk list and released only when
+//    the pool dies — individual node lifecycles never touch the heap;
+//  * free nodes live on per-worker shards, indexed by the owning
+//    scheduler's worker id (`Scheduler::worker_slot`): the two halves of a
+//    `parallel_invoke` recursion allocate and free on different shards, so
+//    batch ops scale without contending on one lock. Slot 0 serves every
+//    external (non-worker) thread; each shard carries its own spinlock so
+//    the pool stays safe under any threading, the sharding only makes the
+//    fork/join case contention-free;
+//  * a global overflow spine rebalances memory: a shard past its cap (and
+//    every bulk `recycle_chain` of a dropped subtree) splices nodes to the
+//    spine in O(1), and an empty shard refills from the spine before
+//    growing a new chunk.
+//
+// Ownership contract: one pool domain per map instance (SegmentPools in
+// core/segment.hpp); trees must die before their pool. The pool never
+// shrinks below its high-water chunk count — acceptable because segment
+// transfers recycle as many nodes as they consume at steady state.
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace pwss::util {
+
+/// Tiny test-and-test-and-set lock for the pool shards: uncontended
+/// acquire/release is two atomic ops, and per-worker sharding makes
+/// contention the exception, not the rule.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+template <typename T>
+class NodePool {
+ private:
+  struct FreeLink {
+    FreeLink* next;
+  };
+
+ public:
+  /// Nodes carved per heap allocation.
+  static constexpr std::size_t kDefaultChunkNodes = 64;
+
+  /// A shard holding more than this many free nodes spills a chunk's worth
+  /// to the overflow spine, so memory freed by one worker reaches the
+  /// others instead of pinning to the freeing shard.
+  static constexpr std::size_t kShardCapChunks = 4;
+
+  explicit NodePool(sched::Scheduler* scheduler = nullptr,
+                    std::size_t chunk_nodes = kDefaultChunkNodes)
+      : scheduler_(scheduler),
+        chunk_nodes_(chunk_nodes == 0 ? 1 : chunk_nodes),
+        shards_(scheduler ? scheduler->worker_count() + 1 : 1) {}
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  ~NodePool() {
+    assert(allocs_.load(std::memory_order_relaxed) ==
+               frees_.load(std::memory_order_relaxed) &&
+           "pool destroyed with live nodes — a tree outlived its pool");
+    ChunkHeader* c = chunks_;
+    while (c != nullptr) {
+      ChunkHeader* next = c->next;
+      ::operator delete(static_cast<void*>(c),
+                        std::align_val_t{chunk_align()});
+      c = next;
+    }
+  }
+
+  /// Raw-storage chain for bulk recycling: an iterative tree teardown
+  /// pushes every (already destructed) node here and hands the whole chain
+  /// back in one pool call.
+  class FreeChain {
+   public:
+    void push(void* p) noexcept {
+      auto* link = static_cast<FreeLink*>(p);
+      link->next = head_;
+      if (head_ == nullptr) tail_ = link;
+      head_ = link;
+      ++count_;
+    }
+    bool empty() const noexcept { return head_ == nullptr; }
+    std::size_t size() const noexcept { return count_; }
+
+   private:
+    friend NodePool;
+    FreeLink* head_ = nullptr;
+    FreeLink* tail_ = nullptr;
+    std::size_t count_ = 0;
+  };
+
+  /// Constructs a T in pooled storage. If T's constructor throws, the
+  /// slot goes back to the pool (accounting stays balanced).
+  template <typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate_raw();
+    try {
+      return ::new (p) T(std::forward<Args>(args)...);
+    } catch (...) {
+      recycle_raw(p);
+      throw;
+    }
+  }
+
+  /// Destructs and recycles one node.
+  void destroy(T* node) noexcept {
+    node->~T();
+    recycle_raw(static_cast<void*>(node));
+  }
+
+  /// Recycles a chain of already-destructed node storage in O(1) splices:
+  /// chains of at least a chunk go straight to the overflow spine (one
+  /// global-lock splice), small chains land on the calling thread's shard.
+  void recycle_chain(FreeChain chain) noexcept {
+    if (chain.empty()) return;
+    frees_.fetch_add(chain.count_, std::memory_order_relaxed);
+    if (chain.count_ >= chunk_nodes_) {
+      std::lock_guard<SpinLock> lk(global_mu_);
+      splice_into_overflow(chain);
+      return;
+    }
+    Shard& s = home_shard();
+    FreeChain spill;
+    {
+      std::lock_guard<SpinLock> lk(s.lock);
+      chain.tail_->next = s.head;
+      s.head = chain.head_;
+      s.count += chain.count_;
+      maybe_spill(s, spill);
+    }
+    flush_spill(spill);
+  }
+
+  /// Uninitialized storage for one node (for callers doing their own
+  /// placement new).
+  void* allocate_raw() {
+    Shard& s = home_shard();
+    for (;;) {
+      {
+        std::lock_guard<SpinLock> lk(s.lock);
+        if (s.head != nullptr) {
+          FreeLink* p = s.head;
+          s.head = p->next;
+          --s.count;
+          allocs_.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<void*>(p);
+        }
+      }
+      refill(s);
+    }
+  }
+
+  /// Recycles storage whose T was already destructed.
+  void recycle_raw(void* p) noexcept {
+    frees_.fetch_add(1, std::memory_order_relaxed);
+    Shard& s = home_shard();
+    FreeChain spill;
+    {
+      std::lock_guard<SpinLock> lk(s.lock);
+      auto* link = static_cast<FreeLink*>(p);
+      link->next = s.head;
+      s.head = link;
+      ++s.count;
+      maybe_spill(s, spill);
+    }
+    flush_spill(spill);
+  }
+
+  /// Counting hook for tests and the perf trajectory. `free_nodes` walks
+  /// no lists (per-shard counters), but takes every shard lock — call it
+  /// from quiescent states only if exactness matters.
+  struct Stats {
+    std::uint64_t node_allocs = 0;   // create/allocate_raw calls
+    std::uint64_t node_frees = 0;    // destroy/recycle calls (chain-weighted)
+    std::uint64_t chunk_allocs = 0;  // heap allocations performed
+    std::size_t free_nodes = 0;      // nodes parked on shards + spine
+  };
+  Stats stats() const {
+    Stats st;
+    st.node_allocs = allocs_.load(std::memory_order_relaxed);
+    st.node_frees = frees_.load(std::memory_order_relaxed);
+    st.chunk_allocs = chunk_count_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) {
+      std::lock_guard<SpinLock> lk(s.lock);
+      st.free_nodes += s.count;
+    }
+    {
+      std::lock_guard<SpinLock> lk(global_mu_);
+      st.free_nodes += overflow_.count_;
+    }
+    return st;
+  }
+
+  /// Nodes currently constructed out of this pool (exact when quiescent).
+  std::uint64_t live_nodes() const noexcept {
+    return allocs_.load(std::memory_order_relaxed) -
+           frees_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ChunkHeader {
+    ChunkHeader* next;
+  };
+
+  struct alignas(64) Shard {
+    mutable SpinLock lock;
+    FreeLink* head = nullptr;
+    std::size_t count = 0;  // guarded by lock
+  };
+
+  static constexpr std::size_t slot_align() noexcept {
+    return alignof(T) > alignof(FreeLink) ? alignof(T) : alignof(FreeLink);
+  }
+  /// Slot stride, rounded up to slot_align so every slot in a chunk can
+  /// hold either a T or a properly aligned FreeLink.
+  static constexpr std::size_t slot_size() noexcept {
+    const std::size_t raw =
+        sizeof(T) > sizeof(FreeLink) ? sizeof(T) : sizeof(FreeLink);
+    return (raw + slot_align() - 1) / slot_align() * slot_align();
+  }
+  static constexpr std::size_t chunk_align() noexcept {
+    return slot_align() > alignof(ChunkHeader) ? slot_align()
+                                               : alignof(ChunkHeader);
+  }
+  /// Header rounded up so slot 0 is properly aligned.
+  static constexpr std::size_t header_span() noexcept {
+    return (sizeof(ChunkHeader) + slot_align() - 1) / slot_align() *
+           slot_align();
+  }
+
+  Shard& home_shard() noexcept {
+    std::size_t slot =
+        scheduler_ != nullptr ? scheduler_->worker_slot() : 0;
+    if (slot >= shards_.size()) slot = 0;  // foreign-scheduler safety net
+    return shards_[slot];
+  }
+
+  /// Moves a chunk's worth of nodes off an over-full shard (caller holds
+  /// the shard lock); the actual overflow splice happens after the shard
+  /// lock drops, via flush_spill.
+  void maybe_spill(Shard& s, FreeChain& spill) noexcept {
+    const std::size_t cap = kShardCapChunks * chunk_nodes_;
+    if (s.count <= cap) return;
+    for (std::size_t i = 0; i < chunk_nodes_ && s.head != nullptr; ++i) {
+      FreeLink* p = s.head;
+      s.head = p->next;
+      --s.count;
+      spill.push(static_cast<void*>(p));
+    }
+  }
+
+  void flush_spill(FreeChain& spill) noexcept {
+    if (spill.empty()) return;
+    std::lock_guard<SpinLock> lk(global_mu_);
+    splice_into_overflow(spill);
+  }
+
+  /// Caller holds global_mu_.
+  void splice_into_overflow(FreeChain& chain) noexcept {
+    chain.tail_->next = overflow_.head_;
+    if (overflow_.head_ == nullptr) overflow_.tail_ = chain.tail_;
+    overflow_.head_ = chain.head_;
+    overflow_.count_ += chain.count_;
+    chain.head_ = chain.tail_ = nullptr;
+    chain.count_ = 0;
+  }
+
+  /// Restocks `s` with up to one chunk of nodes: from the overflow spine
+  /// when it has any, else from a fresh heap chunk.
+  void refill(Shard& s) {
+    FreeChain chain;
+    {
+      std::lock_guard<SpinLock> lk(global_mu_);
+      if (overflow_.head_ != nullptr) {
+        for (std::size_t i = 0;
+             i < chunk_nodes_ && overflow_.head_ != nullptr; ++i) {
+          FreeLink* p = overflow_.head_;
+          overflow_.head_ = p->next;
+          --overflow_.count_;
+          chain.push(static_cast<void*>(p));
+        }
+        if (overflow_.head_ == nullptr) overflow_.tail_ = nullptr;
+      } else {
+        const std::size_t bytes = header_span() + chunk_nodes_ * slot_size();
+        auto* raw = static_cast<unsigned char*>(
+            ::operator new(bytes, std::align_val_t{chunk_align()}));
+        auto* header = reinterpret_cast<ChunkHeader*>(raw);
+        header->next = chunks_;
+        chunks_ = header;
+        chunk_count_.fetch_add(1, std::memory_order_relaxed);
+        unsigned char* slots = raw + header_span();
+        for (std::size_t i = 0; i < chunk_nodes_; ++i) {
+          chain.push(static_cast<void*>(slots + i * slot_size()));
+        }
+      }
+    }
+    std::lock_guard<SpinLock> lk(s.lock);
+    chain.tail_->next = s.head;
+    s.head = chain.head_;
+    s.count += chain.count_;
+  }
+
+  sched::Scheduler* scheduler_;
+  std::size_t chunk_nodes_;
+  std::vector<Shard> shards_;  // [0] = external threads, [1+i] = worker i
+
+  mutable SpinLock global_mu_;      // guards overflow_ and chunks_
+  FreeChain overflow_;              // the rebalancing spine
+  ChunkHeader* chunks_ = nullptr;   // intrusive list of heap chunks
+
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> chunk_count_{0};
+};
+
+}  // namespace pwss::util
