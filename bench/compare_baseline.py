@@ -3,6 +3,7 @@
 
 Usage:
     compare_baseline.py BASELINE CURRENT [--threshold=0.10] [--report-only]
+                        [--only=REGEX]
 
 Records are keyed by (bench, panel, backend, metric, params); `rev` and
 `ts` attribution fields are ignored for matching and tolerated when absent
@@ -12,11 +13,18 @@ repeated runs appended to the same file) are median-reduced.
 Metric direction is inferred from the name: *_per_sec is higher-better,
 ns_* / *_ns is lower-better. The exit code is nonzero when any shared
 series regressed by more than the threshold fraction, unless
---report-only is given (CI compares across machines, where absolute
-deltas are noise: it prints the table but never fails the build).
+--report-only is given.
+
+--only=REGEX restricts the comparison to series whose formatted key
+(bench/panel/backend/metric[params]) matches the regex — the mechanism CI
+uses to GATE on a stable metric subset with a generous threshold (big
+enough to absorb runner-vs-recording-machine variance, small enough to
+catch a hang or an order-of-magnitude regression) while the full table
+stays report-only.
 """
 
 import json
+import re
 import statistics
 import sys
 
@@ -67,10 +75,13 @@ def fmt_key(key):
 def main(argv):
     threshold = 0.10
     report_only = False
+    only = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--only="):
+            only = re.compile(arg.split("=", 1)[1])
         elif arg == "--report-only":
             report_only = True
         elif arg in ("-h", "--help"):
@@ -84,6 +95,9 @@ def main(argv):
 
     base = load(paths[0])
     cur = load(paths[1])
+    if only is not None:
+        base = {k: v for k, v in base.items() if only.search(fmt_key(k))}
+        cur = {k: v for k, v in cur.items() if only.search(fmt_key(k))}
     shared = sorted(set(base) & set(cur))
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))

@@ -4,8 +4,12 @@
 // MapBackend concept and is reachable by name through the BackendRegistry.
 // A Driver owns the scheduler, wires the right front end, and gives you:
 //
-//   * blocking search/insert/erase, safe from any thread;
-//   * a bulk run(batch) path with per-key program order preserved;
+//   * blocking search/insert/upsert/erase plus the ordered queries
+//     (predecessor/successor/range_count), safe from any thread;
+//   * an asynchronous submit() API — futures, completion callbacks, or
+//     caller-owned tickets — so one thread overlaps many operations;
+//   * a bulk run(batch) path with per-key program order preserved
+//     (ordered kinds see exactly the point ops submitted before them);
 //   * depth_of(): the working-set property made visible.
 //
 // Build & run:  ./quickstart [--backend=NAME]   (default: m2)
@@ -15,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/future.hpp"
 #include "driver/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -52,10 +57,37 @@ int main(int argc, char** argv) {
   std::printf("%s: search(64) -> %llu; search(99) after erase found=%d\n",
               chosen.c_str(),
               static_cast<unsigned long long>(*results[10000].value),
-              static_cast<int>(results[10002].success));
+              static_cast<int>(results[10002].success()));
   std::printf("%s: %zu items\n", chosen.c_str(), map->size());
 
-  // ---- 3. Blocking calls from many threads ------------------------------
+  // ---- 3. Ordered queries: the maps are ordered, and the API shows it ---
+  if (map->supports_ordered()) {
+    const auto pred = map->predecessor(64);   // greatest key < 64
+    const auto succ = map->successor(64);     // least key > 64
+    const auto in_range = map->range_count(0, 127);
+    std::printf("%s: pred(64)=%llu succ(64)=%llu |[0,127]|=%llu\n",
+                chosen.c_str(),
+                static_cast<unsigned long long>(pred->first),
+                static_cast<unsigned long long>(succ->first),
+                static_cast<unsigned long long>(in_range));
+  }
+
+  // ---- 4. Asynchronous submission: overlap ops from ONE thread ----------
+  // submit() never blocks; collect results through futures (or pass a
+  // completion callback, or a caller-owned OpTicket for zero allocation).
+  {
+    std::vector<pwss::core::Future<std::uint64_t>> futures;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      futures.push_back(map->submit(Op::insert(200000 + i, i)));
+    }
+    futures.push_back(map->submit(Op::search(200000)));  // rides the same wave
+    std::uint64_t fresh = 0;
+    for (auto& f : futures) fresh += f.get().success() ? 1 : 0;
+    std::printf("%s: 513 ops in flight from one thread, %llu succeeded\n",
+                chosen.c_str(), static_cast<unsigned long long>(fresh));
+  }
+
+  // ---- 5. Blocking calls from many threads ------------------------------
   std::vector<std::thread> clients;
   for (int t = 0; t < 4; ++t) {
     clients.emplace_back([&, t] {
@@ -71,7 +103,7 @@ int main(int argc, char** argv) {
   std::printf("%s: size after 4 concurrent clients = %zu (invariants %s)\n",
               chosen.c_str(), map->size(), map->check() ? "ok" : "BROKEN");
 
-  // ---- 4. Sharding: any backend name works with a sharded: prefix -------
+  // ---- 6. Sharding: any backend name works with a sharded: prefix -------
   // --shards instances behind one shared scheduler; point ops route by key
   // hash, bulk batches scatter/gather per shard.
   auto sharded = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(

@@ -5,7 +5,9 @@
 // under skew and roughly match under uniform access (experiment E8).
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <utility>
 
 #include "tree/jtree.hpp"
 
@@ -28,6 +30,24 @@ class AvlMap {
   }
 
   std::optional<V> erase(const K& key) { return tree_.erase(key); }
+
+  // ---- ordered queries (protocol v2): direct tree passthroughs ----------
+
+  std::optional<std::pair<K, V>> predecessor(const K& key) const {
+    auto [k, v] = tree_.predecessor(key);
+    if (k == nullptr) return std::nullopt;
+    return std::pair<K, V>{*k, *v};
+  }
+
+  std::optional<std::pair<K, V>> successor(const K& key) const {
+    auto [k, v] = tree_.successor(key);
+    if (k == nullptr) return std::nullopt;
+    return std::pair<K, V>{*k, *v};
+  }
+
+  std::uint64_t range_count(const K& lo, const K& hi) const {
+    return tree_.range_count(lo, hi);
+  }
 
  private:
   tree::JTree<K, V> tree_;

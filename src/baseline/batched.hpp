@@ -7,8 +7,10 @@
 // typed tests can treat every backend identically.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -25,7 +27,12 @@ namespace pwss::baseline {
 /// PointMap must provide insert(K, V) -> bool (true iff newly inserted),
 /// erase(K) -> optional<V> (the removed value), and search(K) returning
 /// either an optional<V>-convertible value or a pointer to V (IaconoMap's
-/// stable-pointer style).
+/// stable-pointer style). Protocol-v2 ordered kinds dispatch to the point
+/// map's predecessor/successor/range_count surface when it has one
+/// (core::HasOrderedPointOps); a point map without it (the splay tree has
+/// no bound-search or order-statistic surface) makes the adapter throw —
+/// the driver layer refuses such operations before they ever reach a
+/// batch, so the throw is a backstop, not an API.
 template <typename K, typename V, typename PointMap>
 class Batched {
  public:
@@ -34,36 +41,57 @@ class Batched {
 
   std::size_t size() const { return map_.size(); }
 
-  std::vector<core::Result<V>> execute_batch(
+  std::vector<core::Result<V, K>> execute_batch(
       std::span<const core::Op<K, V>> ops) {
-    std::vector<core::Result<V>> results;
+    std::vector<core::Result<V, K>> results;
     execute_batch(ops, results);
     return results;
   }
 
   /// Results into a caller-owned buffer (capacity reused across batches).
   void execute_batch(std::span<const core::Op<K, V>> ops,
-                     std::vector<core::Result<V>>& results) {
+                     std::vector<core::Result<V, K>>& results) {
     results.clear();
     results.reserve(ops.size());
     for (const auto& op : ops) {
-      core::Result<V> r;
+      core::Result<V, K> r;
       switch (op.type) {
         case core::OpType::kSearch: {
           auto v = search(op.key);
-          r.success = v.has_value();
+          r.status = v.has_value() ? core::ResultStatus::kFound
+                                   : core::ResultStatus::kNotFound;
           r.value = std::move(v);
           break;
         }
         case core::OpType::kInsert:
-          r.success = insert(op.key, op.value);
+        case core::OpType::kUpsert:
+          r.status = insert(op.key, op.value)
+                         ? core::ResultStatus::kInserted
+                         : core::ResultStatus::kUpdated;
           break;
         case core::OpType::kErase: {
           auto v = erase(op.key);
-          r.success = v.has_value();
+          r.status = v.has_value() ? core::ResultStatus::kErased
+                                   : core::ResultStatus::kNotFound;
           r.value = std::move(v);
           break;
         }
+        case core::OpType::kPredecessor:
+        case core::OpType::kSuccessor: {
+          auto hit = op.type == core::OpType::kPredecessor
+                         ? predecessor(op.key)
+                         : successor(op.key);
+          if (hit) {
+            r.status = core::ResultStatus::kFound;
+            r.matched_key = std::move(hit->first);
+            r.value = std::move(hit->second);
+          }
+          break;
+        }
+        case core::OpType::kRangeCount:
+          r.status = core::ResultStatus::kFound;
+          r.count = range_count(op.key, op.key2);
+          break;
       }
       results.push_back(std::move(r));
     }
@@ -82,6 +110,35 @@ class Batched {
     return map_.insert(key, std::move(value));
   }
   std::optional<V> erase(const K& key) { return map_.erase(key); }
+
+  // Ordered passthroughs; throwing fallbacks for point maps without the
+  // surface (reached only if a caller bypasses the driver's capability
+  // check).
+  std::optional<std::pair<K, V>> predecessor(const K& key) const {
+    if constexpr (core::HasOrderedPointOps<PointMap, K>) {
+      return map_.predecessor(key);
+    } else {
+      (void)key;
+      throw std::logic_error("backend does not support ordered queries");
+    }
+  }
+  std::optional<std::pair<K, V>> successor(const K& key) const {
+    if constexpr (core::HasOrderedPointOps<PointMap, K>) {
+      return map_.successor(key);
+    } else {
+      (void)key;
+      throw std::logic_error("backend does not support ordered queries");
+    }
+  }
+  std::uint64_t range_count(const K& lo, const K& hi) const {
+    if constexpr (core::HasOrderedPointOps<PointMap, K>) {
+      return map_.range_count(lo, hi);
+    } else {
+      (void)lo;
+      (void)hi;
+      throw std::logic_error("backend does not support ordered queries");
+    }
+  }
 
   /// Recency depth passthrough for working-set point maps (Iacono).
   template <typename PM = PointMap>
@@ -122,6 +179,19 @@ static_assert(core::MapBackend<BatchedLocked<int, int>, int, int>);
 
 namespace pwss::core {
 
+/// Batched adapters inherit ordered support from their point map: the
+/// splay baseline has no bound-search/order-statistic surface, so it is
+/// the library's one !supports_ordered backend (and the path that
+/// exercises the registry/driver refusal).
+template <typename K, typename V, typename PM>
+struct backend_traits<baseline::Batched<K, V, PM>> {
+  static constexpr bool needs_scheduler = false;
+  static constexpr bool native_async = false;
+  static constexpr bool supports_async = true;
+  static constexpr bool point_thread_safe = false;
+  static constexpr bool supports_ordered = HasOrderedPointOps<PM, K>;
+};
+
 /// The locked baseline serializes internally, so its per-op path is safe
 /// from any thread without an async front end — and putting one in front
 /// of it would hide exactly the contention E5/E8 measure.
@@ -131,6 +201,7 @@ struct backend_traits<baseline::BatchedLocked<K, V>> {
   static constexpr bool native_async = false;
   static constexpr bool supports_async = false;
   static constexpr bool point_thread_safe = true;
+  static constexpr bool supports_ordered = true;
 };
 
 }  // namespace pwss::core

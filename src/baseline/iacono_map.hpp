@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/segment.hpp"
@@ -88,6 +89,23 @@ class IaconoMap {
     return std::nullopt;
   }
 
+  // ---- ordered queries (protocol v2; read-only, no promotion) ------------
+
+  /// Greatest (key, value) strictly below `key`, across all segments.
+  std::optional<std::pair<K, V>> predecessor(const K& key) const {
+    return ordered_pair(ordered(core::OpType::kPredecessor, key, key));
+  }
+
+  /// Least (key, value) strictly above `key`, across all segments.
+  std::optional<std::pair<K, V>> successor(const K& key) const {
+    return ordered_pair(ordered(core::OpType::kSuccessor, key, key));
+  }
+
+  /// Number of keys in the inclusive range [lo, hi].
+  std::uint64_t range_count(const K& lo, const K& hi) const {
+    return ordered(core::OpType::kRangeCount, lo, hi).count;
+  }
+
   /// Segments in order; each segment's contents sorted by key. Used by
   /// ESort's merge phase and by invariant checks.
   const std::vector<core::Segment<K, V>>& segments() const {
@@ -117,6 +135,13 @@ class IaconoMap {
   }
 
  private:
+  core::Result<V, K> ordered(core::OpType type, const K& key,
+                             const K& key2) const {
+    return core::ordered_query_over<K, V>(type, key, key2, [&](auto&& fn) {
+      for (const auto& seg : segments_) fn(seg);
+    });
+  }
+
   void promote_to_front(Item item) {
     if (segments_.empty()) segments_.emplace_back();
     segments_[0].insert_front(std::move(item));

@@ -4,8 +4,10 @@
 // parallel caller serializes on the lock, so it bounds what a naive
 // concurrent map achieves in E5/E8's multi-threaded comparisons.
 
+#include <cstdint>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "baseline/avl_map.hpp"
 
@@ -32,6 +34,23 @@ class LockedMap {
   std::optional<V> erase(const K& key) {
     std::lock_guard<std::mutex> lk(mu_);
     return map_.erase(key);
+  }
+
+  // ---- ordered queries (protocol v2), serialized like everything else ----
+
+  std::optional<std::pair<K, V>> predecessor(const K& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.predecessor(key);
+  }
+
+  std::optional<std::pair<K, V>> successor(const K& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.successor(key);
+  }
+
+  std::uint64_t range_count(const K& lo, const K& hi) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.range_count(lo, hi);
   }
 
  private:

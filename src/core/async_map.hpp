@@ -22,19 +22,31 @@
 
 namespace pwss::core {
 
-/// Completion slot for one asynchronous operation. Lives on the caller's
-/// stack; the interface fulfills it and wakes the caller.
-template <typename V>
+/// Completion slot for one asynchronous operation — the zero-allocation
+/// token of the submission API. Typically lives on the caller's stack; the
+/// map's front end fulfills it and wakes any waiter. `on_complete` (when
+/// set) is invoked after the result is published, on the fulfilling
+/// thread — the hook the driver layer's Future/completion surfaces build
+/// on without costing the plain blocking path anything.
+template <typename V, typename K = V>
 struct OpTicket {
   std::atomic<bool> ready{false};
-  Result<V> result;
+  Result<V, K> result;
+  void (*on_complete)(OpTicket*) = nullptr;
 
-  void fulfill(Result<V> r) {
+  void fulfill(Result<V, K> r) {
+    // Cache the hook BEFORE publishing: the moment ready is true a
+    // spin-waiting owner may return and reuse/destroy a stack ticket, so
+    // no field may be read afterwards. Hooked tickets (FutureState) stay
+    // alive past the store — the producer reference is released by the
+    // hook itself.
+    void (*hook)(OpTicket*) = on_complete;
     result = std::move(r);
     ready.store(true, std::memory_order_release);
     ready.notify_all();
+    if (hook != nullptr) hook(this);
   }
-  Result<V> wait() {
+  Result<V, K> wait() {
     // Short spin for the common fast path, then futex-wait.
     for (int i = 0; i < 128; ++i) {
       if (ready.load(std::memory_order_acquire)) return result;
@@ -42,9 +54,16 @@ struct OpTicket {
     ready.wait(false, std::memory_order_acquire);
     return result;
   }
+
+  /// Re-arms a fulfilled ticket for reuse (ticket-arena batch paths).
+  /// Only legal when no waiter can still observe the previous round.
+  void reset() noexcept {
+    ready.store(false, std::memory_order_relaxed);
+    result = Result<V, K>{};
+  }
 };
 
-/// MapT must provide execute_batch(span<const Op<K,V>>) -> vector<Result<V>>
+/// MapT must provide execute_batch(span<const Op<K,V>>) -> vector<Result<V, K>>
 /// and size(). The wrapper owns the map.
 template <typename K, typename V, typename MapT>
 class AsyncMap {
@@ -64,14 +83,14 @@ class AsyncMap {
     return run_op(Op<K, V>::search(key)).value;
   }
   bool insert(const K& key, V value) {
-    return run_op(Op<K, V>::insert(key, std::move(value))).success;
+    return run_op(Op<K, V>::insert(key, std::move(value))).success();
   }
   std::optional<V> erase(const K& key) {
     return run_op(Op<K, V>::erase(key)).value;
   }
 
   /// Submits without blocking; caller later waits on the ticket.
-  void submit(Op<K, V> op, OpTicket<V>* ticket) {
+  void submit(Op<K, V> op, OpTicket<V, K>* ticket) {
     // Claim before publish: drive() may fulfill the op and fetch_sub the
     // moment it is visible in input_, so incrementing afterwards would let
     // in_flight_ wrap below zero and quiesce() transiently observe a clean
@@ -99,11 +118,11 @@ class AsyncMap {
  private:
   struct Submission {
     Op<K, V> op;
-    OpTicket<V>* ticket;
+    OpTicket<V, K>* ticket;
   };
 
-  Result<V> run_op(Op<K, V> op) {
-    OpTicket<V> ticket;
+  Result<V, K> run_op(Op<K, V> op) {
+    OpTicket<V, K> ticket;
     submit(std::move(op), &ticket);
     return ticket.wait();
   }
@@ -158,7 +177,7 @@ class AsyncMap {
   sync::AsyncGate gate_;
   std::atomic<std::size_t> in_flight_{0};
   std::vector<Op<K, V>> ops_scratch_;       // drive-loop batch staging
-  std::vector<Result<V>> results_scratch_;  // drive-loop results reuse
+  std::vector<Result<V, K>> results_scratch_;  // drive-loop results reuse
 };
 
 }  // namespace pwss::core

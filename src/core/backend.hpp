@@ -18,10 +18,16 @@
 //     single-owner batched map; false only for natively-async backends,
 //     which already provide the same service;
 //   * point_thread_safe — the backend's per-op path may be called from
-//     many threads without an async front end (the locked baseline).
+//     many threads without an async front end (the locked baseline);
+//   * supports_ordered — the backend executes protocol-v2 ordered kinds
+//     (kPredecessor / kSuccessor / kRangeCount). The driver layer and the
+//     registry refuse ordered operations for backends without it instead
+//     of letting them misbehave (the splay baseline has no order-statistic
+//     or bound-search surface).
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <utility>
@@ -33,20 +39,24 @@ namespace pwss::core {
 
 /// The unified batched-map concept. `execute_batch` must realize a legal
 /// linearization of the batch: per-key program order preserved, results in
-/// submission order (Definition 8).
+/// submission order (Definition 8). Ordered kinds, when supported, observe
+/// every earlier point operation of the batch and none of the later ones
+/// (phase slicing — see M1Map::execute_batch).
 template <typename B, typename K, typename V>
 concept MapBackend = requires(B b, std::span<const Op<K, V>> ops) {
-  { b.execute_batch(ops) } -> std::same_as<std::vector<Result<V>>>;
+  { b.execute_batch(ops) } -> std::same_as<std::vector<Result<V, K>>>;
   { b.size() } -> std::convertible_to<std::size_t>;
 };
 
-/// Default traits: a single-owner sequential batched map (M0-like).
+/// Default traits: a single-owner sequential batched map (M0-like) that
+/// executes the full v2 protocol.
 template <typename B>
 struct backend_traits {
   static constexpr bool needs_scheduler = false;
   static constexpr bool native_async = false;
   static constexpr bool supports_async = true;
   static constexpr bool point_thread_safe = false;
+  static constexpr bool supports_ordered = true;
 };
 
 /// True when the backend can also deliver batch results into a
@@ -54,16 +64,16 @@ struct backend_traits {
 /// and AsyncMap's drive loop prefer this surface so a steady stream of
 /// batches stops reallocating its results vector.
 template <typename B, typename K, typename V>
-concept HasBatchInto =
-    requires(B b, std::span<const Op<K, V>> ops, std::vector<Result<V>>& out) {
-      b.execute_batch(ops, out);
-    };
+concept HasBatchInto = requires(B b, std::span<const Op<K, V>> ops,
+                                std::vector<Result<V, K>>& out) {
+  b.execute_batch(ops, out);
+};
 
 /// One batch through the best surface the backend has: the reusable-buffer
 /// overload when present, else the allocating one.
 template <typename K, typename V, typename B>
 void execute_batch_into(B& backend, std::span<const Op<K, V>> ops,
-                        std::vector<Result<V>>& out) {
+                        std::vector<Result<V, K>>& out) {
   if constexpr (HasBatchInto<B, K, V>) {
     backend.execute_batch(ops, out);
   } else {
@@ -93,6 +103,18 @@ concept HasPointOps = requires(B b, const K& k, V v) {
   b.search(k);
   { b.insert(k, std::move(v)) } -> std::convertible_to<bool>;
   { b.erase(k) } -> std::convertible_to<std::optional<V>>;
+};
+
+/// True when a point map answers the ordered kinds directly:
+/// predecessor/successor return the matched (key, value) pair (by value,
+/// normalized shape for adapters) and range_count the inclusive-range
+/// cardinality. The batched baseline adapter dispatches ordered batch
+/// entries through this surface and refuses them when it is absent.
+template <typename M, typename K>
+concept HasOrderedPointOps = requires(const M m, const K& k) {
+  { m.predecessor(k).has_value() } -> std::convertible_to<bool>;
+  { m.successor(k).has_value() } -> std::convertible_to<bool>;
+  { m.range_count(k, k) } -> std::convertible_to<std::uint64_t>;
 };
 
 }  // namespace pwss::core

@@ -1,0 +1,100 @@
+#pragma once
+// Future — the movable handle of the asynchronous submission API
+// (protocol v2). Driver::submit(op) returns one; the caller overlaps as
+// many outstanding operations as it likes from a single thread and
+// collects results with get()/ready(), instead of parking one blocking
+// thread per operation.
+//
+// The shared state is an OpTicket (the same zero-copy completion slot the
+// blocking path uses) extended with an intrusive reference count and an
+// optional completion callback. Two references exist at submission time —
+// the in-flight operation's and the future's — so the state stays alive
+// until both the map has fulfilled it and the caller has let go, whichever
+// order that happens in. One heap allocation per future; callers that want
+// zero-allocation submission use the raw OpTicket overload of submit()
+// with a caller-owned (stack or arena) ticket.
+
+#include <atomic>
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "core/async_map.hpp"
+#include "core/ops.hpp"
+
+namespace pwss::core {
+
+namespace detail {
+
+/// Heap-shared completion state behind Future and the completion-callback
+/// submit form. The producer reference is dropped by the on_complete hook
+/// (running on the fulfilling thread, after the result is published); the
+/// consumer reference by the Future's destructor.
+template <typename V, typename K>
+struct FutureState : OpTicket<V, K> {
+  std::atomic<int> refs{2};
+  /// Invoked on the fulfilling thread with the completed result; set only
+  /// by the completion-callback submit form.
+  std::function<void(Result<V, K>&&)> completion;
+
+  FutureState() { this->on_complete = &FutureState::producer_done; }
+
+  void drop_ref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  static void producer_done(OpTicket<V, K>* t) {
+    auto* s = static_cast<FutureState*>(t);
+    if (s->completion) s->completion(Result<V, K>(s->result));
+    s->drop_ref();
+  }
+};
+
+}  // namespace detail
+
+/// Movable one-shot handle to an asynchronous operation's result.
+template <typename V, typename K = V>
+class Future {
+ public:
+  Future() noexcept = default;
+  explicit Future(detail::FutureState<V, K>* state) noexcept : state_(state) {}
+  Future(Future&& other) noexcept : state_(std::exchange(other.state_, nullptr)) {}
+  Future& operator=(Future&& other) noexcept {
+    if (this != &other) {
+      release();
+      state_ = std::exchange(other.state_, nullptr);
+    }
+    return *this;
+  }
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+  ~Future() { release(); }
+
+  /// True iff this future refers to a submitted operation.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True iff the result is available (non-blocking).
+  bool ready() const noexcept {
+    assert(state_ != nullptr);
+    return state_->ready.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the result is available and returns it. The future stays
+  /// valid; repeated get() returns the same result.
+  Result<V, K> get() {
+    assert(state_ != nullptr);
+    return state_->wait();
+  }
+
+ private:
+  void release() noexcept {
+    if (state_ != nullptr) {
+      state_->drop_ref();
+      state_ = nullptr;
+    }
+  }
+
+  detail::FutureState<V, K>* state_ = nullptr;
+};
+
+}  // namespace pwss::core

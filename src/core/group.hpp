@@ -25,12 +25,15 @@
 namespace pwss::core {
 
 /// One client operation in flight through a batched map, carrying where its
-/// result must be delivered.
+/// result must be delivered. key2 is kRangeCount's inclusive high bound;
+/// ordered kinds never enter group-operations (they are resolved in
+/// read-only phases), but they do ride the same submission plumbing.
 template <typename K, typename V, typename Target>
 struct PendingOp {
   OpType type;
   K key;
   V value{};
+  K key2{};
   Target target{};
 };
 
@@ -61,20 +64,29 @@ std::optional<V> resolve_ops(std::optional<V> initial,
                              Emit&& emit) {
   std::optional<V> cur = std::move(initial);
   for (const auto& op : ops) {
-    Result<V> r;
+    Result<V, K> r;
     switch (op.type) {
       case OpType::kSearch:
-        r.success = cur.has_value();
+        r.status = cur.has_value() ? ResultStatus::kFound
+                                   : ResultStatus::kNotFound;
         r.value = cur;
         break;
       case OpType::kInsert:
-        r.success = !cur.has_value();  // true = newly inserted, false = update
+      case OpType::kUpsert:
+        r.status = cur.has_value() ? ResultStatus::kUpdated
+                                   : ResultStatus::kInserted;
         cur = op.value;
         break;
       case OpType::kErase:
-        r.success = cur.has_value();
+        r.status = cur.has_value() ? ResultStatus::kErased
+                                   : ResultStatus::kNotFound;
         r.value = std::move(cur);
         cur.reset();
+        break;
+      case OpType::kPredecessor:
+      case OpType::kSuccessor:
+      case OpType::kRangeCount:
+        assert(false && "ordered kinds never enter group-operations");
         break;
     }
     emit(op.target, std::move(r));

@@ -111,9 +111,26 @@ class M0Map {
     return std::nullopt;
   }
 
+  // ---- ordered queries (protocol v2; read-only, no recency effect) -------
+
+  /// Greatest (key, value) strictly below `key`, across all segments.
+  std::optional<std::pair<K, V>> predecessor(const K& key) const {
+    return ordered_pair(ordered(OpType::kPredecessor, key, key));
+  }
+
+  /// Least (key, value) strictly above `key`, across all segments.
+  std::optional<std::pair<K, V>> successor(const K& key) const {
+    return ordered_pair(ordered(OpType::kSuccessor, key, key));
+  }
+
+  /// Number of keys in the inclusive range [lo, hi].
+  std::uint64_t range_count(const K& lo, const K& hi) const {
+    return ordered(OpType::kRangeCount, lo, hi).count;
+  }
+
   /// Executes a batch sequentially (reference semantics for M1/M2 tests).
-  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
-    std::vector<Result<V>> results;
+  std::vector<Result<V, K>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<Result<V, K>> results;
     execute_batch(ops, results);
     return results;
   }
@@ -121,27 +138,36 @@ class M0Map {
   /// Same batch, results into a caller-owned buffer whose capacity is
   /// reused across batches (cleared first).
   void execute_batch(std::span<const Op<K, V>> ops,
-                     std::vector<Result<V>>& results) {
+                     std::vector<Result<V, K>>& results) {
     results.clear();
     results.reserve(ops.size());
     for (const auto& op : ops) {
-      Result<V> r;
+      Result<V, K> r;
       switch (op.type) {
         case OpType::kSearch: {
           auto v = search(op.key);
-          r.success = v.has_value();
+          r.status = v.has_value() ? ResultStatus::kFound
+                                   : ResultStatus::kNotFound;
           r.value = std::move(v);
           break;
         }
         case OpType::kInsert:
-          r.success = insert(op.key, op.value);
+        case OpType::kUpsert:
+          r.status = insert(op.key, op.value) ? ResultStatus::kInserted
+                                              : ResultStatus::kUpdated;
           break;
         case OpType::kErase: {
           auto v = erase(op.key);
-          r.success = v.has_value();
+          r.status = v.has_value() ? ResultStatus::kErased
+                                   : ResultStatus::kNotFound;
           r.value = std::move(v);
           break;
         }
+        case OpType::kPredecessor:
+        case OpType::kSuccessor:
+        case OpType::kRangeCount:
+          r = ordered(op.type, op.key, op.key2);
+          break;
       }
       results.push_back(std::move(r));
     }
@@ -173,6 +199,12 @@ class M0Map {
   }
 
  private:
+  Result<V, K> ordered(OpType type, const K& key, const K& key2) const {
+    return ordered_query_over<K, V>(type, key, key2, [&](auto&& fn) {
+      for (const auto& seg : segments_) fn(seg);
+    });
+  }
+
   void overwrite(const K& key, V value) {
     for (auto& seg : segments_) {
       if (auto* e = seg.peek(key)) {

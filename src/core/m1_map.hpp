@@ -54,10 +54,14 @@ class M1Map {
 
   /// Executes one batch; results returned in submission order. Operations
   /// on the same key take effect in submission order; operations on
-  /// different keys commute (they are on distinct items), so this realizes
-  /// a legal linearization of the batch (Definition 8).
-  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
-    std::vector<Result<V>> results;
+  /// different keys commute (they are on distinct items). Ordered kinds do
+  /// NOT commute with mutations on other keys, so the batch is sliced into
+  /// maximal point/ordered phases executed in submission order: every
+  /// ordered query observes exactly the point operations that precede it.
+  /// The result is a legal linearization of the batch (Definition 8)
+  /// matching a sequential replay in submission order.
+  std::vector<Result<V, K>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<Result<V, K>> results;
     execute_batch(ops, results);
     return results;
   }
@@ -66,26 +70,15 @@ class M1Map {
   /// to the batch): a steady stream of batches reuses the results
   /// capacity the same way it reuses the instance arena.
   void execute_batch(std::span<const Op<K, V>> ops,
-                     std::vector<Result<V>>& results) {
+                     std::vector<Result<V, K>>& results) {
     results.clear();
     results.resize(ops.size());
-    if (ops.empty()) return;
-
-    // Tag with result indices, entropy-sort by key, coalesce — all through
-    // the instance arena, so a steady stream of batches reuses capacity.
-    auto& tagged = scratch_.tagged;
-    tagged.clear();
-    tagged.reserve(ops.size());
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      tagged.push_back({ops[i].type, ops[i].key, ops[i].value, i});
-    }
-    sort::pesort(
-        tagged, [](const PendingOp<K, V, std::size_t>& p) { return p.key; },
-        scheduler_, {}, &scratch_.sort);
-    coalesce_sorted_index(std::span<const PendingOp<K, V, std::size_t>>(tagged),
-                          scratch_.pending);
-
-    process_groups(results);
+    for_each_phase(
+        ops,
+        [&](std::size_t b, std::size_t e) { point_phase(ops, b, e, results); },
+        [&](std::size_t b, std::size_t e) {
+          ordered_phase(ops, b, e, results);
+        });
   }
 
   /// Convenience point ops (each a singleton batch on the caller's stack —
@@ -96,14 +89,14 @@ class M1Map {
   }
   bool insert(const K& key, V value) {
     const Op<K, V> one[1] = {Op<K, V>::insert(key, std::move(value))};
-    return execute_batch(std::span<const Op<K, V>>(one))[0].success;
+    return execute_batch(std::span<const Op<K, V>>(one))[0].success();
   }
   std::optional<V> erase(const K& key) {
     const Op<K, V> one[1] = {Op<K, V>::erase(key)};
     return execute_batch(std::span<const Op<K, V>>(one))[0].value;
   }
 
-  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+  std::vector<Result<V, K>> execute_batch(const std::vector<Op<K, V>>& ops) {
     return execute_batch(std::span<const Op<K, V>>(ops));
   }
 
@@ -139,6 +132,82 @@ class M1Map {
  private:
   using Item = typename Segment<K, V>::Item;
 
+  /// One point phase [begin, end): tag with result indices, entropy-sort
+  /// by key, coalesce, sweep — all through the instance arena, so a steady
+  /// stream of batches reuses capacity.
+  void point_phase(std::span<const Op<K, V>> ops, std::size_t begin,
+                   std::size_t end, std::vector<Result<V, K>>& results) {
+    auto& tagged = scratch_.tagged;
+    tagged.clear();
+    tagged.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      tagged.push_back({ops[i].type, ops[i].key, ops[i].value, K{}, i});
+    }
+    sort::pesort(
+        tagged, [](const PendingOp<K, V, std::size_t>& p) { return p.key; },
+        scheduler_, {}, &scratch_.sort);
+    coalesce_sorted_index(std::span<const PendingOp<K, V, std::size_t>>(tagged),
+                          scratch_.pending);
+    process_groups(results);
+  }
+
+  /// One ordered phase [begin, end): read-only queries against the current
+  /// (phase-quiescent) segment state. Duplicate queries combine the same
+  /// way duplicate point operations do: identical (type, key, key2) tuples
+  /// are answered once and the answer fanned out, and the distinct
+  /// representatives are answered in parallel when a scheduler is present
+  /// (per-segment trees allow concurrent reads).
+  void ordered_phase(std::span<const Op<K, V>> ops, std::size_t begin,
+                     std::size_t end, std::vector<Result<V, K>>& results) {
+    auto& idx = scratch_.ordered_idx;
+    idx.clear();
+    idx.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) idx.push_back(i);
+    auto same = [&](std::size_t a, std::size_t b) {
+      return ops[a].type == ops[b].type && ops[a].key == ops[b].key &&
+             ops[a].key2 == ops[b].key2;
+    };
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (ops[a].type != ops[b].type) return ops[a].type < ops[b].type;
+      if (ops[a].key != ops[b].key) return ops[a].key < ops[b].key;
+      return ops[a].key2 < ops[b].key2;
+    });
+    auto& reps = scratch_.ordered_reps;
+    reps.clear();
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      if (r == 0 || !same(idx[r - 1], idx[r])) reps.push_back(idx[r]);
+    }
+
+    auto answer = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const Op<K, V>& op = ops[reps[r]];
+        results[reps[r]] = ordered_query_over<K, V>(
+            op.type, op.key, op.key2, [&](auto&& fn) {
+              for (const auto& seg : segments_) fn(seg);
+            });
+      }
+    };
+    constexpr std::size_t kGrain = 64;
+    if (scheduler_ != nullptr && reps.size() > kGrain) {
+      if (!scheduler_->on_worker()) {
+        scheduler_->run_sync([&] {
+          scheduler_->parallel_for(0, reps.size(), kGrain, answer);
+        });
+      } else {
+        scheduler_->parallel_for(0, reps.size(), kGrain, answer);
+      }
+    } else {
+      answer(0, reps.size());
+    }
+
+    // Fan the representative answers out to their duplicates.
+    std::size_t rep = 0;
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      if (r > 0 && !same(idx[r - 1], idx[r])) ++rep;
+      if (idx[r] != reps[rep]) results[idx[r]] = results[reps[rep]];
+    }
+  }
+
   static std::size_t capacity_prefix(std::size_t count) {
     std::size_t cum = 0;
     for (std::size_t j = 0; j < count; ++j) {
@@ -159,8 +228,8 @@ class M1Map {
   /// Processes scratch_.pending (the coalesced batch) against the segment
   /// sweep; every temporary lives in the instance arena. Groups are index
   /// ranges into scratch_.tagged — 16 bytes each, no per-group list.
-  void process_groups(std::vector<Result<V>>& results) {
-    auto emit = [&](std::size_t idx, Result<V> r) {
+  void process_groups(std::vector<Result<V, K>>& results) {
+    auto emit = [&](std::size_t idx, Result<V, K> r) {
       results[idx] = std::move(r);
     };
 
@@ -308,6 +377,7 @@ struct backend_traits<M1Map<K, V>> {
   static constexpr bool native_async = false;
   static constexpr bool supports_async = true;
   static constexpr bool point_thread_safe = false;
+  static constexpr bool supports_ordered = true;
 };
 
 static_assert(MapBackend<M1Map<int, int>, int, int>);

@@ -86,13 +86,15 @@ class M2Map {
     for (auto& st : stages_) st.seg.bind_pools(&pools_);
     for (std::size_t j = 0; j <= kMaxStages; ++j) {
       // B[j]: key 0 = left user (interface for j==0, stage j-1 otherwise),
-      // key 1 = stage j.
-      nlocks_.push_back(std::make_unique<sync::DedicatedLock>(2));
+      // key 1 = stage j, key 2 (j >= 1) = the interface's global ordered
+      // read (j == 0 reuses the interface's own key 0).
+      nlocks_.push_back(std::make_unique<sync::DedicatedLock>(j == 0 ? 2 : 3));
     }
     for (std::size_t j = 0; j < kMaxStages; ++j) {
       // FL[j]: key 0 = adjacent stage j, key 1 = pass-through holder of
-      // FL[j+1], key 2 (FL[0] only) = the interface.
-      flocks_.push_back(std::make_unique<sync::DedicatedLock>(j == 0 ? 3 : 2));
+      // FL[j+1], key 2 = the interface (FL[0]'s boundary sweep; every
+      // FL[j]'s global ordered read).
+      flocks_.push_back(std::make_unique<sync::DedicatedLock>(3));
     }
   }
 
@@ -110,55 +112,85 @@ class M2Map {
   }
 
   /// Asynchronous submission: the ticket is fulfilled when the operation
-  /// finishes (possibly deep in the pipeline). Thread-safe.
-  void submit(Op<K, V> op, OpTicket<V>* ticket) {
+  /// finishes (possibly deep in the pipeline; ordered kinds when the
+  /// interface's next global ordered read completes). Thread-safe.
+  void submit(Op<K, V> op, OpTicket<V, K>* ticket) {
     in_flight_.fetch_add(1, std::memory_order_release);
-    input_.submit(POp{op.type, std::move(op.key), std::move(op.value), ticket});
+    input_.submit(POp{op.type, std::move(op.key), std::move(op.value),
+                      std::move(op.key2), ticket});
     activate_interface();
   }
 
   /// Blocking convenience: submits the whole batch and waits for every
-  /// result. Per-key program order is preserved within the batch.
-  std::vector<Result<V>> execute_batch(std::span<const Op<K, V>> ops) {
-    std::vector<Result<V>> results;
+  /// result. Per-key program order is preserved within the batch, and the
+  /// batch is sliced into point/ordered phases (each awaited before the
+  /// next begins) so every ordered query observes exactly the point
+  /// operations that precede it in submission order — fulfillment happens
+  /// under the pipeline's locks before release, so awaited results are
+  /// physically applied before the following phase's global read.
+  std::vector<Result<V, K>> execute_batch(std::span<const Op<K, V>> ops) {
+    std::vector<Result<V, K>> results;
     execute_batch(ops, results);
     return results;
   }
 
   /// Same batch, results into a caller-owned buffer (cleared, then sized
   /// to the batch) so a steady bulk caller reuses the results capacity.
-  /// Remains safe from concurrent threads as long as each brings its own
-  /// buffer (the tickets are per-call).
+  /// The per-batch ticket block is an instance arena reused across batches
+  /// by the steady single bulk caller; concurrent bulk callers fall back
+  /// to a call-local block on try-lock contention, so the call remains
+  /// safe from concurrent threads.
   void execute_batch(std::span<const Op<K, V>> ops,
-                     std::vector<Result<V>>& results) {
-    std::vector<OpTicket<V>> tickets(ops.size());
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      submit(ops[i], &tickets[i]);
-    }
+                     std::vector<Result<V, K>>& results) {
     results.clear();
     results.resize(ops.size());
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      results[i] = tickets[i].wait();
-    }
+    std::unique_lock<std::mutex> arena_lk(tickets_mu_, std::try_to_lock);
+    TicketBlock local;
+    TicketBlock& block = arena_lk.owns_lock() ? tickets_ : local;
+    // Both phase kinds run the same submit-then-await round; the phase
+    // boundaries are what guarantees ordered queries observe every
+    // preceding point op.
+    auto phase = [&](std::size_t i, std::size_t j) {
+      OpTicket<V, K>* tickets = block.ensure(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        tickets[k - i].reset();
+        submit(ops[k], &tickets[k - i]);
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        results[k] = tickets[k - i].wait();
+      }
+    };
+    for_each_phase(ops, phase, phase);
   }
-  std::vector<Result<V>> execute_batch(const std::vector<Op<K, V>>& ops) {
+  std::vector<Result<V, K>> execute_batch(const std::vector<Op<K, V>>& ops) {
     return execute_batch(std::span<const Op<K, V>>(ops));
   }
 
   std::optional<V> search(const K& key) {
-    OpTicket<V> t;
+    OpTicket<V, K> t;
     submit(Op<K, V>::search(key), &t);
     return t.wait().value;
   }
   bool insert(const K& key, V value) {
-    OpTicket<V> t;
+    OpTicket<V, K> t;
     submit(Op<K, V>::insert(key, std::move(value)), &t);
-    return t.wait().success;
+    return t.wait().success();
   }
   std::optional<V> erase(const K& key) {
-    OpTicket<V> t;
+    OpTicket<V, K> t;
     submit(Op<K, V>::erase(key), &t);
     return t.wait().value;
+  }
+
+  // Ordered blocking conveniences (protocol v2).
+  std::optional<std::pair<K, V>> predecessor(const K& key) {
+    return ordered_pair(run_ordered(Op<K, V>::predecessor(key)));
+  }
+  std::optional<std::pair<K, V>> successor(const K& key) {
+    return ordered_pair(run_ordered(Op<K, V>::successor(key)));
+  }
+  std::uint64_t range_count(const K& lo, const K& hi) {
+    return run_ordered(Op<K, V>::range_count(lo, hi)).count;
   }
 
   /// Blocks until every submitted operation has completed and the pipeline
@@ -203,7 +235,7 @@ class M2Map {
  private:
   static constexpr std::size_t kMaxStages = 12;
 
-  using Ticket = OpTicket<V>*;
+  using Ticket = OpTicket<V, K>*;
   using POp = PendingOp<K, V, Ticket>;
   using Group = GroupOp<K, V, Ticket>;
   using Item = typename Segment<K, V>::Item;
@@ -231,6 +263,28 @@ class M2Map {
   struct FilterEntry {
     std::vector<POp> pending;  // ops that arrived while the key was in flight
   };
+
+  /// Fixed-capacity block of reusable tickets. OpTicket holds an atomic,
+  /// so it is neither movable nor vector-growable; the block reallocates
+  /// wholesale when a larger batch arrives and otherwise reuses its slots
+  /// round after round.
+  struct TicketBlock {
+    std::unique_ptr<OpTicket<V, K>[]> slots;
+    std::size_t cap = 0;
+    OpTicket<V, K>* ensure(std::size_t n) {
+      if (n > cap) {
+        slots = std::make_unique<OpTicket<V, K>[]>(n);
+        cap = n;
+      }
+      return slots.get();
+    }
+  };
+
+  Result<V, K> run_ordered(Op<K, V> op) {
+    OpTicket<V, K> t;
+    submit(std::move(op), &t);
+    return t.wait();
+  }
 
   // ---- activation plumbing -------------------------------------------------
 
@@ -285,6 +339,26 @@ class M2Map {
     }
     std::vector<POp> batch = feed_.take_bunches(1);
 
+    // Protocol v2: ordered kinds need one consistent view of EVERY
+    // segment, which the per-key pipeline cannot give them. Park them for
+    // the global ordered read that runs after this tick's point sweep;
+    // within a concurrent bunch "point ops first, ordered reads second" is
+    // a legal linearization (no submitter of a parked op has a result
+    // yet). The interface gate makes this single-owner, so the parked
+    // batch member cannot be clobbered by a concurrent tick.
+    assert(ordered_batch_.empty());
+    {
+      std::size_t w = 0;
+      for (auto& op : batch) {
+        if (is_ordered(op.type)) {
+          ordered_batch_.push_back(std::move(op));
+        } else {
+          batch[w++] = std::move(op);
+        }
+      }
+      batch.resize(w);
+    }
+
     // Step 2: entropy-sort (stable) + combine.
     sort::pesort(
         batch, [](const POp& op) { return op.key; }, &scheduler_);
@@ -304,7 +378,11 @@ class M2Map {
         filter_and_feed_stage0(std::move(unfinished));
         flocks_[0]->release(lo_sink());
         nlocks_[0]->release(lo_sink());
-        interface_epilogue();
+        if (!ordered_batch_.empty()) {
+          start_ordered_read();
+        } else {
+          interface_epilogue();
+        }
       };
       static_assert(sched::Closure::fits_inline<decltype(front_cont)>(),
                     "interface continuations must stay on the SBO path");
@@ -321,6 +399,80 @@ class M2Map {
     if (interface_ready() || interface_gate_.finish()) {
       scheduler_.spawn([this] { interface_tick(); }, sched::Priority::kLow);
     }
+  }
+
+  // ---- global ordered read (protocol v2) -----------------------------------
+  // kPredecessor/kSuccessor/kRangeCount are answered against one
+  // consistent snapshot of every segment. The reader (always the
+  // interface, single-owner via its gate) CPS-acquires the FULL lock chain
+  // in the established global order B[0] < B[1] < ... < B[kMaxStages] <
+  // FL[kMaxStages-1] < ... < FL[0]: holding every neighbour-lock stops all
+  // stage runs, and FL[0] covers the deep-stage front sections, so the
+  // segments are immutable while the read-only queries run. Because the
+  // acquisition order matches the stages' own order, the chain cannot
+  // deadlock — any stage mid-run simply finishes and releases. Groups
+  // still sitting in the filter/stage inboxes have not emitted results, so
+  // linearizing them after the read is legal. The parked batch rides the
+  // member (not the hop captures), keeping every hop on the Closure SBO
+  // path.
+
+  void start_ordered_read() { acquire_ordered_from(0); }
+
+  /// Chain position i covers B[i] for i <= kMaxStages, then
+  /// FL[2*kMaxStages - i] for larger i (descending FL order).
+  void acquire_ordered_from(std::size_t i) {
+    constexpr std::size_t kChain = 2 * kMaxStages + 1;
+    if (i == kChain) {
+      finish_ordered_read();
+      return;
+    }
+    Lock& lk = i <= kMaxStages ? *nlocks_[i] : *flocks_[2 * kMaxStages - i];
+    // B[0] / FL[0] use the interface's own keys (0 / 2); every other lock
+    // has a dedicated reader key 2.
+    const std::size_t key = i == 0 ? 0 : 2;
+    auto cont = [this, i] { acquire_ordered_from(i + 1); };
+    static_assert(sched::Closure::fits_inline<decltype(cont)>(),
+                  "ordered-read hops must stay on the closure SBO path");
+    lk.acquire(key, std::move(cont), lo_sink());
+  }
+
+  /// All locks held: answer the parked queries (identical (type, key,
+  /// key2) tuples combine — computed once, fanned out to every ticket),
+  /// release the chain, and resume the interface loop.
+  void finish_ordered_read() {
+    auto& idx = ordered_idx_;
+    idx.clear();
+    idx.reserve(ordered_batch_.size());
+    for (std::size_t i = 0; i < ordered_batch_.size(); ++i) idx.push_back(i);
+    auto same = [&](std::size_t a, std::size_t b) {
+      const POp& x = ordered_batch_[a];
+      const POp& y = ordered_batch_[b];
+      return x.type == y.type && x.key == y.key && x.key2 == y.key2;
+    };
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      const POp& x = ordered_batch_[a];
+      const POp& y = ordered_batch_[b];
+      if (x.type != y.type) return x.type < y.type;
+      if (x.key != y.key) return x.key < y.key;
+      return x.key2 < y.key2;
+    });
+    auto emit = emit_fn();
+    Result<V, K> answer;
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const POp& op = ordered_batch_[idx[r]];
+      if (r == 0 || !same(idx[r - 1], idx[r])) {
+        answer = ordered_query_over<K, V>(
+            op.type, op.key, op.key2, [&](auto&& fn) {
+              for (const auto& seg : first_slab_) fn(seg);
+              for (const auto& st : stages_) fn(st.seg);
+            });
+      }
+      emit(op.target, Result<V, K>(answer));
+    }
+    ordered_batch_.clear();
+    for (std::size_t j = 0; j < kMaxStages; ++j) flocks_[j]->release(lo_sink());
+    for (std::size_t j = 0; j <= kMaxStages; ++j) nlocks_[j]->release(lo_sink());
+    interface_epilogue();
   }
 
   /// M1-style sweep of S[0..m-2]: resolves groups that find their item.
@@ -757,7 +909,7 @@ class M2Map {
   }
 
   auto emit_fn() {
-    return [this](Ticket t, Result<V> r) {
+    return [this](Ticket t, Result<V, K> r) {
       t->fulfill(std::move(r));
       in_flight_.fetch_sub(1, std::memory_order_release);
     };
@@ -779,6 +931,17 @@ class M2Map {
   buffer::ParallelBuffer<POp> input_;
   buffer::FeedBuffer<POp> feed_;
   sync::AsyncGate interface_gate_;
+
+  // Parked ordered queries of the current tick plus their sort scratch —
+  // owned by the interface (single-owner via its gate), so the ordered-read
+  // hop closures stay small and reuse capacity across ticks.
+  std::vector<POp> ordered_batch_;
+  std::vector<std::size_t> ordered_idx_;
+
+  // Bulk-path ticket arena (see execute_batch); try-locked so concurrent
+  // bulk callers degrade to a call-local block instead of racing.
+  std::mutex tickets_mu_;
+  TicketBlock tickets_;
 
   std::vector<Segment<K, V>> first_slab_;  // S[0..m-1]; interface-owned
   std::vector<Stage> stages_;              // S[m..m+kMaxStages-1]
@@ -803,6 +966,7 @@ struct backend_traits<M2Map<K, V>> {
   static constexpr bool native_async = true;
   static constexpr bool supports_async = false;
   static constexpr bool point_thread_safe = true;
+  static constexpr bool supports_ordered = true;
 };
 
 static_assert(MapBackend<M2Map<int, int>, int, int>);

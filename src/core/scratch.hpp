@@ -28,8 +28,8 @@ struct BatchScratch {
   /// Tagged + entropy-sorted copy of the incoming batch. Groups reference
   /// it by index, so it must stay unmoved for the whole batch.
   std::vector<Pending> tagged;
-  /// PESort partition + classification buffers.
-  sort::PESortScratch<Pending> sort;
+  /// PESort partition + classification + pivot-median buffers.
+  sort::PESortScratch<Pending, K> sort;
   /// Coalesced index groups still looking for their item.
   std::vector<IndexGroup<K>> pending;
   /// Groups that continue past the current segment (swapped with pending).
@@ -42,6 +42,10 @@ struct BatchScratch {
   std::vector<typename Segment<K, V>::Item> promote;
   /// Items in transit during capacity restoration / overflow carving.
   std::vector<typename Segment<K, V>::Item> moved;
+  /// Ordered-phase query indices (sorted for duplicate combining) and the
+  /// distinct representatives actually answered.
+  std::vector<std::size_t> ordered_idx;
+  std::vector<std::size_t> ordered_reps;
   /// Segment-internal buffers (tree batch I/O, restamping).
   SegmentScratch<K, V> seg;
 

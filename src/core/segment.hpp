@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "core/ops.hpp"
 #include "tree/jtree.hpp"
 
 namespace pwss::core {
@@ -188,6 +190,27 @@ class Segment {
     [[maybe_unused]] const bool fresh_stamp =
         by_recency_.insert(item.stamp, item.key);
     assert(fresh_key && fresh_stamp);
+  }
+
+  // ---- ordered queries (protocol v2) -------------------------------------
+  // Read-only against the key-map: no recency effect, no restructuring.
+  // Pointers valid until the next mutation.
+
+  /// Entry with the greatest key strictly below `key` in this segment.
+  std::pair<const K*, const V*> predecessor(const K& key) const {
+    auto [k, e] = by_key_.predecessor(key);
+    return {k, e != nullptr ? &e->first : nullptr};
+  }
+
+  /// Entry with the least key strictly above `key` in this segment.
+  std::pair<const K*, const V*> successor(const K& key) const {
+    auto [k, e] = by_key_.successor(key);
+    return {k, e != nullptr ? &e->first : nullptr};
+  }
+
+  /// Number of this segment's keys in the inclusive range [lo, hi].
+  std::size_t range_count(const K& lo, const K& hi) const {
+    return by_key_.range_count(lo, hi);
   }
 
   std::optional<Item> extract_least_recent() {
@@ -372,5 +395,45 @@ class Segment {
   tree::JTree<std::uint64_t, K> by_recency_;
   StampGen stamps_;
 };
+
+/// Answers one read-only ordered query (kPredecessor / kSuccessor /
+/// kRangeCount) against the union of segments a structure is partitioned
+/// into. `visit` enumerates the segments: it invokes its argument once per
+/// Segment<K, V>. A key lives in exactly one segment, so predecessor is
+/// the max of per-segment predecessors, successor the min of per-segment
+/// successors, and range-count the sum of per-segment counts. Shared by
+/// M0, M1, Iacono and M2 (whose segments live in two collections).
+template <typename K, typename V, typename Visit>
+Result<V, K> ordered_query_over(OpType type, const K& key, const K& key2,
+                                Visit&& visit) {
+  Result<V, K> r;
+  if (type == OpType::kRangeCount) {
+    std::uint64_t total = 0;
+    visit([&](const Segment<K, V>& seg) { total += seg.range_count(key, key2); });
+    r.status = ResultStatus::kFound;
+    r.count = total;
+    return r;
+  }
+  const K* best_key = nullptr;
+  const V* best_value = nullptr;
+  visit([&](const Segment<K, V>& seg) {
+    auto [k, v] = type == OpType::kPredecessor ? seg.predecessor(key)
+                                               : seg.successor(key);
+    if (k == nullptr) return;
+    const bool better =
+        best_key == nullptr ||
+        (type == OpType::kPredecessor ? *best_key < *k : *k < *best_key);
+    if (better) {
+      best_key = k;
+      best_value = v;
+    }
+  });
+  if (best_key != nullptr) {
+    r.status = ResultStatus::kFound;
+    r.matched_key = *best_key;
+    r.value = *best_value;
+  }
+  return r;
+}
 
 }  // namespace pwss::core

@@ -8,6 +8,12 @@
 //   --workers=N                scheduler worker count (0 = hardware)
 //   --p=N                      M2 bunch parameter p (0 = worker count)
 //   --shards=N                 shard count for sharded:* backends (0 = 4)
+//   --mix=S,I,E[,P,Su,R]       op mix fractions (search,insert,erase and
+//                              optionally predecessor,successor,range-count;
+//                              must sum to 1). A mix with ordered weights is
+//                              refused for backends without ordered support
+//                              (BackendRegistry::require_ordered).
+//   --range-span=N             width of range-count queries (default 1024)
 //   --list-backends            print the registry and exit
 //   --help                     usage
 //
@@ -20,17 +26,21 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "driver/registry.hpp"
+#include "util/workload.hpp"
 
 namespace pwss::driver {
 
 struct CliOptions {
   std::vector<std::string> backends;  // validated registry names
   Options driver;                     // workers / p knobs
+  util::OpMix mix;                    // op mix (default: all searches)
+  bool mix_given = false;             // --mix was present
 };
 
 namespace detail {
@@ -44,6 +54,57 @@ inline std::vector<std::string> split_csv(std::string_view s) {
     s.remove_prefix(comma + 1);
   }
   return out;
+}
+
+/// Strict fraction parse for --mix: [0,1]-range doubles only.
+inline double parse_fraction(const char* argv0, std::string_view text) {
+  double value = 0.0;
+  try {
+    std::size_t used = 0;
+    value = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing junk");
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s: --mix expects fractions, got '%.*s'\n", argv0,
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  // Negated form so NaN (which compares false everywhere) is rejected
+  // rather than slipping through every later sum check.
+  if (!(value >= 0.0 && value <= 1.0)) {
+    std::fprintf(stderr, "%s: --mix fractions must be in [0, 1]\n", argv0);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Parses "--mix=S,I,E[,P,Su,R]" into an OpMix (sum validated by the
+/// workload layer when applied; shape validated here).
+inline util::OpMix parse_mix(const char* argv0, std::string_view text) {
+  const std::vector<std::string> parts = split_csv(text);
+  if (parts.size() != 3 && parts.size() != 6) {
+    std::fprintf(stderr,
+                 "%s: --mix expects 3 or 6 comma-separated fractions "
+                 "(search,insert,erase[,pred,succ,range])\n",
+                 argv0);
+    std::exit(2);
+  }
+  util::OpMix mix;
+  mix.search = parse_fraction(argv0, parts[0]);
+  mix.insert = parse_fraction(argv0, parts[1]);
+  mix.erase = parse_fraction(argv0, parts[2]);
+  if (parts.size() == 6) {
+    mix.pred = parse_fraction(argv0, parts[3]);
+    mix.succ = parse_fraction(argv0, parts[4]);
+    mix.range = parse_fraction(argv0, parts[5]);
+  }
+  const double total = mix.search + mix.insert + mix.erase + mix.pred +
+                       mix.succ + mix.range;
+  if (!(total >= 1.0 - 1e-9 && total <= 1.0 + 1e-9)) {  // NaN-safe
+    std::fprintf(stderr, "%s: --mix fractions must sum to 1 (got %f)\n",
+                 argv0, total);
+    std::exit(2);
+  }
+  return mix;
 }
 
 /// Strict unsigned parse: digits only, fits in unsigned. Anything else
@@ -85,18 +146,30 @@ CliOptions parse(int argc, char** argv,
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--backend=NAME[,NAME...]|all] [--workers=N] [--p=N]\n"
-          "          [--shards=N] [--list-backends]\n"
+          "          [--shards=N] [--mix=S,I,E[,P,Su,R]] [--range-span=N]\n"
+          "          [--list-backends]\n"
           "       (NAME may be sharded:NAME, e.g. --backend=sharded:m1)\n",
           argv[0]);
       std::exit(0);
     } else if (arg == "--list-backends") {
       for (const auto& e : registry.entries()) {
-        std::printf("%-8s %s\n", e.name.c_str(), e.description.c_str());
+        std::printf("%-8s %s%s\n", e.name.c_str(), e.description.c_str(),
+                    e.supports_ordered ? "" : "  [no ordered queries]");
       }
       std::printf(
           "sharded:<name>  any of the above, --shards instances behind one "
           "shared scheduler\n");
       std::exit(0);
+    } else if (arg.starts_with("--mix=")) {
+      const std::uint64_t span = cli.mix.range_span;  // --range-span order-proof
+      cli.mix =
+          detail::parse_mix(argv[0], arg.substr(std::string_view("--mix=").size()));
+      cli.mix.range_span = span;
+      cli.mix_given = true;
+    } else if (arg.starts_with("--range-span=")) {
+      cli.mix.range_span = detail::parse_unsigned(
+          argv[0], "--range-span",
+          arg.substr(std::string_view("--range-span=").size()));
     } else if (arg.starts_with("--backend=")) {
       const std::string_view val = arg.substr(std::string_view("--backend=").size());
       cli.backends =
@@ -143,6 +216,18 @@ CliOptions parse(int argc, char** argv,
       }
       std::fprintf(stderr, "\n");
       std::exit(2);
+    }
+  }
+  // A mix with ordered weights is refused for backends that cannot run
+  // it — the registry's capability bit, not a runtime surprise mid-bench.
+  if (cli.mix.has_ordered()) {
+    for (const auto& name : cli.backends) {
+      try {
+        registry.require_ordered(name);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+      }
     }
   }
   return cli;

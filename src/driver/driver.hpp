@@ -1,9 +1,15 @@
 #pragma once
 // Driver — the runtime layer that turns a MapBackend into a ready-to-use
 // concurrent map. A Driver owns the scheduler (when one is needed), wires
-// the backend behind the right front end, and exposes two uniform APIs:
+// the backend behind the right front end, and exposes three uniform APIs:
 //
-//   * blocking per-op calls (search/insert/erase) — safe from any thread;
+//   * blocking per-op calls (search/insert/upsert/erase and the ordered
+//     predecessor/successor/range_count) — safe from any thread;
+//   * an asynchronous submission API — submit(op, ticket) with a
+//     caller-owned zero-allocation completion token, submit(op) returning
+//     a core::Future, and submit(op, completion) invoking a callback on
+//     the fulfilling thread — so one thread overlaps any number of
+//     outstanding operations instead of blocking per op;
 //   * a bulk run(vector<Op>) path — one synchronous batch through the
 //     backend, results in submission order.
 //
@@ -19,14 +25,23 @@
 //                           (implicit batching,
 //                            Section 4)
 //
+// Protocol-v2 ordered kinds are refused up front (std::invalid_argument on
+// the calling thread, naming the backend) when the backend's traits say
+// !supports_ordered — never half-executed on a worker. The public
+// run/step/submit entry points validate and then forward to the
+// do_* virtuals the wirings implement.
+//
 // The bulk path must not race with concurrent blocking callers on
 // AsyncMap-wrapped backends (it quiesces the front end, then batches
 // directly); natively-async and point-thread-safe backends allow mixing.
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -34,6 +49,7 @@
 
 #include "core/async_map.hpp"
 #include "core/backend.hpp"
+#include "core/future.hpp"
 #include "core/ops.hpp"
 #include "sched/scheduler.hpp"
 
@@ -59,6 +75,9 @@ struct Options {
 template <typename K, typename V>
 class Driver {
  public:
+  using Ticket = core::OpTicket<V, K>;
+  using Completion = std::function<void(core::Result<V, K>&&)>;
+
   virtual ~Driver() = default;
   Driver(const Driver&) = delete;
   Driver& operator=(const Driver&) = delete;
@@ -68,16 +87,70 @@ class Driver {
     return run_one(core::Op<K, V>::search(key)).value;
   }
   bool insert(const K& key, V value) {
-    return run_one(core::Op<K, V>::insert(key, std::move(value))).success;
+    return run_one(core::Op<K, V>::insert(key, std::move(value))).success();
+  }
+  /// Write-either-way; returns the status (kInserted or kUpdated).
+  core::ResultStatus upsert(const K& key, V value) {
+    return run_one(core::Op<K, V>::upsert(key, std::move(value))).status;
   }
   std::optional<V> erase(const K& key) {
     return run_one(core::Op<K, V>::erase(key)).value;
   }
 
+  /// Ordered blocking API (protocol v2); throws std::invalid_argument for
+  /// backends without ordered support (see supports_ordered()).
+  std::optional<std::pair<K, V>> predecessor(const K& key) {
+    return ordered_pair(run_one(core::Op<K, V>::predecessor(key)));
+  }
+  std::optional<std::pair<K, V>> successor(const K& key) {
+    return ordered_pair(run_one(core::Op<K, V>::successor(key)));
+  }
+  std::uint64_t range_count(const K& lo, const K& hi) {
+    return run_one(core::Op<K, V>::range_count(lo, hi)).count;
+  }
+
+  /// True when the wired backend executes the ordered kinds
+  /// (kPredecessor/kSuccessor/kRangeCount). Reported by the registry;
+  /// ordered operations on a driver without it are refused with
+  /// std::invalid_argument before touching the backend.
+  virtual bool supports_ordered() const noexcept = 0;
+
+  // ---- asynchronous submission ---------------------------------------------
+
+  /// Lowest-level form: the caller owns the completion token (stack or
+  /// arena; zero allocation). The ticket must stay alive until fulfilled.
+  void submit(core::Op<K, V> op, Ticket* ticket) {
+    check_ordered(op);
+    do_submit(std::move(op), ticket);
+  }
+
+  /// Future form: one heap-shared state per call; wait with get(), poll
+  /// with ready(), or drop the future (the operation still completes).
+  core::Future<V, K> submit(core::Op<K, V> op) {
+    check_ordered(op);
+    auto* state = new core::detail::FutureState<V, K>();
+    do_submit(std::move(op), state);
+    return core::Future<V, K>(state);
+  }
+
+  /// Completion form: `done` runs on the fulfilling thread with the
+  /// result (batched delivery — the front end fulfills whole cut batches,
+  /// so completions of one batch run back-to-back without a wakeup each).
+  void submit(core::Op<K, V> op, Completion done) {
+    check_ordered(op);
+    auto* state = new core::detail::FutureState<V, K>();
+    state->completion = std::move(done);
+    state->refs.store(1, std::memory_order_relaxed);  // producer only
+    do_submit(std::move(op), state);
+  }
+
+  // ---- bulk path -----------------------------------------------------------
+
   /// Bulk path: one batch through the backend, results in submission
-  /// order with per-key program order preserved.
-  std::vector<core::Result<V>> run(const std::vector<core::Op<K, V>>& ops) {
-    std::vector<core::Result<V>> out;
+  /// order with per-key program order preserved; ordered kinds observe
+  /// exactly the point operations preceding them (phase slicing).
+  std::vector<core::Result<V, K>> run(const std::vector<core::Op<K, V>>& ops) {
+    std::vector<core::Result<V, K>> out;
     run(ops, out);
     return out;
   }
@@ -85,15 +158,21 @@ class Driver {
   /// Same bulk path, results into a caller-owned buffer (cleared, then
   /// sized to the batch): a steady bulk caller reuses the results
   /// capacity across batches instead of reallocating it per run.
-  virtual void run(const std::vector<core::Op<K, V>>& ops,
-                   std::vector<core::Result<V>>& out) = 0;
+  void run(const std::vector<core::Op<K, V>>& ops,
+           std::vector<core::Result<V, K>>& out) {
+    check_ordered_batch(ops);
+    do_run(ops, out);
+  }
 
   /// Single-owner sequential fast path: executes one operation
   /// synchronously on the calling thread, bypassing the async front end
   /// where the backend allows it. Must not race with concurrent callers.
   /// Benchmarks use this to measure per-op structure cost without
   /// batching overhead.
-  virtual core::Result<V> step(core::Op<K, V> op) = 0;
+  core::Result<V, K> step(core::Op<K, V> op) {
+    check_ordered(op);
+    return do_step(std::move(op));
+  }
 
   /// Segment index (recency depth) currently holding `key` for
   /// working-set backends; nullopt for absent keys and for non-adjusting
@@ -121,9 +200,32 @@ class Driver {
 
  protected:
   explicit Driver(std::string name) : name_(std::move(name)) {}
-  virtual core::Result<V> run_one(core::Op<K, V> op) = 0;
+
+  virtual core::Result<V, K> run_one(core::Op<K, V> op) = 0;
+  virtual void do_submit(core::Op<K, V> op, Ticket* ticket) = 0;
+  virtual void do_run(const std::vector<core::Op<K, V>>& ops,
+                      std::vector<core::Result<V, K>>& out) = 0;
+  virtual core::Result<V, K> do_step(core::Op<K, V> op) = 0;
+
+  void check_ordered(const core::Op<K, V>& op) const {
+    if (core::is_ordered(op.type) && !supports_ordered()) refuse_ordered();
+  }
+  void check_ordered_batch(const std::vector<core::Op<K, V>>& ops) const {
+    if (supports_ordered()) return;
+    for (const auto& op : ops) {
+      if (core::is_ordered(op.type)) refuse_ordered();
+    }
+  }
 
  private:
+  [[noreturn]] void refuse_ordered() const {
+    throw std::invalid_argument(
+        "backend '" + name_ +
+        "' does not support ordered queries "
+        "(predecessor/successor/range-count); pick an ordered-capable "
+        "backend — see BackendRegistry::supports_ordered()");
+  }
+
   std::string name_;
 };
 
@@ -166,39 +268,50 @@ std::optional<std::size_t> depth_in(B& backend, const K& key) {
 }
 
 /// One op through the backend's point surface when it has one (no
-/// per-op vector allocations), else through a singleton batch.
+/// per-op vector allocations), else through a singleton batch. Ordered
+/// kinds always take the singleton-batch path — every ordered-capable
+/// backend executes them natively there.
 template <typename K, typename V, typename B>
-core::Result<V> point_apply(B& backend, core::Op<K, V> op) {
+core::Result<V, K> point_apply(B& backend, core::Op<K, V> op) {
   if constexpr (core::HasPointOps<B, K, V>) {
-    core::Result<V> r;
-    switch (op.type) {
-      case core::OpType::kSearch: {
-        auto v = backend.search(op.key);
-        if constexpr (std::is_pointer_v<decltype(v)>) {
-          r.success = v != nullptr;
-          if (v) r.value = *v;
-        } else {
-          r.success = v.has_value();
-          r.value = std::move(v);
+    if (!core::is_ordered(op.type)) {
+      core::Result<V, K> r;
+      switch (op.type) {
+        case core::OpType::kSearch: {
+          auto v = backend.search(op.key);
+          if constexpr (std::is_pointer_v<decltype(v)>) {
+            r.status = v != nullptr ? core::ResultStatus::kFound
+                                    : core::ResultStatus::kNotFound;
+            if (v) r.value = *v;
+          } else {
+            r.status = v.has_value() ? core::ResultStatus::kFound
+                                     : core::ResultStatus::kNotFound;
+            r.value = std::move(v);
+          }
+          break;
         }
-        break;
+        case core::OpType::kInsert:
+        case core::OpType::kUpsert:
+          r.status = backend.insert(op.key, std::move(op.value))
+                         ? core::ResultStatus::kInserted
+                         : core::ResultStatus::kUpdated;
+          break;
+        case core::OpType::kErase: {
+          auto v = backend.erase(op.key);
+          r.status = v.has_value() ? core::ResultStatus::kErased
+                                   : core::ResultStatus::kNotFound;
+          r.value = std::move(v);
+          break;
+        }
+        default:
+          break;  // unreachable: ordered kinds filtered above
       }
-      case core::OpType::kInsert:
-        r.success = backend.insert(op.key, std::move(op.value));
-        break;
-      case core::OpType::kErase: {
-        auto v = backend.erase(op.key);
-        r.success = v.has_value();
-        r.value = std::move(v);
-        break;
-      }
+      return r;
     }
-    return r;
-  } else {
-    // Singleton batch on the stack — no per-op vector allocation.
-    const core::Op<K, V> one[1] = {std::move(op)};
-    return backend.execute_batch(std::span<const core::Op<K, V>>(one))[0];
   }
+  // Singleton batch on the stack — no per-op vector allocation.
+  const core::Op<K, V> one[1] = {std::move(op)};
+  return backend.execute_batch(std::span<const core::Op<K, V>>(one))[0];
 }
 
 }  // namespace detail
@@ -210,23 +323,17 @@ template <typename K, typename V, typename B>
   requires core::MapBackend<B, K, V>
 class AsyncDriver final : public Driver<K, V> {
  public:
+  using typename Driver<K, V>::Ticket;
+
   AsyncDriver(std::string name, const Options& opts)
       : Driver<K, V>(std::move(name)),
         scheduler_(opts),
         async_(make_backend(*scheduler_.ptr), *scheduler_.ptr) {}
 
-  using Driver<K, V>::run;
-  void run(const std::vector<core::Op<K, V>>& ops,
-           std::vector<core::Result<V>>& out) override {
-    async_.quiesce();
-    core::execute_batch_into<K, V>(
-        async_.map(), std::span<const core::Op<K, V>>(ops), out);
+  bool supports_ordered() const noexcept override {
+    return core::backend_traits<B>::supports_ordered;
   }
 
-  core::Result<V> step(core::Op<K, V> op) override {
-    async_.quiesce();
-    return detail::point_apply<K, V>(async_.map(), std::move(op));
-  }
   std::optional<std::size_t> depth_of(const K& key) override {
     async_.quiesce();
     return detail::depth_in<K, V>(async_.map(), key);
@@ -250,10 +357,27 @@ class AsyncDriver final : public Driver<K, V> {
   }
 
  protected:
-  core::Result<V> run_one(core::Op<K, V> op) override {
-    core::OpTicket<V> ticket;
+  core::Result<V, K> run_one(core::Op<K, V> op) override {
+    core::OpTicket<V, K> ticket;
+    this->check_ordered(op);
     async_.submit(std::move(op), &ticket);
     return ticket.wait();
+  }
+
+  void do_submit(core::Op<K, V> op, Ticket* ticket) override {
+    async_.submit(std::move(op), ticket);
+  }
+
+  void do_run(const std::vector<core::Op<K, V>>& ops,
+              std::vector<core::Result<V, K>>& out) override {
+    async_.quiesce();
+    core::execute_batch_into<K, V>(
+        async_.map(), std::span<const core::Op<K, V>>(ops), out);
+  }
+
+  core::Result<V, K> do_step(core::Op<K, V> op) override {
+    async_.quiesce();
+    return detail::point_apply<K, V>(async_.map(), std::move(op));
   }
 
  private:
@@ -280,21 +404,17 @@ template <typename K, typename V, typename B>
   requires(core::MapBackend<B, K, V> && core::backend_traits<B>::native_async)
 class NativeAsyncDriver final : public Driver<K, V> {
  public:
+  using typename Driver<K, V>::Ticket;
+
   NativeAsyncDriver(std::string name, const Options& opts)
       : Driver<K, V>(std::move(name)),
         scheduler_(opts),
         backend_(*scheduler_.ptr, opts.p) {}
 
-  using Driver<K, V>::run;
-  void run(const std::vector<core::Op<K, V>>& ops,
-           std::vector<core::Result<V>>& out) override {
-    core::execute_batch_into<K, V>(
-        backend_, std::span<const core::Op<K, V>>(ops), out);
+  bool supports_ordered() const noexcept override {
+    return core::backend_traits<B>::supports_ordered;
   }
 
-  core::Result<V> step(core::Op<K, V> op) override {
-    return run_one(std::move(op));  // the pipeline IS the sequential path
-  }
   std::optional<std::size_t> depth_of(const K& key) override {
     backend_.quiesce();
     return detail::depth_in<K, V>(backend_, key);
@@ -314,10 +434,25 @@ class NativeAsyncDriver final : public Driver<K, V> {
   B& backend() { return backend_; }
 
  protected:
-  core::Result<V> run_one(core::Op<K, V> op) override {
-    core::OpTicket<V> ticket;
+  core::Result<V, K> run_one(core::Op<K, V> op) override {
+    core::OpTicket<V, K> ticket;
+    this->check_ordered(op);
     backend_.submit(std::move(op), &ticket);
     return ticket.wait();
+  }
+
+  void do_submit(core::Op<K, V> op, Ticket* ticket) override {
+    backend_.submit(std::move(op), ticket);
+  }
+
+  void do_run(const std::vector<core::Op<K, V>>& ops,
+              std::vector<core::Result<V, K>>& out) override {
+    core::execute_batch_into<K, V>(
+        backend_, std::span<const core::Op<K, V>>(ops), out);
+  }
+
+  core::Result<V, K> do_step(core::Op<K, V> op) override {
+    return run_one(std::move(op));  // the pipeline IS the sequential path
   }
 
  private:
@@ -332,19 +467,15 @@ template <typename K, typename V, typename B>
            core::backend_traits<B>::point_thread_safe)
 class DirectDriver final : public Driver<K, V> {
  public:
+  using typename Driver<K, V>::Ticket;
+
   DirectDriver(std::string name, const Options&)
       : Driver<K, V>(std::move(name)) {}
 
-  using Driver<K, V>::run;
-  void run(const std::vector<core::Op<K, V>>& ops,
-           std::vector<core::Result<V>>& out) override {
-    core::execute_batch_into<K, V>(
-        backend_, std::span<const core::Op<K, V>>(ops), out);
+  bool supports_ordered() const noexcept override {
+    return core::backend_traits<B>::supports_ordered;
   }
 
-  core::Result<V> step(core::Op<K, V> op) override {
-    return run_one(std::move(op));
-  }
   std::optional<std::size_t> depth_of(const K& key) override {
     return detail::depth_in<K, V>(backend_, key);
   }
@@ -357,8 +488,25 @@ class DirectDriver final : public Driver<K, V> {
   B& backend() { return backend_; }
 
  protected:
-  core::Result<V> run_one(core::Op<K, V> op) override {
+  core::Result<V, K> run_one(core::Op<K, V> op) override {
+    this->check_ordered(op);
     return detail::point_apply<K, V>(backend_, std::move(op));
+  }
+
+  void do_submit(core::Op<K, V> op, Ticket* ticket) override {
+    // No async front end: execute inline and fulfill on the calling
+    // thread (the submission API stays uniform; completion runs here).
+    ticket->fulfill(detail::point_apply<K, V>(backend_, std::move(op)));
+  }
+
+  void do_run(const std::vector<core::Op<K, V>>& ops,
+              std::vector<core::Result<V, K>>& out) override {
+    core::execute_batch_into<K, V>(
+        backend_, std::span<const core::Op<K, V>>(ops), out);
+  }
+
+  core::Result<V, K> do_step(core::Op<K, V> op) override {
+    return run_one(std::move(op));
   }
 
  private:

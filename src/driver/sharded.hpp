@@ -5,11 +5,17 @@
 //
 //   * point ops route by key hash: each key lives in exactly one shard, so
 //     per-key program order is the shard's program order;
+//   * ordered queries (protocol v2) span every shard: predecessor /
+//     successor / range-count submissions scatter one sub-query per shard
+//     and gather with a max- / min- / sum-reduce when the last shard
+//     completes — no thread blocks between scatter and gather;
 //   * bulk run() scatters the batch by shard, executes the per-shard
 //     sub-batches concurrently (each on its own thread, their internal
 //     parallelism on the shared pool), and gathers results back into
 //     submission order — a legal linearization per shard (Definition 8:
-//     per-key order preserved, results in submission order);
+//     per-key order preserved, results in submission order). Batches with
+//     ordered kinds are sliced into point/ordered phases so every ordered
+//     query observes exactly the point operations preceding it;
 //   * size()/check()/quiesce() aggregate across shards; depth_of() routes
 //     to the shard holding the key.
 //
@@ -21,6 +27,7 @@
 // the wrapped backend's own factory, so `sharded:<name>` works for every
 // registered backend without this header depending on the registry.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -33,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/async_map.hpp"
 #include "core/ops.hpp"
 #include "driver/driver.hpp"
 #include "sched/scheduler.hpp"
@@ -49,6 +57,7 @@ inline constexpr std::string_view kShardedPrefix = "sharded:";
 template <typename K, typename V>
 class ShardedDriver final : public Driver<K, V> {
  public:
+  using typename Driver<K, V>::Ticket;
   using ShardFactory =
       std::function<std::unique_ptr<Driver<K, V>>(const Options&)>;
 
@@ -92,30 +101,158 @@ class ShardedDriver final : public Driver<K, V> {
     return static_cast<std::size_t>(h % shards_.size());
   }
 
-  using Driver<K, V>::run;
-  void run(const std::vector<core::Op<K, V>>& ops,
-           std::vector<core::Result<V>>& out) override {
+  bool supports_ordered() const noexcept override {
+    return shards_.front()->supports_ordered();
+  }
+
+  std::optional<std::size_t> depth_of(const K& key) override {
+    return shards_[shard_of(key)]->depth_of(key);
+  }
+
+  void quiesce() override {
+    for (auto& s : shards_) s->quiesce();
+  }
+
+  std::size_t size() override {
+    std::size_t total = 0;
+    for (auto& s : shards_) total += s->size();
+    return total;
+  }
+
+  bool check() override {
+    bool ok = true;
+    for (auto& s : shards_) ok = s->check() && ok;
+    return ok;
+  }
+
+  sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
+
+ protected:
+  void do_run(const std::vector<core::Op<K, V>>& ops,
+              std::vector<core::Result<V, K>>& out) override {
+    out.clear();
+    out.resize(ops.size());
+    // One phase == the whole batch when no ordered kinds are present,
+    // i.e. the common case costs one scan.
+    core::for_each_phase(
+        std::span<const core::Op<K, V>>(ops),
+        [&](std::size_t b, std::size_t e) { run_point_phase(ops, b, e, out); },
+        [&](std::size_t b, std::size_t e) {
+          run_ordered_phase(ops, b, e, out);
+        });
+  }
+
+  core::Result<V, K> do_step(core::Op<K, V> op) override {
+    if (core::is_ordered(op.type)) {
+      // Single-owner path: consult every shard synchronously and reduce.
+      core::Result<V, K> best;
+      for (auto& s : shards_) {
+        reduce_ordered(op.type, best, s->step(op));
+      }
+      if (op.type == core::OpType::kRangeCount) {
+        best.status = core::ResultStatus::kFound;
+      }
+      return best;
+    }
+    return shards_[shard_of(op.key)]->step(std::move(op));
+  }
+
+  void do_submit(core::Op<K, V> op, Ticket* ticket) override {
+    if (!core::is_ordered(op.type)) {
+      shards_[shard_of(op.key)]->submit(std::move(op), ticket);
+      return;
+    }
+    // Scatter one sub-query per shard; the last completion reduces and
+    // fulfills the caller's ticket. The gather state owns the sub-tickets
+    // and frees itself — no thread waits.
+    auto* gather = new OrderedGather(op.type, ticket, shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      gather->subs[s].owner = gather;
+      gather->subs[s].on_complete = &OrderedGather::sub_done;
+      shards_[s]->submit(op, &gather->subs[s]);
+    }
+  }
+
+  core::Result<V, K> run_one(core::Op<K, V> op) override {
+    this->check_ordered(op);
+    core::OpTicket<V, K> ticket;
+    do_submit(std::move(op), &ticket);
+    return ticket.wait();
+  }
+
+ private:
+  /// Per-shard sub-ticket carrying the back-pointer the completion hook
+  /// needs to find its gather state.
+  struct SubTicket : core::OpTicket<V, K> {
+    void* owner = nullptr;
+  };
+
+  /// Scatter/gather state for one ordered submission across all shards.
+  struct OrderedGather {
+    core::OpType type;
+    Ticket* target;
+    std::atomic<std::size_t> remaining;
+    std::vector<SubTicket> subs;
+
+    OrderedGather(core::OpType t, Ticket* tgt, std::size_t n)
+        : type(t), target(tgt), remaining(n), subs(n) {}
+
+    static void sub_done(core::OpTicket<V, K>* t) {
+      auto* sub = static_cast<SubTicket*>(t);
+      auto* g = static_cast<OrderedGather*>(sub->owner);
+      if (g->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+      // Last shard in: reduce and deliver.
+      core::Result<V, K> best;
+      for (auto& s : g->subs) {
+        reduce_ordered(g->type, best, std::move(s.result));
+      }
+      if (g->type == core::OpType::kRangeCount) {
+        best.status = core::ResultStatus::kFound;
+      }
+      g->target->fulfill(std::move(best));
+      delete g;
+    }
+  };
+
+  /// Folds one shard's answer into the running best: predecessor keeps the
+  /// max matched key, successor the min, range-count the sum.
+  static void reduce_ordered(core::OpType type, core::Result<V, K>& best,
+                             core::Result<V, K> shard_r) {
+    if (type == core::OpType::kRangeCount) {
+      best.count += shard_r.count;
+      return;
+    }
+    if (shard_r.status != core::ResultStatus::kFound) return;
+    const bool better =
+        !best.matched_key.has_value() ||
+        (type == core::OpType::kPredecessor
+             ? *best.matched_key < *shard_r.matched_key
+             : *shard_r.matched_key < *best.matched_key);
+    if (better) best = std::move(shard_r);
+  }
+
+  /// One point phase scattered by shard; per-shard run()s go on dedicated
+  /// threads, NOT on pool workers: an inner run() may block its thread on
+  /// pool progress (M2's execute_batch awaits pipeline activations;
+  /// AsyncMap's quiesce spins), so hosting it on the pool deadlocks once
+  /// blocking shard tasks occupy every worker. The shards' internal
+  /// parallelism still runs on the one shared scheduler. The calling
+  /// thread takes the first non-empty shard itself. Exceptions are
+  /// captured per shard and the first rethrown after every helper joined,
+  /// matching the unsharded drivers' propagation.
+  void run_point_phase(const std::vector<core::Op<K, V>>& ops,
+                       std::size_t begin, std::size_t end,
+                       std::vector<core::Result<V, K>>& out) {
     const std::size_t n = shards_.size();
     std::vector<std::vector<core::Op<K, V>>> scatter(n);
     std::vector<std::vector<std::size_t>> origin(n);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       const std::size_t s = shard_of(ops[i].key);
       scatter[s].push_back(ops[i]);
       origin[s].push_back(i);
     }
 
-    // Per-shard run()s go on dedicated threads, NOT on pool workers: an
-    // inner run() may block its thread on pool progress (M2's
-    // execute_batch awaits pipeline activations; AsyncMap's quiesce
-    // spins), so hosting it on the pool deadlocks once blocking shard
-    // tasks occupy every worker. The shards' internal parallelism still
-    // runs on the one shared scheduler. The calling thread takes the
-    // first non-empty shard itself. Exceptions are captured per shard
-    // and the first rethrown after every helper joined, matching the
-    // unsharded drivers' propagation.
-    out.clear();
-    out.resize(ops.size());
-    std::vector<std::vector<core::Result<V>>> partial(n);
+    std::vector<std::vector<core::Result<V, K>>> partial(n);
     std::vector<std::exception_ptr> errors(n);
     auto run_shard = [&](std::size_t s) noexcept {
       try {
@@ -147,54 +284,22 @@ class ShardedDriver final : public Driver<K, V> {
     }
   }
 
-  core::Result<V> step(core::Op<K, V> op) override {
-    const std::size_t s = shard_of(op.key);
-    return shards_[s]->step(std::move(op));
-  }
-
-  std::optional<std::size_t> depth_of(const K& key) override {
-    return shards_[shard_of(key)]->depth_of(key);
-  }
-
-  void quiesce() override {
-    for (auto& s : shards_) s->quiesce();
-  }
-
-  std::size_t size() override {
-    std::size_t total = 0;
-    for (auto& s : shards_) total += s->size();
-    return total;
-  }
-
-  bool check() override {
-    bool ok = true;
-    for (auto& s : shards_) ok = s->check() && ok;
-    return ok;
-  }
-
-  sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
-
- protected:
-  core::Result<V> run_one(core::Op<K, V> op) override {
-    Driver<K, V>& s = *shards_[shard_of(op.key)];
-    core::Result<V> r;
-    switch (op.type) {
-      case core::OpType::kSearch:
-        r.value = s.search(op.key);
-        r.success = r.value.has_value();
-        break;
-      case core::OpType::kInsert:
-        r.success = s.insert(op.key, std::move(op.value));
-        break;
-      case core::OpType::kErase:
-        r.value = s.erase(op.key);
-        r.success = r.value.has_value();
-        break;
+  /// One ordered phase: every query scatters to all shards through the
+  /// async submission path (read-only, so concurrent shard reads are
+  /// fine); the phase boundary waits for all gathers before the next
+  /// point phase mutates anything.
+  void run_ordered_phase(const std::vector<core::Op<K, V>>& ops,
+                         std::size_t begin, std::size_t end,
+                         std::vector<core::Result<V, K>>& out) {
+    std::vector<core::OpTicket<V, K>> tickets(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      do_submit(ops[i], &tickets[i - begin]);
     }
-    return r;
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = tickets[i - begin].wait();
+    }
   }
 
- private:
   // Shards die before the shared scheduler their front ends run on.
   detail::SchedulerHandle scheduler_;
   std::vector<std::unique_ptr<Driver<K, V>>> shards_;

@@ -37,6 +37,28 @@ std::pair<std::size_t, std::size_t> three_way_partition(
       scheduler ? (n + grain - 1) / grain : (n ? 1 : 0);
   const std::size_t block_size = blocks ? (n + blocks - 1) / blocks : 0;
 
+  if (blocks <= 1) {
+    // Single-block (sequential) case: scalar counters, no per-call count
+    // vectors — this is every recursion level below the parallel grain,
+    // so the whole sequential sort stays off the allocator.
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      n0 += (cls[i] == 0);
+      n1 += (cls[i] == 1);
+    }
+    const std::size_t begin_equal = n0;
+    const std::size_t begin_above = n0 + n1;
+    std::size_t p0 = 0, p1 = begin_equal, p2 = begin_above;
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (cls[i]) {
+        case 0: output[p0++] = input[i]; break;
+        case 1: output[p1++] = input[i]; break;
+        default: output[p2++] = input[i]; break;
+      }
+    }
+    return {begin_equal, begin_above};
+  }
+
   // Per-block counts of each class.
   std::vector<std::uint64_t> c0(blocks + 1, 0), c1(blocks + 1, 0),
       c2(blocks + 1, 0);

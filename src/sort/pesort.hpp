@@ -15,6 +15,7 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -39,14 +40,17 @@ struct PESortOptions {
   std::size_t grain = 2048;
 };
 
-/// Reusable buffers for pesort: the partition scratch copy and the per-pass
-/// classification bytes. Owned by the caller (e.g. core::BatchScratch) so
+/// Reusable buffers for pesort: the partition scratch copy, the per-pass
+/// classification bytes, and the pivot-algorithm block-median buffer
+/// (sliced in lockstep with the data, like cls, so no recursion level
+/// allocates its own). Owned by the caller (e.g. core::BatchScratch) so
 /// repeated sorts reuse capacity instead of reallocating; a null scratch
 /// falls back to per-call buffers.
-template <typename T>
+template <typename T, typename Key>
 struct PESortScratch {
   std::vector<T> buf;
   std::vector<std::uint8_t> cls;
+  std::vector<Key> medians;
 };
 
 namespace detail {
@@ -70,25 +74,26 @@ void insertion_sort(std::span<T> v, const KeyFn& key_of) {
 
 /// Parallel Pivot Algorithm (Lemma 34): split into blocks of size ~log k,
 /// take each block's median, return the median of medians — always within
-/// the middle two quartiles.
-template <typename T, typename KeyFn>
-auto ppivot(std::span<const T> v, const KeyFn& key_of,
-            sched::Scheduler* scheduler) {
-  using Key = std::decay_t<decltype(key_of(v[0]))>;
+/// the middle two quartiles. `med` is the caller's median buffer, sliced
+/// in lockstep with the data like the classification bytes: concurrent
+/// recursion branches write disjoint slices and no level allocates. The
+/// per-block key buffer is a stack array — block <= bit_width(SIZE_MAX),
+/// i.e. at most 64 keys.
+template <typename T, typename Key, typename KeyFn>
+Key ppivot(std::span<const T> v, std::span<Key> med, const KeyFn& key_of,
+           sched::Scheduler* scheduler) {
   const std::size_t k = v.size();
   const std::size_t block = std::max<std::size_t>(1, std::bit_width(k));
   const std::size_t blocks = (k + block - 1) / block;
-  std::vector<Key> medians(blocks);
   auto body = [&](std::size_t blo, std::size_t bhi) {
-    std::vector<Key> scratch;
+    Key keys[65];
     for (std::size_t b = blo; b < bhi; ++b) {
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(k, lo + block);
-      scratch.clear();
-      for (std::size_t i = lo; i < hi; ++i) scratch.push_back(key_of(v[i]));
-      auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
-      std::nth_element(scratch.begin(), mid, scratch.end());
-      medians[b] = *mid;
+      const std::size_t n = hi - lo;
+      for (std::size_t i = 0; i < n; ++i) keys[i] = key_of(v[lo + i]);
+      std::nth_element(keys, keys + n / 2, keys + n);
+      med[b] = keys[n / 2];
     }
   };
   if (scheduler && blocks > 64) {
@@ -96,8 +101,8 @@ auto ppivot(std::span<const T> v, const KeyFn& key_of,
   } else {
     body(0, blocks);
   }
-  auto mid = medians.begin() + static_cast<std::ptrdiff_t>(blocks / 2);
-  std::nth_element(medians.begin(), mid, medians.end());
+  auto mid = med.begin() + static_cast<std::ptrdiff_t>(blocks / 2);
+  std::nth_element(med.begin(), mid, med.begin() + static_cast<std::ptrdiff_t>(blocks));
   return *mid;
 }
 
@@ -119,11 +124,11 @@ auto random_quartile_pivot(std::span<const T> v, const KeyFn& key_of,
   }
 }
 
-template <typename T, typename KeyFn>
+template <typename T, typename Key, typename KeyFn>
 void pesort_rec(std::span<T> data, std::span<T> scratch,
-                std::span<std::uint8_t> cls, const KeyFn& key_of,
-                sched::Scheduler* scheduler, const PESortOptions& opts,
-                std::uint64_t seed) {
+                std::span<std::uint8_t> cls, std::span<Key> med,
+                const KeyFn& key_of, sched::Scheduler* scheduler,
+                const PESortOptions& opts, std::uint64_t seed) {
   const std::size_t n = data.size();
   if (n <= opts.base_case) {
     insertion_sort(data, key_of);
@@ -135,7 +140,7 @@ void pesort_rec(std::span<T> data, std::span<T> scratch,
       util::Xoshiro256 rng(seed);
       return random_quartile_pivot(std::span<const T>(data), key_of, rng);
     }
-    return ppivot(std::span<const T>(data), key_of, scheduler);
+    return ppivot(std::span<const T>(data), med, key_of, scheduler);
   }();
 
   // Classify, partition into scratch, copy back. `cls` is the top-level
@@ -166,11 +171,13 @@ void pesort_rec(std::span<T> data, std::span<T> scratch,
 
   auto left = [&] {
     pesort_rec(data.subspan(0, eq), scratch.subspan(0, eq), cls.subspan(0, eq),
-               key_of, scheduler, opts, seed * 0x9e3779b97f4a7c15ULL + 1);
+               med.subspan(0, eq), key_of, scheduler, opts,
+               seed * 0x9e3779b97f4a7c15ULL + 1);
   };
   auto right = [&] {
     pesort_rec(data.subspan(above), scratch.subspan(above), cls.subspan(above),
-               key_of, scheduler, opts, seed * 0xda942042e4dd58b5ULL + 3);
+               med.subspan(above), key_of, scheduler, opts,
+               seed * 0xda942042e4dd58b5ULL + 3);
   };
   if (scheduler && n > opts.grain) {
     scheduler->parallel_invoke(sched::FnView(left), sched::FnView(right));
@@ -191,23 +198,26 @@ void pesort_rec(std::span<T> data, std::span<T> scratch,
 /// Small inputs (<= 2 * base_case) take a sequential stable insertion sort
 /// directly: no pivot blocks, no medians, no scratch, no allocation — the
 /// path point-op batches and small bunches ride.
-template <typename T, typename KeyFn>
+template <typename T, typename KeyFn,
+          typename Key = std::decay_t<std::invoke_result_t<const KeyFn&, const T&>>>
 void pesort(std::vector<T>& v, const KeyFn& key_of,
             sched::Scheduler* scheduler = nullptr,
             const PESortOptions& opts = {},
-            PESortScratch<T>* scratch = nullptr) {
+            PESortScratch<T, Key>* scratch = nullptr) {
   if (v.size() <= 1) return;
   if (v.size() <= 2 * opts.base_case) {
     detail::insertion_sort(std::span<T>(v), key_of);
     return;
   }
-  PESortScratch<T> local;
-  PESortScratch<T>& s = scratch ? *scratch : local;
+  PESortScratch<T, Key> local;
+  PESortScratch<T, Key>& s = scratch ? *scratch : local;
   if (s.buf.size() < v.size()) s.buf.resize(v.size());
   if (s.cls.size() < v.size()) s.cls.resize(v.size());
+  if (s.medians.size() < v.size()) s.medians.resize(v.size());
   auto run = [&] {
     detail::pesort_rec(std::span<T>(v), std::span<T>(s.buf).first(v.size()),
-                       std::span<std::uint8_t>(s.cls).first(v.size()), key_of,
+                       std::span<std::uint8_t>(s.cls).first(v.size()),
+                       std::span<Key>(s.medians).first(v.size()), key_of,
                        scheduler, opts, opts.seed);
   };
   if (scheduler && !scheduler->on_worker() && v.size() > opts.grain) {

@@ -141,6 +141,51 @@ class JTree {
     return out;
   }
 
+  // ---- ordered queries (protocol v2) --------------------------------------
+  // Read-only; pointers are valid until the next mutation.
+
+  /// Entry with the greatest key strictly below `key`, as {&key, &value};
+  /// {nullptr, nullptr} when every key is >= `key`.
+  std::pair<const K*, const V*> predecessor(const K& key) const {
+    const Node* best = nullptr;
+    const Node* n = root_;
+    while (n) {
+      if (cmp_(n->key, key)) {
+        best = n;  // n->key < key: candidate; better ones are to the right
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    if (!best) return {nullptr, nullptr};
+    return {&best->key, &best->value};
+  }
+
+  /// Entry with the least key strictly above `key`;
+  /// {nullptr, nullptr} when every key is <= `key`.
+  std::pair<const K*, const V*> successor(const K& key) const {
+    const Node* best = nullptr;
+    const Node* n = root_;
+    while (n) {
+      if (cmp_(key, n->key)) {
+        best = n;  // n->key > key: candidate; better ones are to the left
+        n = n->left;
+      } else {
+        n = n->right;
+      }
+    }
+    if (!best) return {nullptr, nullptr};
+    return {&best->key, &best->value};
+  }
+
+  /// Number of keys in the inclusive range [lo, hi] (0 when hi < lo):
+  /// two rank descents plus one membership probe, O(log n).
+  std::size_t range_count(const K& lo, const K& hi) const {
+    if (cmp_(hi, lo)) return 0;
+    const std::size_t le_hi = rank(hi) + (find(hi) != nullptr ? 1 : 0);
+    return le_hi - rank(lo);
+  }
+
   // ---- order statistics ---------------------------------------------------
 
   /// In-order i-th element (0-based). Precondition: i < size().

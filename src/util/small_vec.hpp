@@ -2,10 +2,10 @@
 // SmallVec — an inline-first vector: the first N elements live inside the
 // object; growing past N spills everything into a heap vector once.
 //
-// Motivation (ESort, Definition 29): the working-set dictionary keeps one
-// position list per distinct key, and under high-entropy inputs almost every
-// list is a singleton — with std::vector that is one heap allocation per
-// distinct key. SmallVec<std::size_t, 2> makes the common case free.
+// Motivation (Section 6.1 group-operations): under low-duplication
+// workloads almost every group holds a single operation — with std::vector
+// that is one heap allocation per group. SmallVec<PendingOp, 1> (M2's
+// GroupOp) makes the common case free.
 
 #include <cassert>
 #include <cstddef>

@@ -88,8 +88,11 @@ std::vector<KeyOp> duplicate_heavy_batch(std::uint64_t universe,
 
 std::vector<KeyOp> apply_mix(const std::vector<std::uint64_t>& keys,
                              const OpMix& mix, std::uint64_t seed) {
-  const double total = mix.search + mix.insert + mix.erase;
-  if (std::abs(total - 1.0) > 1e-9) {
+  const double total = mix.search + mix.insert + mix.erase + mix.pred +
+                       mix.succ + mix.range;
+  // Negated form so a NaN fraction (which compares false everywhere)
+  // throws instead of silently degrading the mix to all-searches.
+  if (!(std::abs(total - 1.0) <= 1e-9)) {
     throw std::invalid_argument("OpMix fractions must sum to 1");
   }
   Xoshiro256 rng(seed);
@@ -98,10 +101,28 @@ std::vector<KeyOp> apply_mix(const std::vector<std::uint64_t>& keys,
   for (const auto key : keys) {
     const double u = rng.uniform01();
     OpKind kind = OpKind::kSearch;
-    if (u >= mix.search) {
-      kind = (u < mix.search + mix.insert) ? OpKind::kInsert : OpKind::kErase;
+    double cum = mix.search;
+    if (u >= cum) {
+      cum += mix.insert;
+      if (u < cum) {
+        kind = OpKind::kInsert;
+      } else {
+        cum += mix.erase;
+        if (u < cum) {
+          kind = OpKind::kErase;
+        } else {
+          cum += mix.pred;
+          if (u < cum) {
+            kind = OpKind::kPredecessor;
+          } else {
+            kind = u < cum + mix.succ ? OpKind::kSuccessor : OpKind::kRangeCount;
+          }
+        }
+      }
     }
-    out.push_back({kind, key, key * 2 + 1});
+    KeyOp op{kind, key, key * 2 + 1, 0};
+    if (kind == OpKind::kRangeCount) op.key2 = key + mix.range_span;
+    out.push_back(op);
   }
   return out;
 }

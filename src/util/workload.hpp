@@ -14,19 +14,38 @@ namespace pwss::util {
 /// Operation kind used by workloads, tests and benches. The maps' own op
 /// type (core/ops.hpp) mirrors this; keeping a plain POD here lets the
 /// generators stay independent of the data-structure headers.
-enum class OpKind : std::uint8_t { kSearch, kInsert, kErase };
+enum class OpKind : std::uint8_t {
+  kSearch,
+  kInsert,
+  kErase,
+  kPredecessor,  // ordered: greatest key < key
+  kSuccessor,    // ordered: least key > key
+  kRangeCount,   // ordered: |[key, key2]|
+};
 
 struct KeyOp {
   OpKind kind;
   std::uint64_t key;
-  std::uint64_t value;  // payload for inserts
+  std::uint64_t value;   // payload for inserts
+  std::uint64_t key2 = 0;  // kRangeCount: inclusive high bound
 };
 
-/// Fraction-based operation mix; fields must sum to 1 (validated).
+/// Fraction-based operation mix; the six fractions must sum to 1
+/// (validated). The ordered fractions (pred/succ/range) drive the
+/// protocol-v2 query kinds; range-count queries span [key,
+/// key + range_span].
 struct OpMix {
   double search = 1.0;
   double insert = 0.0;
   double erase = 0.0;
+  double pred = 0.0;
+  double succ = 0.0;
+  double range = 0.0;
+  std::uint64_t range_span = 1024;
+
+  /// True when any ordered fraction is positive (the CLI refuses such a
+  /// mix for backends without ordered support).
+  bool has_ordered() const { return pred > 0 || succ > 0 || range > 0; }
 };
 
 /// count keys drawn uniformly from [0, universe).

@@ -23,6 +23,7 @@
 #include "core/m1_map.hpp"
 #include "core/m2_map.hpp"
 #include "driver/registry.hpp"
+#include "sort/esort.hpp"
 #include "sched/scheduler.hpp"
 #include "tree/jtree.hpp"
 #include "util/rng.hpp"
@@ -212,13 +213,16 @@ TEST(AllocStats, M1BatchAllocsDropOnceArenaIsWarm) {
 
 TEST(AllocStats, M1SteadyStateBatchWithReusedResultsIsAllocationLean) {
   // The full batch loop with every reuse layer on: instance arena (PR 3),
-  // node pools, and the caller-owned results buffer (execute_batch's
-  // out-param overload). Tree-node churn is now pool-absorbed (see the
-  // JTree tests above), so what remains is ESort's per-duplicate-key
-  // position lists spilling past the SmallVec inline slots — measured
-  // ~690/batch on the PR machine for this shape, down from ~11k before
-  // the pools. Pin the level so a regression on any layer trips; shrink
-  // the bound when the esort lists join the arena (next target).
+  // node pools, the caller-owned results buffer, and — closing the last
+  // gap — the PESort pivot machinery. The ~690 steady allocations/batch
+  // this shape used to pay (misattributed to "esort position lists" in
+  // earlier notes; a backtrace census pinned them to ppivot's per-level
+  // medians/block vectors and three_way_partition's per-call count
+  // vectors) are gone: medians live in PESortScratch sliced like the
+  // classification bytes, block medians on the stack, and the sequential
+  // partition path uses scalar counters. Measured 4/batch on the PR
+  // machine; the bound leaves headroom for stdlib variance while
+  // catching any reintroduced per-level allocation.
   core::M1Map<int, int> m;
   std::vector<IntOp> warm;
   warm.reserve(4096);
@@ -246,9 +250,10 @@ TEST(AllocStats, M1SteadyStateBatchWithReusedResultsIsAllocationLean) {
   std::printf("[allocs] m1 4096-op search batch, all reuse layers on: "
               "steady=%llu allocations/batch\n",
               static_cast<unsigned long long>(steady));
-  EXPECT_LE(steady, 1500u)
+  EXPECT_LE(steady, 64u)
       << "steady-state M1 batch allocations regressed — check the node "
-      << "pools, the arena, and the results-buffer reuse";
+      << "pools, the arena, the results-buffer reuse, and the PESort "
+      << "scratch (medians/partition counters)";
 }
 
 TEST(AllocStats, DriverRunReusesResultsBuffer) {
@@ -322,6 +327,74 @@ TEST(AllocStats, M2SteadyStateOpAllocationsBounded) {
   EXPECT_LE(per_op, 52u)
       << "per-op allocation budget regressed — check the spawn path, the "
       << "continuation captures, and the node pools";
+}
+
+TEST(AllocStats, M2BulkBatchReusesTicketBlockAcrossBatches) {
+  // The bulk path used to construct a fresh std::vector<OpTicket> per
+  // execute_batch; the instance ticket arena now reuses the block, so a
+  // steady single bulk caller's per-batch overhead is the backend work
+  // alone. Same-shape batches after warm-up must allocate strictly less
+  // than the first (arena-growing) one.
+  sched::Scheduler s(2);
+  core::M2Map<int, int> m(s, 2);
+  for (int i = 0; i < 2048; ++i) m.insert(i, i);
+  m.quiesce();
+
+  util::Xoshiro256 rng(21);
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 512; ++i) {
+    batch.push_back(IntOp::search(static_cast<int>(rng.bounded(2048))));
+  }
+  std::vector<core::Result<int>> results;
+
+  const std::uint64_t before_first = alloc_count();
+  m.execute_batch(std::span<const IntOp>(batch), results);
+  const std::uint64_t first = alloc_count() - before_first;
+
+  std::uint64_t steady_total = 0;
+  constexpr int kRounds = 4;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t before = alloc_count();
+    m.execute_batch(std::span<const IntOp>(batch), results);
+    steady_total += alloc_count() - before;
+  }
+  const std::uint64_t steady = steady_total / kRounds;
+  std::printf("[allocs] m2 512-op bulk batch: first=%llu steady=%llu\n",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(steady));
+  EXPECT_LT(steady, first)
+      << "warm ticket-arena batches must allocate less than the first";
+}
+
+TEST(AllocStats, EsortPositionChainsShareOneArena) {
+  // The fix for the duplicate-position spill: positions past the two
+  // inline slots chain through ONE shared arena, so 256 keys x 16
+  // occurrences cost amortized vector-doubling allocations (O(log total)),
+  // not one heap spill per hot key (>= 256 with the old SmallVec values).
+  std::vector<sort::detail::EsortPositions> lists(256);
+  std::vector<sort::detail::EsortChainNode> chain;
+  const std::uint64_t before = alloc_count();
+  for (std::size_t occ = 0; occ < 16; ++occ) {
+    for (std::size_t k = 0; k < lists.size(); ++k) {
+      sort::detail::esort_append(lists[k], occ * lists.size() + k, chain);
+    }
+  }
+  const std::uint64_t used = alloc_count() - before;
+  std::printf("[allocs] esort position chains, 256 keys x 16: %llu\n",
+              static_cast<unsigned long long>(used));
+  EXPECT_LE(used, 16u) << "per-key spill allocations are back";
+  // The chains replay each key's positions in order.
+  for (std::size_t k = 0; k < lists.size(); ++k) {
+    std::vector<std::size_t> got{lists[k].inline_pos[0], lists[k].inline_pos[1]};
+    for (std::uint32_t n = lists[k].head; n != sort::detail::kEsortNil;
+         n = chain[n].next) {
+      got.push_back(chain[n].pos);
+    }
+    ASSERT_EQ(got.size(), 16u);
+    for (std::size_t occ = 0; occ < 16; ++occ) {
+      ASSERT_EQ(got[occ], occ * lists.size() + k);
+    }
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "core/m2_map.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
 
@@ -65,43 +66,19 @@ TYPED_TEST(MapBackendTypedTest, SatisfiesConcept) {
 TYPED_TEST(MapBackendTypedTest, DifferentialAgainstStdMap) {
   util::Xoshiro256 rng(404);
   std::map<K, V> ref;
+  // Backends with ordered support run the full v2 op set (predecessor /
+  // successor / range-count / upsert vs the lower_bound oracle); the
+  // splay adapter sticks to the point kinds.
+  const bool with_ordered = core::backend_traits<TypeParam>::supports_ordered;
   for (int round = 0; round < 20; ++round) {
-    std::vector<IntOp> batch;
     const std::size_t b = 1 + rng.bounded(200);
-    for (std::size_t i = 0; i < b; ++i) {
-      const K key = rng.bounded(250);
-      switch (rng.bounded(4)) {
-        case 0:
-        case 1:
-          batch.push_back(IntOp::insert(
-              key, static_cast<V>(round) * 100000 + i));
-          break;
-        case 2: batch.push_back(IntOp::erase(key)); break;
-        default: batch.push_back(IntOp::search(key));
-      }
-    }
+    const auto batch = testutil::scripted_ops<K, V>(rng.bounded(1u << 30), b,
+                                                    250, with_ordered);
     const auto got = this->backend_->execute_batch(batch);
     ASSERT_EQ(got.size(), batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      const auto& op = batch[i];
-      const auto it = ref.find(op.key);
-      switch (op.type) {
-        case core::OpType::kSearch:
-          ASSERT_EQ(got[i].success, it != ref.end()) << "round " << round;
-          if (it != ref.end()) { ASSERT_EQ(got[i].value, it->second); }
-          break;
-        case core::OpType::kInsert:
-          ASSERT_EQ(got[i].success, it == ref.end()) << "round " << round;
-          ref[op.key] = op.value;
-          break;
-        case core::OpType::kErase:
-          ASSERT_EQ(got[i].success, it != ref.end()) << "round " << round;
-          if (it != ref.end()) {
-            ASSERT_EQ(got[i].value, it->second);
-            ref.erase(it);
-          }
-          break;
-      }
+      const auto want = testutil::reference_apply(ref, batch[i]);
+      testutil::expect_result_eq(got[i], want, "round", i);
     }
     this->settle();
     ASSERT_EQ(this->backend_->size(), ref.size()) << "round " << round;
@@ -117,14 +94,14 @@ TYPED_TEST(MapBackendTypedTest, PerKeyProgramOrderWithinBatch) {
   };
   const auto got = this->backend_->execute_batch(batch);
   ASSERT_EQ(got.size(), 6u);
-  EXPECT_TRUE(got[0].success);              // fresh insert
-  EXPECT_FALSE(got[1].success);             // overwrite
+  EXPECT_TRUE(got[0].success());              // fresh insert
+  EXPECT_FALSE(got[1].success());             // overwrite
   ASSERT_TRUE(got[2].value.has_value());
   EXPECT_EQ(*got[2].value, 71u);            // sees the overwrite
   ASSERT_TRUE(got[3].value.has_value());
   EXPECT_EQ(*got[3].value, 71u);            // erase returns the value
-  EXPECT_FALSE(got[4].success);             // erased within the batch
-  EXPECT_TRUE(got[5].success);              // re-insert is fresh again
+  EXPECT_FALSE(got[4].success());             // erased within the batch
+  EXPECT_TRUE(got[5].success());              // re-insert is fresh again
   this->settle();
   EXPECT_EQ(this->backend_->size(), 1u);
 }
@@ -271,6 +248,83 @@ TEST(LockedMap, ConcurrentMixedOpsKeepCount) {
   }
   for (auto& th : threads) th.join();
   EXPECT_LE(m.size(), 1000u);
+}
+
+
+// ---- ordered point surfaces (protocol v2) ---------------------------------
+
+TEST(OrderedBaselines, AvlIaconoLockedAgree) {
+  baseline::AvlMap<int, int> avl;
+  baseline::IaconoMap<int, int> iac;
+  baseline::LockedMap<int, int> locked;
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 400; ++i) {
+    const int k = static_cast<int>(rng.bounded(1000));
+    avl.insert(k, k * 3);
+    iac.insert(k, k * 3);
+    locked.insert(k, k * 3);
+    ref[k] = k * 3;
+  }
+  for (int probe = -5; probe < 1010; probe += 7) {
+    auto lb = ref.lower_bound(probe);
+    const bool has_pred = lb != ref.begin();
+    const auto want_pred = has_pred ? std::optional(*std::prev(lb))
+                                    : std::optional<std::pair<const int, int>>();
+    auto ub = ref.upper_bound(probe);
+    const bool has_succ = ub != ref.end();
+    for (const auto& got : {avl.predecessor(probe), iac.predecessor(probe),
+                            locked.predecessor(probe)}) {
+      ASSERT_EQ(got.has_value(), has_pred) << probe;
+      if (has_pred) {
+        ASSERT_EQ(got->first, want_pred->first) << probe;
+        ASSERT_EQ(got->second, want_pred->second) << probe;
+      }
+    }
+    for (const auto& got : {avl.successor(probe), iac.successor(probe),
+                            locked.successor(probe)}) {
+      ASSERT_EQ(got.has_value(), has_succ) << probe;
+      if (has_succ) {
+        ASSERT_EQ(got->first, ub->first) << probe;
+      }
+    }
+    const auto want_count = static_cast<std::uint64_t>(
+        std::distance(ref.lower_bound(probe), ref.upper_bound(probe + 100)));
+    ASSERT_EQ(avl.range_count(probe, probe + 100), want_count) << probe;
+    ASSERT_EQ(iac.range_count(probe, probe + 100), want_count) << probe;
+    ASSERT_EQ(locked.range_count(probe, probe + 100), want_count) << probe;
+  }
+}
+
+TEST(OrderedBaselines, IaconoOrderedQueriesDoNotPromote) {
+  baseline::IaconoMap<int, int> m;
+  for (int i = 0; i < 200; ++i) m.insert(i, i);
+  // Deepest items stay put under ordered probing (read-only contract).
+  const auto depth = m.segment_of(0);
+  for (int r = 0; r < 50; ++r) {
+    (void)m.predecessor(1);
+    (void)m.successor(-1);
+    (void)m.range_count(0, 10);
+  }
+  EXPECT_EQ(m.segment_of(0), depth);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(OrderedBaselines, SplayAdapterRefusesOrderedKinds) {
+  // The adapter-level backstop behind the driver's capability check: a
+  // splay tree has no bound-search surface, so the batched adapter throws
+  // rather than fabricating an answer.
+  static_assert(!core::backend_traits<
+                baseline::BatchedSplay<K, V>>::supports_ordered);
+  static_assert(core::backend_traits<
+                baseline::BatchedAvl<K, V>>::supports_ordered);
+  baseline::BatchedSplay<K, V> splay;
+  splay.insert(1, 10);
+  EXPECT_THROW((void)splay.predecessor(5), std::logic_error);
+  EXPECT_THROW((void)splay.successor(5), std::logic_error);
+  EXPECT_THROW((void)splay.range_count(0, 5), std::logic_error);
+  const std::vector<IntOp> batch = {IntOp::predecessor(5)};
+  EXPECT_THROW((void)splay.execute_batch(batch), std::logic_error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // across every registered backend.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/future.hpp"
 #include "core/m1_map.hpp"
 #include "driver/registry.hpp"
 #include "test_util.hpp"
@@ -119,44 +121,15 @@ TEST(Driver, DestructionQuiescesInFlightWork) {
 
 class DriverBackendTest : public ::testing::TestWithParam<const char*> {};
 
-std::vector<IntOp> scripted_ops(std::uint64_t seed, std::size_t count) {
-  util::Xoshiro256 rng(seed);
-  std::vector<IntOp> ops;
-  ops.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t key = rng.bounded(200);
-    switch (rng.bounded(4)) {
-      case 0:
-      case 1: ops.push_back(IntOp::insert(key, seed * 100000 + i)); break;
-      case 2: ops.push_back(IntOp::erase(key)); break;
-      default: ops.push_back(IntOp::search(key));
-    }
-  }
-  return ops;
+std::vector<IntOp> scripted_ops(std::uint64_t seed, std::size_t count,
+                                bool with_ordered = false) {
+  return testutil::scripted_ops<std::uint64_t, std::uint64_t>(
+      seed, count, 200, with_ordered);
 }
 
 core::Result<std::uint64_t> reference_apply(
     std::map<std::uint64_t, std::uint64_t>& ref, const IntOp& op) {
-  core::Result<std::uint64_t> r;
-  const auto it = ref.find(op.key);
-  switch (op.type) {
-    case core::OpType::kSearch:
-      r.success = it != ref.end();
-      if (r.success) r.value = it->second;
-      break;
-    case core::OpType::kInsert:
-      r.success = it == ref.end();
-      ref[op.key] = op.value;
-      break;
-    case core::OpType::kErase:
-      r.success = it != ref.end();
-      if (r.success) {
-        r.value = it->second;
-        ref.erase(it);
-      }
-      break;
-  }
-  return r;
+  return testutil::reference_apply(ref, op);
 }
 
 void expect_matches_reference(std::map<std::uint64_t, std::uint64_t>& ref,
@@ -166,8 +139,7 @@ void expect_matches_reference(std::map<std::uint64_t, std::uint64_t>& ref,
   ASSERT_EQ(got.size(), ops.size()) << what;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const auto want = reference_apply(ref, ops[i]);
-    ASSERT_EQ(got[i].success, want.success) << what << " op " << i;
-    ASSERT_EQ(got[i].value, want.value) << what << " op " << i;
+    testutil::expect_result_eq(got[i], want, what, i);
   }
 }
 
@@ -215,37 +187,57 @@ TEST_P(DriverBackendTest, BulkAndBlockingAgreeWithReference) {
       driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
   std::map<std::uint64_t, std::uint64_t> ref;
 
+  // Ordered-capable backends get the full v2 op set; splay stays on the
+  // point kinds (its refusal is covered by OrderedRefusedWithoutSupport).
+  const bool with_ordered = bulk->supports_ordered();
   for (std::uint64_t round = 0; round < 6; ++round) {
-    const auto ops = scripted_ops(round * 31 + 5, 300);
+    const auto ops = scripted_ops(round * 31 + 5, 300, with_ordered);
     const auto got = bulk->run(ops);
     ASSERT_EQ(got.size(), ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
       const auto want = reference_apply(ref, ops[i]);
-      ASSERT_EQ(got[i].success, want.success)
-          << name << " round " << round << " op " << i;
-      ASSERT_EQ(got[i].value, want.value)
-          << name << " round " << round << " op " << i;
+      testutil::expect_result_eq(got[i], want, name, i);
       // The blocking per-op path must produce the identical result.
-      core::Result<std::uint64_t> single;
       switch (ops[i].type) {
         case core::OpType::kSearch: {
-          auto v = blocking->search(ops[i].key);
-          single.success = v.has_value();
-          single.value = v;
+          ASSERT_EQ(blocking->search(ops[i].key), want.value)
+              << name << " op " << i;
           break;
         }
         case core::OpType::kInsert:
-          single.success = blocking->insert(ops[i].key, ops[i].value);
+          ASSERT_EQ(blocking->insert(ops[i].key, ops[i].value),
+                    want.status == core::ResultStatus::kInserted)
+              << name << " op " << i;
+          break;
+        case core::OpType::kUpsert:
+          ASSERT_EQ(blocking->upsert(ops[i].key, ops[i].value), want.status)
+              << name << " op " << i;
           break;
         case core::OpType::kErase: {
-          auto v = blocking->erase(ops[i].key);
-          single.success = v.has_value();
-          single.value = v;
+          ASSERT_EQ(blocking->erase(ops[i].key), want.value)
+              << name << " op " << i;
           break;
         }
+        case core::OpType::kPredecessor:
+        case core::OpType::kSuccessor: {
+          const auto hit = ops[i].type == core::OpType::kPredecessor
+                               ? blocking->predecessor(ops[i].key)
+                               : blocking->successor(ops[i].key);
+          if (want.status == core::ResultStatus::kFound) {
+            ASSERT_TRUE(hit.has_value()) << name << " op " << i;
+            ASSERT_EQ(hit->first, want.matched_key) << name << " op " << i;
+            ASSERT_EQ(hit->second, want.value) << name << " op " << i;
+          } else {
+            ASSERT_FALSE(hit.has_value()) << name << " op " << i;
+          }
+          break;
+        }
+        case core::OpType::kRangeCount:
+          ASSERT_EQ(blocking->range_count(ops[i].key, ops[i].key2),
+                    want.count)
+              << name << " op " << i;
+          break;
       }
-      ASSERT_EQ(single.success, want.success) << name << " op " << i;
-      ASSERT_EQ(single.value, want.value) << name << " op " << i;
     }
     ASSERT_EQ(bulk->size(), ref.size()) << name;
     ASSERT_EQ(blocking->size(), ref.size()) << name;
@@ -261,6 +253,177 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, DriverBackendTest,
                          [](const auto& info) {
                            return testutil::gtest_safe(info.param);
                          });
+
+// ---- ordered-capability reporting and refusal -------------------------------
+
+TEST(Registry, ReportsOrderedCapabilityPerBackend) {
+  const auto& reg = IntRegistry::instance();
+  for (const char* name : {"m0", "m1", "m2", "iacono", "avl", "locked",
+                           "sharded:m1", "sharded:locked"}) {
+    EXPECT_TRUE(reg.supports_ordered(name)) << name;
+  }
+  EXPECT_FALSE(reg.supports_ordered("splay"));
+  EXPECT_FALSE(reg.supports_ordered("sharded:splay"));
+  EXPECT_FALSE(reg.supports_ordered("no-such-backend"));
+  EXPECT_NO_THROW(reg.require_ordered("m1"));
+  try {
+    reg.require_ordered("splay");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("splay"), std::string::npos);
+    EXPECT_NE(msg.find("ordered"), std::string::npos);
+    EXPECT_NE(msg.find("m1"), std::string::npos);  // lists capable backends
+  }
+}
+
+TEST(Driver, OrderedRefusedWithoutSupport) {
+  // Every ordered entry point must refuse on the calling thread with a
+  // clear error — never half-execute on a worker.
+  for (const char* name : {"splay", "sharded:splay"}) {
+    auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name);
+    EXPECT_FALSE(d->supports_ordered()) << name;
+    d->insert(1, 10);
+    EXPECT_THROW((void)d->predecessor(5), std::invalid_argument) << name;
+    EXPECT_THROW((void)d->successor(5), std::invalid_argument) << name;
+    EXPECT_THROW((void)d->range_count(0, 5), std::invalid_argument) << name;
+    EXPECT_THROW((void)d->run({IntOp::insert(2, 20), IntOp::predecessor(5)}),
+                 std::invalid_argument)
+        << name;
+    EXPECT_THROW((void)d->step(IntOp::successor(1)), std::invalid_argument)
+        << name;
+    EXPECT_THROW((void)d->submit(IntOp::predecessor(1)), std::invalid_argument)
+        << name;
+    // The point surface keeps working after a refusal.
+    EXPECT_EQ(d->search(1), 10u) << name;
+    EXPECT_TRUE(d->check()) << name;
+  }
+}
+
+// ---- asynchronous submission (futures / tickets / completions) --------------
+
+class DriverSubmitTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DriverSubmitTest, OneThreadOverlapsManyOutstandingOps) {
+  // The acceptance demo for the futures API: ONE thread submits the whole
+  // script without waiting, holding every future; only then are results
+  // collected. With one blocking thread per op this would need kOps
+  // threads — here outstanding ops exceed submitting threads by 1024x.
+  const char* name = GetParam();
+  driver::Options opts;
+  opts.workers = 2;
+  auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+  std::map<std::uint64_t, std::uint64_t> ref;
+  constexpr std::size_t kOps = 1024;
+  const auto ops = scripted_ops(77, kOps, /*with_ordered=*/false);
+
+  std::vector<core::Future<std::uint64_t>> futures;
+  futures.reserve(kOps);
+  for (const auto& op : ops) futures.push_back(d->submit(op));
+
+  // All ops are in flight (or already done) — nothing has been waited on.
+  ASSERT_EQ(futures.size(), kOps);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const auto want = reference_apply(ref, ops[i]);
+    // Point ops on the same key keep submission order per key, so the
+    // sequential oracle is exact even through the async front end.
+    testutil::expect_result_eq(futures[i].get(), want, name, i);
+  }
+  ASSERT_EQ(d->size(), ref.size()) << name;
+  EXPECT_TRUE(d->check()) << name;
+}
+
+TEST_P(DriverSubmitTest, TicketSubmissionAndCompletionCallbacks) {
+  const char* name = GetParam();
+  driver::Options opts;
+  opts.workers = 2;
+  auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+
+  // Raw-ticket form: caller-owned completion slots, zero extra allocation.
+  constexpr std::size_t kOps = 256;
+  std::vector<core::OpTicket<std::uint64_t>> tickets(kOps);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    d->submit(IntOp::insert(i, i * 3), &tickets[i]);
+  }
+  for (std::size_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(tickets[i].wait().success()) << name << " op " << i;
+  }
+
+  // Completion-callback form: delivery on the fulfilling thread.
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> sum{0};
+  for (std::size_t i = 0; i < kOps; ++i) {
+    d->submit(IntOp::search(i),
+              [&](core::Result<std::uint64_t>&& r) {
+                sum.fetch_add(*r.value);
+                done.fetch_add(1);
+              });
+  }
+  d->quiesce();
+  ASSERT_EQ(done.load(), kOps) << name;
+  ASSERT_EQ(sum.load(), 3u * (kOps * (kOps - 1) / 2)) << name;
+
+  // Ordered kinds through the same futures surface.
+  if (d->supports_ordered()) {
+    auto pred = d->submit(IntOp::predecessor(10));
+    auto succ = d->submit(IntOp::successor(10));
+    auto cnt = d->submit(IntOp::range_count(0, kOps));
+    EXPECT_EQ(pred.get().matched_key, 9u) << name;
+    EXPECT_EQ(succ.get().matched_key, 11u) << name;
+    EXPECT_EQ(cnt.get().count, kOps) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWirings, DriverSubmitTest,
+                         ::testing::Values("m0", "m1", "m2", "locked",
+                                           "sharded:m1", "sharded:m2"),
+                         [](const auto& info) {
+                           return testutil::gtest_safe(info.param);
+                         });
+
+TEST(Driver, ShardedOrderedQueriesScatterGather) {
+  // Keys deliberately straddle shard boundaries: predecessor/successor
+  // must reduce across every shard's local answer and range counts must
+  // sum across shards.
+  driver::Options opts;
+  opts.workers = 2;
+  opts.shards = 4;
+  auto d = driver::make_driver<std::uint64_t, std::uint64_t>("sharded:m1",
+                                                             opts);
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (std::uint64_t k = 0; k < 512; k += 3) {
+    d->insert(k, k * 7);
+    ref[k] = k * 7;
+  }
+  for (std::uint64_t probe = 0; probe < 520; probe += 11) {
+    const auto want_p =
+        reference_apply(ref, IntOp::predecessor(probe));
+    const auto want_s = reference_apply(ref, IntOp::successor(probe));
+    const auto got_p = d->predecessor(probe);
+    const auto got_s = d->successor(probe);
+    if (want_p.status == core::ResultStatus::kFound) {
+      ASSERT_TRUE(got_p.has_value()) << probe;
+      ASSERT_EQ(got_p->first, want_p.matched_key) << probe;
+      ASSERT_EQ(got_p->second, want_p.value) << probe;
+    } else {
+      ASSERT_FALSE(got_p.has_value()) << probe;
+    }
+    if (want_s.status == core::ResultStatus::kFound) {
+      ASSERT_TRUE(got_s.has_value()) << probe;
+      ASSERT_EQ(got_s->first, want_s.matched_key) << probe;
+    } else {
+      ASSERT_FALSE(got_s.has_value()) << probe;
+    }
+    ASSERT_EQ(d->range_count(probe, probe + 100),
+              reference_apply(ref, IntOp::range_count(probe, probe + 100))
+                  .count)
+        << probe;
+  }
+  // step()'s single-owner path reduces across shards too.
+  const auto stepped = d->step(IntOp::predecessor(500));
+  ASSERT_EQ(stepped.matched_key,
+            reference_apply(ref, IntOp::predecessor(500)).matched_key);
+}
 
 }  // namespace
 }  // namespace pwss

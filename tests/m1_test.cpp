@@ -9,6 +9,7 @@
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "sched/scheduler.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
 
@@ -19,36 +20,20 @@ using core::M1Map;
 using core::Op;
 using core::OpType;
 using core::Result;
+using core::ResultStatus;
 using IntOp = Op<int, int>;
 
 // Applies ops in submission order to a std::map and returns the reference
-// results. Valid oracle for M1: per-key order is preserved and ops on
-// distinct keys commute, so any batch linearization matches this per-op.
+// results (testutil::reference_apply -- the protocol-v2 oracle with
+// lower_bound-based ordered kinds). Valid oracle for M1: per-key order is
+// preserved, point ops on distinct keys commute, and ordered kinds are
+// phase-sliced to observe exactly the preceding point ops.
 std::vector<Result<int>> reference_results(std::map<int, int>& ref,
                                            const std::vector<IntOp>& ops) {
   std::vector<Result<int>> out;
   out.reserve(ops.size());
   for (const auto& op : ops) {
-    Result<int> r;
-    auto it = ref.find(op.key);
-    switch (op.type) {
-      case OpType::kSearch:
-        r.success = it != ref.end();
-        if (r.success) r.value = it->second;
-        break;
-      case OpType::kInsert:
-        r.success = it == ref.end();
-        ref[op.key] = op.value;
-        break;
-      case OpType::kErase:
-        r.success = it != ref.end();
-        if (r.success) {
-          r.value = it->second;
-          ref.erase(it);
-        }
-        break;
-    }
-    out.push_back(std::move(r));
+    out.push_back(testutil::reference_apply(ref, op));
   }
   return out;
 }
@@ -58,8 +43,7 @@ void expect_equal_results(const std::vector<Result<int>>& got,
                           const char* what) {
   ASSERT_EQ(got.size(), want.size()) << what;
   for (std::size_t i = 0; i < got.size(); ++i) {
-    ASSERT_EQ(got[i].success, want[i].success) << what << " op " << i;
-    ASSERT_EQ(got[i].value, want[i].value) << what << " op " << i;
+    testutil::expect_result_eq(got[i], want[i], what, i);
   }
 }
 
@@ -72,8 +56,8 @@ TEST(M1, EmptyBatch) {
 TEST(M1, SingleInsertAndSearch) {
   M1Map<int, int> m;
   auto r = m.execute_batch({IntOp::insert(1, 10), IntOp::search(1)});
-  EXPECT_TRUE(r[0].success);
-  EXPECT_TRUE(r[1].success);
+  EXPECT_TRUE(r[0].success());
+  EXPECT_TRUE(r[1].success());
   EXPECT_EQ(r[1].value, 10);
   EXPECT_EQ(m.size(), 1u);
 }
@@ -81,7 +65,7 @@ TEST(M1, SingleInsertAndSearch) {
 TEST(M1, SearchMissingFails) {
   M1Map<int, int> m;
   auto r = m.execute_batch({IntOp::search(42)});
-  EXPECT_FALSE(r[0].success);
+  EXPECT_FALSE(r[0].success());
   EXPECT_FALSE(r[0].value.has_value());
 }
 
@@ -91,12 +75,12 @@ TEST(M1, DuplicateOpsInBatchRespectProgramOrder) {
   auto r = m.execute_batch({IntOp::search(5), IntOp::insert(5, 50),
                             IntOp::search(5), IntOp::erase(5),
                             IntOp::search(5), IntOp::insert(5, 55)});
-  EXPECT_FALSE(r[0].success);
-  EXPECT_TRUE(r[1].success);
+  EXPECT_FALSE(r[0].success());
+  EXPECT_TRUE(r[1].success());
   EXPECT_EQ(r[2].value, 50);
   EXPECT_EQ(r[3].value, 50);
-  EXPECT_FALSE(r[4].success);
-  EXPECT_TRUE(r[5].success);
+  EXPECT_FALSE(r[4].success());
+  EXPECT_TRUE(r[5].success());
   EXPECT_EQ(m.size(), 1u);
   EXPECT_EQ(m.search(5), 55);
 }
@@ -105,7 +89,7 @@ TEST(M1, InsertOnExistingIsUpdate) {
   M1Map<int, int> m;
   m.execute_batch({IntOp::insert(7, 70)});
   auto r = m.execute_batch({IntOp::insert(7, 71)});
-  EXPECT_FALSE(r[0].success) << "update, not fresh insert";
+  EXPECT_FALSE(r[0].success()) << "update, not fresh insert";
   EXPECT_EQ(m.search(7), 71);
   EXPECT_EQ(m.size(), 1u);
 }
@@ -114,8 +98,8 @@ TEST(M1, NetDeletionRemovesItem) {
   M1Map<int, int> m;
   m.execute_batch({IntOp::insert(3, 30)});
   auto r = m.execute_batch({IntOp::search(3), IntOp::erase(3)});
-  EXPECT_TRUE(r[0].success);
-  EXPECT_TRUE(r[1].success);
+  EXPECT_TRUE(r[0].success());
+  EXPECT_TRUE(r[1].success());
   EXPECT_EQ(m.size(), 0u);
   EXPECT_FALSE(m.search(3).has_value());
 }
@@ -136,16 +120,9 @@ TEST(M1, InvariantsAfterEveryBatch) {
   M1Map<int, int> m;
   std::map<int, int> ref;
   for (int round = 0; round < 60; ++round) {
-    std::vector<IntOp> batch;
     const std::size_t b = 1 + rng.bounded(200);
-    for (std::size_t i = 0; i < b; ++i) {
-      const int key = static_cast<int>(rng.bounded(300));
-      switch (rng.bounded(3)) {
-        case 0: batch.push_back(IntOp::insert(key, static_cast<int>(rng.bounded(1000)))); break;
-        case 1: batch.push_back(IntOp::erase(key)); break;
-        default: batch.push_back(IntOp::search(key));
-      }
-    }
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), b, 300, /*with_ordered=*/true);
     const auto got = m.execute_batch(batch);
     const auto want = reference_results(ref, batch);
     expect_equal_results(got, want, "round");
@@ -159,16 +136,9 @@ TEST(M1, DifferentialManySmallBatches) {
   M1Map<int, int> m;
   std::map<int, int> ref;
   for (int round = 0; round < 2000; ++round) {
-    std::vector<IntOp> batch;
     const std::size_t b = 1 + rng.bounded(4);
-    for (std::size_t i = 0; i < b; ++i) {
-      const int key = static_cast<int>(rng.bounded(64));
-      switch (rng.bounded(3)) {
-        case 0: batch.push_back(IntOp::insert(key, round)); break;
-        case 1: batch.push_back(IntOp::erase(key)); break;
-        default: batch.push_back(IntOp::search(key));
-      }
-    }
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), b, 64, /*with_ordered=*/true);
     expect_equal_results(m.execute_batch(batch), reference_results(ref, batch),
                          "small-batch");
   }
@@ -185,7 +155,7 @@ TEST(M1, DuplicateHeavyBatchesCombine) {
   for (int i = 0; i < 1000; ++i) batch.push_back(IntOp::search(250));
   const auto r = m.execute_batch(batch);
   for (const auto& res : r) {
-    ASSERT_TRUE(res.success);
+    ASSERT_TRUE(res.success());
     ASSERT_EQ(res.value, 250);
   }
   EXPECT_TRUE(m.check_invariants());
@@ -204,6 +174,77 @@ TEST(M1, AccessedItemPromotedTowardFront) {
   EXPECT_TRUE(m.check_invariants());
 }
 
+TEST(M1, OrderedQueriesInMixedBatch) {
+  // One batch mixing point and ordered phases: every ordered query must
+  // observe exactly the point ops that precede it in submission order.
+  M1Map<int, int> m;
+  auto r = m.execute_batch(
+      {IntOp::insert(10, 100), IntOp::insert(20, 200), IntOp::insert(30, 300),
+       IntOp::predecessor(25), IntOp::successor(25),
+       IntOp::range_count(10, 30), IntOp::erase(20),
+       IntOp::predecessor(25), IntOp::range_count(10, 30),
+       IntOp::upsert(10, 111), IntOp::search(10)});
+  EXPECT_EQ(r[3].matched_key, 20);
+  EXPECT_EQ(r[3].value, 200);
+  EXPECT_EQ(r[4].matched_key, 30);
+  EXPECT_EQ(r[5].count, 3u);
+  EXPECT_TRUE(r[6].success());
+  EXPECT_EQ(r[7].matched_key, 10);  // 20 erased by the phase before
+  EXPECT_EQ(r[8].count, 2u);
+  EXPECT_EQ(r[9].status, ResultStatus::kUpdated);
+  EXPECT_EQ(r[10].value, 111);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M1, OrderedQueriesMissAtBoundaries) {
+  M1Map<int, int> m;
+  m.execute_batch({IntOp::insert(5, 50), IntOp::insert(7, 70)});
+  auto r = m.execute_batch({IntOp::predecessor(5), IntOp::successor(7),
+                            IntOp::range_count(8, 100),
+                            IntOp::range_count(7, 5)});
+  EXPECT_EQ(r[0].status, ResultStatus::kNotFound);  // strictly below 5: none
+  EXPECT_EQ(r[1].status, ResultStatus::kNotFound);  // strictly above 7: none
+  EXPECT_EQ(r[2].count, 0u);
+  EXPECT_EQ(r[3].count, 0u);  // inverted range
+}
+
+TEST(M1, DuplicateOrderedQueriesCombine) {
+  // A batch of b identical ordered queries coalesces to one tree walk per
+  // distinct (type, key, key2); every duplicate must get the same answer.
+  M1Map<int, int> m;
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 500; ++i) warm.push_back(IntOp::insert(i * 2, i));
+  m.execute_batch(warm);
+  std::vector<IntOp> batch;
+  for (int i = 0; i < 800; ++i) {
+    batch.push_back(i % 2 == 0 ? IntOp::predecessor(501)
+                               : IntOp::range_count(100, 200));
+  }
+  const auto r = m.execute_batch(batch);
+  for (int i = 0; i < 800; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_EQ(r[i].matched_key, 500) << i;
+    } else {
+      ASSERT_EQ(r[i].count, 51u) << i;
+    }
+  }
+}
+
+TEST(M1, OrderedQueriesDoNotSelfAdjust) {
+  // Ordered kinds are read-only: no promotion, no recency effect.
+  M1Map<int, int> m;
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 500; ++i) warm.push_back(IntOp::insert(i, i));
+  m.execute_batch(warm);
+  const auto depth_before = m.segment_of(123);
+  for (int round = 0; round < 8; ++round) {
+    m.execute_batch({IntOp::predecessor(124), IntOp::successor(122),
+                     IntOp::range_count(123, 123)});
+  }
+  EXPECT_EQ(m.segment_of(123), depth_before);
+  EXPECT_TRUE(m.check_invariants());
+}
+
 TEST(M1, EraseEverything) {
   M1Map<int, int> m;
   std::vector<IntOp> ins, del;
@@ -213,7 +254,7 @@ TEST(M1, EraseEverything) {
   }
   m.execute_batch(ins);
   const auto r = m.execute_batch(del);
-  for (const auto& res : r) ASSERT_TRUE(res.success);
+  for (const auto& res : r) ASSERT_TRUE(res.success());
   EXPECT_EQ(m.size(), 0u);
   EXPECT_EQ(m.segment_count(), 0u);
   EXPECT_TRUE(m.check_invariants());
@@ -265,16 +306,8 @@ TEST_P(M1ParallelTest, ParallelMatchesSequentialAndReference) {
   std::map<int, int> ref;
   util::Xoshiro256 rng(batch_size * 31 + rounds);
   for (std::size_t round = 0; round < rounds; ++round) {
-    std::vector<IntOp> batch;
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      const int key = static_cast<int>(rng.bounded(universe));
-      switch (rng.bounded(4)) {
-        case 0:
-        case 1: batch.push_back(IntOp::insert(key, static_cast<int>(round * 1000 + i))); break;
-        case 2: batch.push_back(IntOp::erase(key)); break;
-        default: batch.push_back(IntOp::search(key));
-      }
-    }
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), batch_size, universe, /*with_ordered=*/true);
     const auto want = reference_results(ref, batch);
     expect_equal_results(par.execute_batch(batch), want, "parallel");
     expect_equal_results(seq.execute_batch(batch), want, "sequential");

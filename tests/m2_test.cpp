@@ -10,6 +10,7 @@
 
 #include "core/m2_map.hpp"
 #include "sched/scheduler.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace pwss {
@@ -19,6 +20,7 @@ using core::M2Map;
 using core::Op;
 using core::OpType;
 using core::Result;
+using core::ResultStatus;
 using IntOp = Op<int, int>;
 
 std::vector<Result<int>> reference_results(std::map<int, int>& ref,
@@ -26,26 +28,7 @@ std::vector<Result<int>> reference_results(std::map<int, int>& ref,
   std::vector<Result<int>> out;
   out.reserve(ops.size());
   for (const auto& op : ops) {
-    Result<int> r;
-    auto it = ref.find(op.key);
-    switch (op.type) {
-      case OpType::kSearch:
-        r.success = it != ref.end();
-        if (r.success) r.value = it->second;
-        break;
-      case OpType::kInsert:
-        r.success = it == ref.end();
-        ref[op.key] = op.value;
-        break;
-      case OpType::kErase:
-        r.success = it != ref.end();
-        if (r.success) {
-          r.value = it->second;
-          ref.erase(it);
-        }
-        break;
-    }
-    out.push_back(std::move(r));
+    out.push_back(testutil::reference_apply(ref, op));
   }
   return out;
 }
@@ -88,12 +71,12 @@ TEST(M2, BatchWithDuplicateKeyChain) {
   auto r = m.execute_batch({IntOp::search(5), IntOp::insert(5, 50),
                             IntOp::search(5), IntOp::erase(5),
                             IntOp::search(5), IntOp::insert(5, 55)});
-  EXPECT_FALSE(r[0].success);
-  EXPECT_TRUE(r[1].success);
+  EXPECT_FALSE(r[0].success());
+  EXPECT_TRUE(r[1].success());
   EXPECT_EQ(r[2].value, 50);
   EXPECT_EQ(r[3].value, 50);
-  EXPECT_FALSE(r[4].success);
-  EXPECT_TRUE(r[5].success);
+  EXPECT_FALSE(r[4].success());
+  EXPECT_TRUE(r[5].success());
   m.quiesce();
   EXPECT_EQ(m.size(), 1u);
   EXPECT_EQ(m.search(5), 55);
@@ -121,7 +104,7 @@ TEST(M2, DeleteEverything) {
   }
   m.execute_batch(ins);
   auto r = m.execute_batch(del);
-  for (const auto& res : r) ASSERT_TRUE(res.success);
+  for (const auto& res : r) ASSERT_TRUE(res.success());
   m.quiesce();
   EXPECT_EQ(m.size(), 0u);
   EXPECT_TRUE(m.check_invariants());
@@ -133,22 +116,16 @@ TEST(M2, DifferentialBatchesAgainstStdMap) {
   std::map<int, int> ref;
   util::Xoshiro256 rng(77);
   for (int round = 0; round < 40; ++round) {
-    std::vector<IntOp> batch;
     const std::size_t b = 1 + rng.bounded(300);
-    for (std::size_t i = 0; i < b; ++i) {
-      const int key = static_cast<int>(rng.bounded(400));
-      switch (rng.bounded(3)) {
-        case 0: batch.push_back(IntOp::insert(key, static_cast<int>(rng.bounded(1000)))); break;
-        case 1: batch.push_back(IntOp::erase(key)); break;
-        default: batch.push_back(IntOp::search(key));
-      }
-    }
+    // Full protocol-v2 op set: execute_batch slices point/ordered phases,
+    // so the submission-order oracle is exact even through the pipeline.
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), b, 400, /*with_ordered=*/true);
     const auto got = m.execute_batch(batch);
     const auto want = reference_results(ref, batch);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
-      ASSERT_EQ(got[i].success, want[i].success) << "round " << round << " op " << i;
-      ASSERT_EQ(got[i].value, want[i].value) << "round " << round << " op " << i;
+      testutil::expect_result_eq(got[i], want[i], "round", i);
     }
     m.quiesce();
     ASSERT_EQ(m.size(), ref.size()) << "round " << round;
@@ -262,12 +239,76 @@ TEST(M2, ManyRoundsStaysSound) {
     const auto got = m.execute_batch(batch);
     const auto want = reference_results(ref, batch);
     for (std::size_t i = 0; i < got.size(); ++i) {
-      ASSERT_EQ(got[i].success, want[i].success) << round << ":" << i;
+      ASSERT_EQ(got[i].success(), want[i].success()) << round << ":" << i;
       ASSERT_EQ(got[i].value, want[i].value) << round << ":" << i;
     }
   }
   m.quiesce();
   EXPECT_EQ(m.size(), ref.size());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+
+TEST(M2, OrderedQueriesSeeTheWholePipeline) {
+  // Items deliberately spread across the first slab AND deep final-slab
+  // stages; the global ordered read must snapshot every segment under the
+  // full lock chain.
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler, 2);  // small p: deep pipeline sooner
+  std::vector<IntOp> warm;
+  for (int i = 0; i < 5000; ++i) warm.push_back(IntOp::insert(i * 2, i));
+  m.execute_batch(warm);
+  m.quiesce();
+  // Hot keys migrate forward; cold keys sink into the final slab.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 64; ++i) m.search(i * 2);
+  }
+  m.quiesce();
+  EXPECT_EQ(m.predecessor(5001)->first, 5000);
+  EXPECT_EQ(m.predecessor(1)->first, 0);
+  EXPECT_EQ(m.successor(4)->first, 6);
+  EXPECT_FALSE(m.successor(9998).has_value());
+  EXPECT_EQ(m.range_count(0, 9998), 5000u);
+  EXPECT_EQ(m.range_count(100, 198), 50u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(M2, ConcurrentOrderedAndPointClients) {
+  // Ordered readers run the full-lock-chain read while writers keep the
+  // pipeline busy; every predecessor answer must be a key some client
+  // inserted (monotone key space: answers can lag but never corrupt).
+  sched::Scheduler scheduler(4);
+  M2Map<int, int> m(scheduler, 2);
+  for (int i = 0; i < 1000; ++i) m.insert(i, i);
+  m.quiesce();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int next = 1000;
+    while (!stop.load(std::memory_order_acquire)) {
+      m.insert(next, next);
+      ++next;
+    }
+  });
+  std::thread eraser([&] {
+    int next = 0;
+    while (!stop.load(std::memory_order_acquire) && next < 400) {
+      m.erase(next);
+      ++next;
+    }
+  });
+  for (int round = 0; round < 300; ++round) {
+    const auto hit = m.predecessor(100000);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_GE(hit->first, 999);
+    ASSERT_EQ(hit->second, hit->first);
+    const auto cnt = m.range_count(0, 100000);
+    ASSERT_GE(cnt, 600u);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  eraser.join();
+  m.quiesce();
   EXPECT_TRUE(m.check_invariants());
 }
 

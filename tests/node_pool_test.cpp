@@ -210,6 +210,35 @@ TEST(NodePool, DifferentialFuzzWithRecycling) {
         break;
       }
     }
+    // Ordered queries vs the std::map oracle every round: the v2 kinds
+    // read the same recycled nodes the mutations above churn through.
+    for (int probe = 0; probe < 8; ++probe) {
+      const int q = static_cast<int>(rng.bounded(820));
+      auto [pk, pv] = t.predecessor(q);
+      auto lb = ref.lower_bound(q);
+      if (lb == ref.begin()) {
+        ASSERT_EQ(pk, nullptr) << "predecessor(" << q << ")";
+      } else {
+        auto want = std::prev(lb);
+        ASSERT_NE(pk, nullptr) << "predecessor(" << q << ")";
+        ASSERT_EQ(*pk, want->first);
+        ASSERT_EQ(*pv, want->second);
+      }
+      auto [sk, sv] = t.successor(q);
+      auto ub = ref.upper_bound(q);
+      if (ub == ref.end()) {
+        ASSERT_EQ(sk, nullptr) << "successor(" << q << ")";
+      } else {
+        ASSERT_NE(sk, nullptr) << "successor(" << q << ")";
+        ASSERT_EQ(*sk, ub->first);
+        ASSERT_EQ(*sv, ub->second);
+      }
+      const int hi = q + static_cast<int>(rng.bounded(400));
+      ASSERT_EQ(t.range_count(q, hi),
+                static_cast<std::size_t>(std::distance(
+                    ref.lower_bound(q), ref.upper_bound(hi))))
+          << "range_count(" << q << ", " << hi << ")";
+    }
     ASSERT_EQ(t.size(), ref.size());
     ASSERT_EQ(pool.live_nodes(), ref.size())
         << "pool accounting must track the tree size exactly";

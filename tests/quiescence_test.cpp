@@ -30,7 +30,9 @@
 
 #include "buffer/parallel_buffer.hpp"
 #include "core/async_map.hpp"
+#include "core/future.hpp"
 #include "core/m1_map.hpp"
+#include "driver/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -278,6 +280,78 @@ TEST(QuiescenceStress, QuiesceImpliesAllTicketsFulfilled) {
     ASSERT_EQ(amap.in_flight(), 0u) << "round " << round;
   }
   EXPECT_TRUE(amap.map().check_invariants());
+}
+
+// Protocol-v2 stress: client threads drive the driver-level submit()
+// surface (futures + raw tickets, point AND ordered kinds) while a
+// dedicated thread hammers quiesce() the whole time. Exercises the
+// in_flight_ accounting of the ordered scatter/gather and of M2's global
+// ordered read under concurrency; runs under TSan in CI alongside the
+// other quiescence suites.
+TEST(QuiescenceStress, ConcurrentSubmitAndQuiesceAcrossBackends) {
+  for (const char* name : {"m1", "m2", "sharded:m1"}) {
+    driver::Options opts;
+    opts.workers = 4;
+    opts.shards = 2;
+    auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+    for (std::uint64_t k = 0; k < 256; ++k) d->insert(k, k);
+
+    std::atomic<bool> stop{false};
+    std::thread quiescer([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        d->quiesce();
+        std::this_thread::yield();
+      }
+    });
+
+    constexpr int kThreads = 3;
+    constexpr std::size_t kPerThread = 400;
+    std::vector<std::thread> submitters;
+    std::atomic<std::size_t> completion_submits{0};
+    std::atomic<std::size_t> completions{0};
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+        std::vector<core::Future<std::uint64_t>> futures;
+        futures.reserve(kPerThread);
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t key = rng.bounded(256);
+          switch (rng.bounded(5)) {
+            case 0:
+              futures.push_back(d->submit(IntOp::insert(key, i)));
+              break;
+            case 1:
+              futures.push_back(d->submit(IntOp::predecessor(key)));
+              break;
+            case 2:
+              futures.push_back(d->submit(IntOp::range_count(key, key + 64)));
+              break;
+            case 3:
+              completion_submits.fetch_add(1, std::memory_order_relaxed);
+              d->submit(IntOp::successor(key),
+                        [&](core::Result<std::uint64_t>&& r) {
+                          (void)r;
+                          completions.fetch_add(1,
+                                                std::memory_order_relaxed);
+                        });
+              break;
+            default:
+              futures.push_back(d->submit(IntOp::search(key)));
+          }
+        }
+        for (auto& f : futures) (void)f.get();
+      });
+    }
+    for (auto& th : submitters) th.join();
+    stop.store(true, std::memory_order_release);
+    quiescer.join();
+    d->quiesce();
+    EXPECT_TRUE(d->check()) << name;
+    // quiesce() returning implies every completion callback already ran
+    // (fulfill — and the hook inside it — happens before the in-flight
+    // decrement quiesce() waits on).
+    EXPECT_EQ(completions.load(), completion_submits.load()) << name;
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "driver/registry.hpp"
 #include "driver/sharded.hpp"
 #include "sched/scheduler.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace pwss {
@@ -178,28 +179,16 @@ TEST(ShardedDriverTest, BulkRunMatchesM0Reference) {
     core::M0Map<std::uint64_t, std::uint64_t> ref;
     util::Xoshiro256 rng(77);
     for (int round = 0; round < 20; ++round) {
-      std::vector<IntOp> batch;
+      // Full v2 op set: ordered kinds in a sharded bulk run exercise the
+      // phase slicing plus the scatter/gather reduce across shards.
       const std::size_t b = 1 + rng.bounded(300);
-      for (std::size_t i = 0; i < b; ++i) {
-        const std::uint64_t key = rng.bounded(250);
-        switch (rng.bounded(4)) {
-          case 0:
-          case 1:
-            batch.push_back(IntOp::insert(
-                key, static_cast<std::uint64_t>(round) * 100000 + i));
-            break;
-          case 2: batch.push_back(IntOp::erase(key)); break;
-          default: batch.push_back(IntOp::search(key));
-        }
-      }
+      const auto batch = testutil::scripted_ops<std::uint64_t, std::uint64_t>(
+          rng.bounded(1u << 30), b, 250, /*with_ordered=*/true);
       const auto want = ref.execute_batch(batch);
       const auto got = map->run(batch);
       ASSERT_EQ(got.size(), want.size()) << name;
       for (std::size_t i = 0; i < got.size(); ++i) {
-        ASSERT_EQ(got[i].success, want[i].success)
-            << name << " round " << round << " op " << i;
-        ASSERT_EQ(got[i].value, want[i].value)
-            << name << " round " << round << " op " << i;
+        testutil::expect_result_eq(got[i], want[i], name, i);
       }
       ASSERT_EQ(map->size(), ref.size()) << name << " round " << round;
     }
@@ -224,7 +213,7 @@ TEST(ShardedDriverTest, BulkPreservesPerKeyProgramOrder) {
   ASSERT_EQ(got.size(), batch.size());
   for (std::uint64_t k = 0; k < kKeys; ++k) {
     const std::size_t base = static_cast<std::size_t>(k) * 4;
-    EXPECT_TRUE(got[base].success) << "insert of fresh key " << k;
+    EXPECT_TRUE(got[base].success()) << "insert of fresh key " << k;
     ASSERT_TRUE(got[base + 1].value.has_value()) << "search after insert";
     EXPECT_EQ(*got[base + 1].value, k * 7);
     ASSERT_TRUE(got[base + 2].value.has_value()) << "erase of present key";

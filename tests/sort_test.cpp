@@ -86,9 +86,10 @@ TEST(PPivot, AlwaysInMiddleQuartiles) {
   for (int round = 0; round < 50; ++round) {
     std::vector<int> v(200 + rng.bounded(2000));
     for (auto& x : v) x = static_cast<int>(rng.bounded(100000));
-    const int pivot =
-        sort::detail::ppivot(std::span<const int>(v), [](int x) { return x; },
-                             nullptr);
+    std::vector<int> med(v.size());
+    const int pivot = sort::detail::ppivot(
+        std::span<const int>(v), std::span<int>(med),
+        [](int x) { return x; }, nullptr);
     std::size_t below = 0, above = 0;
     for (int x : v) {
       below += x < pivot;

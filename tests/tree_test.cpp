@@ -80,6 +80,30 @@ TEST(JTree, OrderStatistics) {
   EXPECT_EQ(t.rank(1000), 100u);
 }
 
+TEST(JTree, OrderedQueries) {
+  IntTree t;
+  EXPECT_EQ(t.predecessor(5).first, nullptr);
+  EXPECT_EQ(t.successor(5).first, nullptr);
+  EXPECT_EQ(t.range_count(0, 100), 0u);
+  for (int i = 0; i < 100; ++i) t.insert(i * 2, i);
+  // predecessor/successor are strict.
+  EXPECT_EQ(*t.predecessor(50).first, 48);
+  EXPECT_EQ(*t.predecessor(51).first, 50);
+  EXPECT_EQ(t.predecessor(0).first, nullptr);
+  EXPECT_EQ(*t.successor(50).first, 52);
+  EXPECT_EQ(*t.successor(49).first, 50);
+  EXPECT_EQ(t.successor(198).first, nullptr);
+  EXPECT_EQ(*t.successor(-7).first, 0);
+  // values ride along
+  EXPECT_EQ(*t.predecessor(51).second, 25);
+  // range_count is inclusive on both bounds; inverted ranges are empty.
+  EXPECT_EQ(t.range_count(0, 198), 100u);
+  EXPECT_EQ(t.range_count(10, 10), 1u);
+  EXPECT_EQ(t.range_count(11, 11), 0u);
+  EXPECT_EQ(t.range_count(11, 19), 4u);
+  EXPECT_EQ(t.range_count(19, 11), 0u);
+}
+
 TEST(JTree, MoveSemantics) {
   IntTree a;
   a.insert(1, 10);

@@ -1,6 +1,8 @@
 // Tests for the workload-generation and statistics substrate (src/util).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -139,6 +141,7 @@ TEST(Workload, ApplyMixProportions) {
       case OpKind::kSearch: ++searches; break;
       case OpKind::kInsert: ++inserts; break;
       case OpKind::kErase: ++erases; break;
+      default: FAIL() << "point mix produced an ordered kind";
     }
   }
   EXPECT_NEAR(static_cast<double>(searches) / ops.size(), 0.5, 0.02);
@@ -146,9 +149,49 @@ TEST(Workload, ApplyMixProportions) {
   EXPECT_NEAR(static_cast<double>(erases) / ops.size(), 0.2, 0.02);
 }
 
+TEST(Workload, ApplyMixOrderedKinds) {
+  // The v2 fractions produce the ordered kinds, and range-count ops carry
+  // key2 = key + range_span.
+  util::OpMix mix;
+  mix.search = 0.4;
+  mix.insert = 0.2;
+  mix.erase = 0.0;
+  mix.pred = 0.2;
+  mix.succ = 0.1;
+  mix.range = 0.1;
+  mix.range_span = 77;
+  EXPECT_TRUE(mix.has_ordered());
+  const auto keys = util::uniform_keys(1000, 30000, 5);
+  const auto ops = util::apply_mix(keys, mix, 6);
+  std::size_t preds = 0, succs = 0, ranges = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case OpKind::kPredecessor: ++preds; break;
+      case OpKind::kSuccessor: ++succs; break;
+      case OpKind::kRangeCount:
+        ++ranges;
+        ASSERT_EQ(op.key2, op.key + 77);
+        break;
+      default: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(preds) / ops.size(), 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(succs) / ops.size(), 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(ranges) / ops.size(), 0.1, 0.02);
+  EXPECT_FALSE(util::OpMix{}.has_ordered());
+}
+
 TEST(Workload, ApplyMixValidatesFractions) {
   EXPECT_THROW(util::apply_mix({1, 2, 3}, {.search = 0.5, .insert = 0.1, .erase = 0.1}, 0),
                std::invalid_argument);
+  util::OpMix over;
+  over.search = 0.9;
+  over.pred = 0.2;
+  EXPECT_THROW(util::apply_mix({1, 2, 3}, over, 0), std::invalid_argument);
+  // NaN compares false against everything; the validation must still trip.
+  util::OpMix nan_mix;
+  nan_mix.search = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(util::apply_mix({1, 2, 3}, nan_mix, 0), std::invalid_argument);
 }
 
 TEST(Workload, EntropySingleKeyIsZero) {
