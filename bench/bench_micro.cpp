@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -14,6 +15,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/m0_map.hpp"
+#include "core/m1_map.hpp"
 #include "core/segment.hpp"
 #include "driver/cli.hpp"
 #include "sched/scheduler.hpp"
@@ -52,7 +55,100 @@ void BM_JTreeInsertEraseUnpooled(benchmark::State& state) {
     benchmark::DoNotOptimize(t.erase(k));
   }
 }
-BENCHMARK(BM_JTreeInsertEraseUnpooled)->Arg(1 << 16);
+BENCHMARK(BM_JTreeInsertEraseUnpooled)->Arg(1 << 10)->Arg(1 << 16);
+
+// Front-segment representation A/B: the same Segment API probed at the
+// sizes the front segments actually hold (|S[0]|=2, |S[1]|=4, |S[2]|=16,
+// plus M2's 3x slack at 48), flat (production default) vs pinned-tree
+// (debug_force_tree). The gap between the two series is the payoff of the
+// flat layout; the JTree series also preserves continuity with the
+// pre-flat benchmark history.
+template <bool kForceTree>
+void FrontSegmentProbe(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  pwss::core::Segment<std::uint64_t, std::uint64_t> seg;
+  if constexpr (kForceTree) seg.debug_force_tree();
+  for (std::uint64_t i = 0; i < n; ++i) seg.insert_front({i * 7, i, 0});
+  pwss::util::Xoshiro256 rng(7);
+  std::array<std::uint64_t, 64> probe;
+  for (auto& p : probe) p = rng.bounded(n) * 7;  // all present
+  // Unpredictable probe order (inline xorshift, identical cost in both
+  // arms): a fixed cycle lets the branch predictor memorize the tree's
+  // comparison outcomes, hiding the misprediction cost that separates
+  // the two representations on real probe streams.
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    benchmark::DoNotOptimize(seg.peek(probe[x & 63]));
+  }
+}
+void BM_FrontSegmentProbeFlat(benchmark::State& state) {
+  FrontSegmentProbe<false>(state);
+}
+void BM_FrontSegmentProbeJTree(benchmark::State& state) {
+  FrontSegmentProbe<true>(state);
+}
+BENCHMARK(BM_FrontSegmentProbeFlat)->Arg(2)->Arg(4)->Arg(16)->Arg(48);
+BENCHMARK(BM_FrontSegmentProbeJTree)->Arg(2)->Arg(4)->Arg(16)->Arg(48);
+
+// Same A/B for the self-adjusting hot path: extract + re-insert at the
+// front (what every M0 search hit does to S[0]) — memmove churn vs tree
+// node churn.
+template <bool kForceTree>
+void FrontSegmentChurn(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  pwss::core::Segment<std::uint64_t, std::uint64_t> seg;
+  if constexpr (kForceTree) seg.debug_force_tree();
+  for (std::uint64_t i = 0; i < n; ++i) seg.insert_front({i * 7, i, 0});
+  pwss::util::Xoshiro256 rng(9);
+  std::array<std::uint64_t, 64> probe;
+  for (auto& p : probe) p = rng.bounded(n) * 7;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;  // see FrontSegmentProbe
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    auto item = seg.extract(probe[x & 63]);
+    seg.insert_front(std::move(*item));
+    benchmark::DoNotOptimize(seg.size());
+  }
+}
+void BM_FrontSegmentChurnFlat(benchmark::State& state) {
+  FrontSegmentChurn<false>(state);
+}
+void BM_FrontSegmentChurnJTree(benchmark::State& state) {
+  FrontSegmentChurn<true>(state);
+}
+BENCHMARK(BM_FrontSegmentChurnFlat)->Arg(2)->Arg(4)->Arg(16)->Arg(48);
+BENCHMARK(BM_FrontSegmentChurnJTree)->Arg(2)->Arg(4)->Arg(16)->Arg(48);
+
+// Probe latency by resident depth: peek (read-only, no self-adjustment,
+// so an item's depth is stable across iterations) of keys living at
+// segment depth d of a populated M0. Depths 0-2 are flat segments, depth
+// 3 is the first tree-backed segment — the series shows where the
+// working-set latency gradient actually bends.
+void BM_M0PeekAtDepth(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  pwss::core::M0Map<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kUniverse = 1u << 12;
+  for (std::uint64_t i = 0; i < kUniverse; ++i) map.insert(i, i);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < kUniverse && keys.size() < 64; ++i) {
+    if (map.segment_of(i) == depth) keys.push_back(i);
+  }
+  if (keys.empty()) {
+    state.SkipWithError("no keys resident at requested depth");
+    return;
+  }
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.peek(keys[j]));
+    if (++j == keys.size()) j = 0;
+  }
+}
+BENCHMARK(BM_M0PeekAtDepth)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Renamed from BM_JTreeMultiInsert: besides the pool, the timed region
 // changed (tree teardown now happens under PauseTiming), so the old
@@ -174,6 +270,58 @@ void BM_BackendBatchSearch(benchmark::State& state, std::string name,
                           static_cast<std::int64_t>(batch.size()));
 }
 
+// Per-segment-depth hit accounting under a Zipf search stream, emitted as
+// pwss-bench-v1 records (panel "probe_depth"). These are workload-shape
+// counters, not latencies: compare_baseline.py reports them informationally
+// and never gates on them. Runs only when --json is given.
+void emit_probe_depth_panel() {
+  auto& json = pwss::bench::BenchJson::instance();
+  if (!json.enabled()) return;
+  using IntOp = pwss::core::Op<std::uint64_t, std::uint64_t>;
+  constexpr std::uint64_t kUniverse = 1u << 14;
+  constexpr std::size_t kBatch = 1024;
+  constexpr std::size_t kBatches = 64;
+  pwss::sched::Scheduler sched(4);
+  pwss::core::M1Map<std::uint64_t, std::uint64_t> map(&sched);
+  std::vector<IntOp> batch;
+  std::vector<pwss::core::Result<std::uint64_t, std::uint64_t>> results;
+  batch.reserve(kUniverse);
+  for (std::uint64_t i = 0; i < kUniverse; ++i) {
+    batch.push_back(IntOp::insert(i, i));
+  }
+  map.execute_batch(batch, results);
+  map.reset_probe_depth_counts();
+  const auto keys =
+      pwss::util::zipf_keys(kUniverse, 0.99, kBatch * kBatches, 11);
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    batch.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(IntOp::search(keys[b * kBatch + i]));
+    }
+    map.execute_batch(batch, results);
+  }
+  const auto& pc = map.probe_depth_counts();
+  const double total = static_cast<double>(pc.total());
+  const std::initializer_list<std::pair<const char*, double>> params = {
+      {"theta_x100", 99}, {"batch", kBatch}, {"universe", kUniverse}};
+  json.record("probe_depth", "m1/zipf", "hits_s0",
+              static_cast<double>(pc.hits[0]), params);
+  json.record("probe_depth", "m1/zipf", "hits_s1",
+              static_cast<double>(pc.hits[1]), params);
+  json.record("probe_depth", "m1/zipf", "hits_s2",
+              static_cast<double>(pc.hits[2]), params);
+  json.record("probe_depth", "m1/zipf", "hits_deep",
+              static_cast<double>(pc.hits[3]), params);
+  json.record("probe_depth", "m1/zipf", "misses",
+              static_cast<double>(pc.misses), params);
+  json.record("probe_depth", "m1/zipf", "share_front",
+              total == 0.0 ? 0.0
+                           : static_cast<double>(pc.hits[0] + pc.hits[1] +
+                                                 pc.hits[2]) /
+                                 total,
+              params);
+}
+
 // Console output as usual, plus one JSON Lines record per run when --json
 // is given (items_per_second when the bench reports it, else ns/iteration).
 class JsonForwardingReporter : public benchmark::ConsoleReporter {
@@ -231,6 +379,7 @@ int main(int argc, char** argv) {
   }
   JsonForwardingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  emit_probe_depth_panel();
   benchmark::Shutdown();
   return 0;
 }

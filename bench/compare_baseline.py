@@ -11,9 +11,12 @@ Records are keyed by (bench, panel, backend, metric, params); `rev` and
 repeated runs appended to the same file) are median-reduced.
 
 Metric direction is inferred from the name: *_per_sec is higher-better,
-ns_* / *_ns is lower-better. The exit code is nonzero when any shared
-series regressed by more than the threshold fraction, unless
---report-only is given.
+ns_* / *_ns is lower-better. Counter-shaped metrics (hits_*, misses,
+share_*) are NEUTRAL: they describe workload shape (e.g. the per-segment-
+depth probe counters from bench_micro's probe_depth panel), not speed, so
+they are shown informationally and never flagged as regressions. The exit
+code is nonzero when any shared series regressed by more than the
+threshold fraction, unless --report-only is given.
 
 --only=REGEX restricts the comparison to series whose formatted key
 (bench/panel/backend/metric[params]) matches the regex — the mechanism CI
@@ -56,6 +59,12 @@ def load(path):
                    rec.get("backend", "?"), rec.get("metric", "?"), params)
             series.setdefault(key, []).append(float(rec["value"]))
     return series
+
+
+def is_neutral(metric):
+    """Workload-shape counters: reported, never gated on."""
+    return (metric.startswith("hits_") or metric.startswith("share_")
+            or metric == "misses")
 
 
 def higher_is_better(metric):
@@ -115,7 +124,9 @@ def main(argv):
         else:
             delta = (b - c) / b  # improvement positive for lower-better too
         flag = ""
-        if delta < -threshold:
+        if is_neutral(metric):
+            flag = "  (info)"
+        elif delta < -threshold:
             flag = "  << REGRESSION"
             regressions.append((key, delta))
         print(f"{fmt_key(key):<72} {b:>14.2f} {c:>14.2f} "

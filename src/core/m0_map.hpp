@@ -42,8 +42,12 @@ class M0Map {
   /// Search with self-adjustment. Returns the value if found.
   std::optional<V> search(const K& key) {
     for (std::size_t k = 0; k < segments_.size(); ++k) {
+      // Overlap S[k+1]'s probe with S[k]'s: segment order is static, so
+      // the next candidate's entry lines can be requested early.
+      if (k + 1 < segments_.size()) segments_[k + 1].prefetch();
       auto item = segments_[k].extract(key);
       if (!item) continue;
+      probes_.note_hit(k);
       V result = item->value;
       if (k == 0) {
         segments_[0].insert_front(std::move(*item));
@@ -57,6 +61,7 @@ class M0Map {
       }
       return result;
     }
+    probes_.note_miss();
     return std::nullopt;
   }
 
@@ -67,6 +72,14 @@ class M0Map {
     }
     return nullptr;
   }
+
+  /// Per-depth accounting of self-adjusting searches (hits bucketed by the
+  /// segment that answered, misses counted separately). Single-owner, like
+  /// every other M0 operation.
+  const ProbeDepthCounts& probe_depth_counts() const noexcept {
+    return probes_;
+  }
+  void reset_probe_depth_counts() noexcept { probes_.reset(); }
 
   /// Insert at the back of the last segment; an existing key is treated as
   /// an update-access (M1's rule, Section 6.1). Returns true iff new.
@@ -218,6 +231,7 @@ class M0Map {
   std::unique_ptr<SegmentPools<K, V>> pools_;
   std::vector<Segment<K, V>> segments_;
   std::size_t size_ = 0;
+  ProbeDepthCounts probes_;
 };
 
 static_assert(MapBackend<M0Map<int, int>, int, int>);

@@ -100,6 +100,15 @@ class M1Map {
     return execute_batch(std::span<const Op<K, V>>(ops));
   }
 
+  /// Per-depth accounting of batch group resolution (one hit per group
+  /// resolved at S[k], one miss per group whose key was absent
+  /// everywhere). Owned by the batch path's single owner — plain
+  /// counters, same contract as the instance arena.
+  const ProbeDepthCounts& probe_depth_counts() const noexcept {
+    return probes_;
+  }
+  void reset_probe_depth_counts() noexcept { probes_.reset(); }
+
   /// Segment index holding `key` (for invariant tests).
   std::optional<std::size_t> segment_of(const K& key) const {
     for (std::size_t k = 0; k < segments_.size(); ++k) {
@@ -239,6 +248,11 @@ class M1Map {
     auto& found = scratch_.found;
     auto& to_promote = scratch_.promote;
     for (std::size_t k = 0; k < segments_.size() && !pending.empty(); ++k) {
+      // Overlap memory latency: request S[k+1]'s entry lines (flat arrays
+      // or key-map root) while this iteration chews on S[k]. The sweep
+      // order is static, so the prefetch is never wasted on a mispredicted
+      // target — at worst the batch resolves before reaching S[k+1].
+      if (k + 1 < segments_.size()) segments_[k + 1].prefetch();
       // Batch-extract the groups' keys from S[k].
       keys.clear();
       keys.reserve(pending.size());
@@ -251,6 +265,7 @@ class M1Map {
       std::size_t fi = 0;
       for (const auto& g : pending) {
         if (fi < found.size() && found[fi].key == g.key) {
+          probes_.note_hit(k);
           Item item = std::move(found[fi++]);
           std::optional<V> fin = resolve_ops<K, V, std::size_t>(
               std::move(item.value), ops_of(g), emit);
@@ -279,6 +294,7 @@ class M1Map {
     auto& to_insert = scratch_.promote;
     to_insert.clear();
     for (const auto& g : pending) {
+      probes_.note_miss();
       std::optional<V> fin =
           resolve_ops<K, V, std::size_t>(std::nullopt, ops_of(g), emit);
       if (fin) {
@@ -367,6 +383,7 @@ class M1Map {
   // owner (backend_traits: not point_thread_safe). Never shared across
   // instances.
   BatchScratch<K, V, std::size_t> scratch_;
+  ProbeDepthCounts probes_;
 };
 
 /// M1's batch internals fork through the scheduler (a null scheduler is a

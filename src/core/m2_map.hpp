@@ -480,6 +480,10 @@ class M2Map {
   /// forward); net deletions are tagged and continue; the rest continue.
   std::vector<Group> first_slab_sweep(std::vector<Group> pending) {
     for (std::size_t k = 0; k + 1 < m_ && !pending.empty(); ++k) {
+      // The sweep order is static, so request the next segment's entry
+      // lines while this one is being processed (the interface thread
+      // holds every first-slab lock here, so touching S[k+1] is safe).
+      if (k + 2 < m_) first_slab_[k + 1].prefetch();
       pending = sweep_segment(first_slab_[k], k, pending);
       restore_first_slab(k);
     }

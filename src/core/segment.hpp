@@ -15,9 +15,25 @@
 // arrivals below the current minimum, preserving the relative order of a
 // batch of arrivals.
 //
-// The key-map stores key -> (value, stamp); the recency-map stores
-// stamp -> key with order statistics standing in for the paper's
-// leaf-to-leaf "direct pointers" (reverse-indexing = rank/select).
+// A segment has TWO physical representations behind one logical API:
+//
+//  * flat  (size <= kFlatSegmentMax): a FlatSegment — two parallel sorted
+//    arrays, branchless binary-search probes, memmove point edits, merge
+//    batch edits. This is where S[0]/S[1]/S[2] (2+4+16 items) live, which
+//    is where working-set-friendly workloads resolve almost every probe.
+//  * tree  (larger): the JTree pair — the key-map stores
+//    key -> (value, stamp); the recency-map stores stamp -> key with order
+//    statistics standing in for the paper's leaf-to-leaf "direct pointers"
+//    (reverse-indexing = rank/select).
+//
+// Dispatch rules: a segment starts flat; an insert that would push it past
+// kFlatSegmentMax first *promotes* (bulk-builds both trees via
+// JTree::from_sorted from the already-sorted arrays, drawing nodes from
+// the segment's pool domain); an extract that brings a tree segment down
+// to kFlatSegmentDemote (= kFlatSegmentMax/2, hysteresis so a segment
+// oscillating at the boundary doesn't thrash) *demotes* back, bulk-
+// recycling every node in one pool splice. The stamp generator survives
+// representation changes, so recency semantics never notice.
 
 #include <algorithm>
 #include <cassert>
@@ -27,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/flat_segment.hpp"
 #include "core/ops.hpp"
 #include "tree/jtree.hpp"
 
@@ -56,6 +73,28 @@ constexpr std::uint64_t segment_capacity(std::size_t k) noexcept {
   const std::uint64_t exponent = k >= 6 ? 62 : (1ULL << k);
   return 1ULL << exponent;
 }
+
+/// Per-depth probe accounting: hits[b] counts probes answered at segment
+/// depth b (bucket 3 aggregates every depth >= 3, i.e. the tree-backed
+/// deep segments), misses counts probes for absent keys. Plain counters —
+/// the owner is the structure's single-owner operation path (M0's
+/// sequential contract, M1's batch owner), never concurrent writers.
+struct ProbeDepthCounts {
+  std::uint64_t hits[4] = {0, 0, 0, 0};
+  std::uint64_t misses = 0;
+
+  void note_hit(std::size_t depth) noexcept {
+    ++hits[depth < 3 ? depth : 3];
+  }
+  void note_miss() noexcept { ++misses; }
+  void reset() noexcept {
+    hits[0] = hits[1] = hits[2] = hits[3] = 0;
+    misses = 0;
+  }
+  std::uint64_t total() const noexcept {
+    return hits[0] + hits[1] + hits[2] + hits[3] + misses;
+  }
+};
 
 /// One node-pool domain for a map instance: every segment of the instance
 /// allocates its key-map nodes from `key_pool` and its recency-map nodes
@@ -99,11 +138,7 @@ struct SegmentScratch {
 template <typename K, typename V>
 class Segment {
  public:
-  struct Item {
-    K key;
-    V value;
-    std::uint64_t stamp;
-  };
+  using Item = SegmentItem<K, V>;
 
   Segment() = default;
   /// Binds both trees to the instance's pool domain (null = unpooled).
@@ -118,28 +153,56 @@ class Segment {
     by_recency_.set_pool(pools != nullptr ? &pools->rec_pool : nullptr);
   }
 
-  std::size_t size() const noexcept { return by_key_.size(); }
-  bool empty() const noexcept { return by_key_.empty(); }
+  std::size_t size() const noexcept {
+    return is_tree_ ? by_key_.size() : flat_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// True while the segment uses the flat (sorted-array) representation.
+  bool is_flat() const noexcept { return !is_tree_; }
+
+  /// Test/bench hook: converts to the tree representation and pins it
+  /// there (demotion disabled), so the two layouts can be A/B-compared
+  /// through the identical public API.
+  void debug_force_tree() {
+    pin_tree_ = true;
+    if (!is_tree_) promote(nullptr);
+  }
+
+  /// Requests the representation's entry lines ahead of a probe: the flat
+  /// arrays' first lines, or the key-map root. Used by the M1/M2 batch
+  /// sweeps to overlap the next segment's memory latency with the current
+  /// segment's work.
+  void prefetch() const noexcept {
+    if (is_tree_) {
+      by_key_.prefetch_root();
+    } else {
+      flat_.prefetch();
+    }
+  }
 
   // ---- point operations (used by M0 / Iacono / small paths) -------------
 
   /// Value+stamp for key, or nullptr (no recency effect).
   const std::pair<V, std::uint64_t>* peek(const K& key) const {
-    return by_key_.find(key);
+    return is_tree_ ? by_key_.find(key) : flat_.peek(key);
   }
   std::pair<V, std::uint64_t>* peek(const K& key) {
-    return by_key_.find(key);
+    return is_tree_ ? by_key_.find(key) : flat_.peek(key);
   }
 
   /// Removes the item with `key` if present.
   std::optional<Item> extract(const K& key_ref) {
+    if (!is_tree_) return flat_.extract(key_ref);
     // Copy first: the caller's reference may point into one of our trees
     // (e.g. the recency map's value we are about to delete).
     K key = key_ref;
     auto entry = by_key_.erase(key);
     if (!entry) return std::nullopt;
     by_recency_.erase(entry->second);
-    return Item{std::move(key), std::move(entry->first), entry->second};
+    Item out{std::move(key), std::move(entry->first), entry->second};
+    maybe_demote();
+    return out;
   }
 
   /// Inserts one item at the front (most recent); the stamp is reassigned.
@@ -185,6 +248,13 @@ class Segment {
 
   /// Inserts an item; the stamp must be distinct from all stamps present.
   void insert_item(Item item) {
+    if (!is_tree_) {
+      if (flat_.size() < kFlatSegmentMax) {
+        flat_.insert(std::move(item));
+        return;
+      }
+      promote(nullptr);
+    }
     [[maybe_unused]] const bool fresh_key =
         by_key_.insert(item.key, {std::move(item.value), item.stamp});
     [[maybe_unused]] const bool fresh_stamp =
@@ -198,29 +268,33 @@ class Segment {
 
   /// Entry with the greatest key strictly below `key` in this segment.
   std::pair<const K*, const V*> predecessor(const K& key) const {
+    if (!is_tree_) return flat_.predecessor(key);
     auto [k, e] = by_key_.predecessor(key);
     return {k, e != nullptr ? &e->first : nullptr};
   }
 
   /// Entry with the least key strictly above `key` in this segment.
   std::pair<const K*, const V*> successor(const K& key) const {
+    if (!is_tree_) return flat_.successor(key);
     auto [k, e] = by_key_.successor(key);
     return {k, e != nullptr ? &e->first : nullptr};
   }
 
   /// Number of this segment's keys in the inclusive range [lo, hi].
   std::size_t range_count(const K& lo, const K& hi) const {
-    return by_key_.range_count(lo, hi);
+    return is_tree_ ? by_key_.range_count(lo, hi) : flat_.range_count(lo, hi);
   }
 
   std::optional<Item> extract_least_recent() {
     if (empty()) return std::nullopt;
+    if (!is_tree_) return flat_.extract_at(flat_.least_recent_idx());
     const K key = by_recency_.at(0).second;  // copy before mutating
     return extract(key);
   }
 
   std::optional<Item> extract_most_recent() {
     if (empty()) return std::nullopt;
+    if (!is_tree_) return flat_.extract_at(flat_.most_recent_idx());
     const K key = by_recency_.at(by_recency_.size() - 1).second;
     return extract(key);
   }
@@ -228,6 +302,7 @@ class Segment {
   /// Key of the least-recent item (for inspection/tests).
   std::optional<K> least_recent_key() const {
     if (empty()) return std::nullopt;
+    if (!is_tree_) return flat_.key_at(flat_.least_recent_idx());
     return by_recency_.at(0).second;
   }
 
@@ -239,9 +314,13 @@ class Segment {
   void extract_by_keys(std::span<const K> keys, std::vector<Item>& out,
                        const tree::ParCtx& ctx = {},
                        SegmentScratch<K, V>* s = nullptr) {
+    out.clear();
+    if (!is_tree_) {
+      flat_.extract_by_keys(keys, out);
+      return;
+    }
     SegmentScratch<K, V> local;
     SegmentScratch<K, V>& sc = s ? *s : local;
-    out.clear();
     by_key_.multi_extract(keys, sc.entries, ctx);
     sc.stamps.clear();
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -253,6 +332,7 @@ class Segment {
     }
     std::sort(sc.stamps.begin(), sc.stamps.end());
     by_recency_.multi_extract(sc.stamps, sc.removed_keys, ctx);
+    maybe_demote();
   }
   std::vector<Item> extract_by_keys(std::span<const K> keys,
                                     const tree::ParCtx& ctx = {}) {
@@ -266,6 +346,10 @@ class Segment {
   void find_batch(std::span<const K> keys,
                   std::vector<const std::pair<V, std::uint64_t>*>& out,
                   const tree::ParCtx& ctx = {}) const {
+    if (!is_tree_) {
+      flat_.find_batch(keys, out);
+      return;
+    }
     by_key_.multi_find(keys, out, ctx);
   }
 
@@ -274,6 +358,13 @@ class Segment {
   void insert_items(std::span<Item> items, const tree::ParCtx& ctx = {},
                     SegmentScratch<K, V>* s = nullptr) {
     if (items.empty()) return;
+    if (!is_tree_) {
+      if (flat_.size() + items.size() <= kFlatSegmentMax) {
+        flat_.merge_insert(items);
+        return;
+      }
+      promote(s);  // overflow: spill to the tree representation
+    }
     SegmentScratch<K, V> local;
     SegmentScratch<K, V>& sc = s ? *s : local;
     sc.key_entries.clear();
@@ -298,7 +389,13 @@ class Segment {
   void extract_least_recent(std::size_t c, std::vector<Item>& out,
                             const tree::ParCtx& ctx = {},
                             SegmentScratch<K, V>* s = nullptr) {
+    if (!is_tree_) {
+      out.clear();
+      flat_.extract_by_recency(c, /*least=*/true, out);
+      return;
+    }
     extract_by_recency(by_recency_.extract_prefix(c), out, ctx, s);
+    maybe_demote();
   }
   std::vector<Item> extract_least_recent(std::size_t c,
                                          const tree::ParCtx& ctx = {}) {
@@ -311,7 +408,13 @@ class Segment {
   void extract_most_recent(std::size_t c, std::vector<Item>& out,
                            const tree::ParCtx& ctx = {},
                            SegmentScratch<K, V>* s = nullptr) {
+    if (!is_tree_) {
+      out.clear();
+      flat_.extract_by_recency(c, /*least=*/false, out);
+      return;
+    }
     extract_by_recency(by_recency_.extract_suffix(c), out, ctx, s);
+    maybe_demote();
   }
   std::vector<Item> extract_most_recent(std::size_t c,
                                         const tree::ParCtx& ctx = {}) {
@@ -328,14 +431,29 @@ class Segment {
   /// In-order (by key) visit of (key, value, stamp).
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    if (!is_tree_) {
+      flat_.for_each(fn);
+      return;
+    }
     by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
       fn(k, e.first, e.second);
     });
   }
 
-  /// Structural validation: both trees balanced, same size, stamps
-  /// mutually consistent.
+  /// Structural validation: representation invariants hold, both orders
+  /// cover the same items, stamps distinct.
   bool check_invariants() const {
+    if (!is_tree_) {
+      if (!flat_.check_invariants()) return false;
+      if (!by_key_.empty() || !by_recency_.empty()) return false;
+      std::vector<std::uint64_t> stamps;
+      stamps.reserve(flat_.size());
+      flat_.for_each([&](const K&, const V&, std::uint64_t stamp) {
+        stamps.push_back(stamp);
+      });
+      std::sort(stamps.begin(), stamps.end());
+      return std::adjacent_find(stamps.begin(), stamps.end()) == stamps.end();
+    }
     if (!by_key_.check_invariants() || !by_recency_.check_invariants())
       return false;
     if (by_key_.size() != by_recency_.size()) return false;
@@ -348,6 +466,43 @@ class Segment {
   }
 
  private:
+  using KeyTree = tree::JTree<K, std::pair<V, std::uint64_t>>;
+  using RecTree = tree::JTree<std::uint64_t, K>;
+
+  /// Flat → tree: bulk-builds both trees from the flat arrays. The key
+  /// side is already key-sorted, so it feeds JTree::from_sorted directly
+  /// (O(n) build, nodes drawn from the segment's pool domain); the recency
+  /// side needs one stamp sort of at most kFlatSegmentMax pairs.
+  void promote(SegmentScratch<K, V>* s) {
+    assert(!is_tree_);
+    SegmentScratch<K, V> local;
+    SegmentScratch<K, V>& sc = s ? *s : local;
+    sc.key_entries.clear();
+    sc.rec_entries.clear();
+    flat_.drain_sorted(sc.key_entries, sc.rec_entries);
+    std::sort(sc.rec_entries.begin(), sc.rec_entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    by_key_ = KeyTree::from_sorted(sc.key_entries, {}, by_key_.pool());
+    by_recency_ = RecTree::from_sorted(sc.rec_entries, {}, by_recency_.pool());
+    is_tree_ = true;
+  }
+
+  /// Tree → flat once the segment shrinks to the demotion bound (half the
+  /// flat capacity — hysteresis against representation thrash). The key-
+  /// map's in-order walk refills the flat arrays already sorted, then both
+  /// trees bulk-recycle their nodes in one pool splice each.
+  void maybe_demote() {
+    if (!is_tree_ || pin_tree_) return;
+    if (by_key_.size() > kFlatSegmentDemote) return;
+    flat_.clear();
+    by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
+      flat_.append_sorted(k, e);
+    });
+    by_key_.clear();
+    by_recency_.clear();
+    is_tree_ = false;
+  }
+
   /// Reassigns stamps so arrivals land at the front (above every stamp in
   /// this segment) or at the back (below), preserving the arrivals'
   /// relative order as given by their incoming stamps.
@@ -391,9 +546,12 @@ class Segment {
     }
   }
 
-  tree::JTree<K, std::pair<V, std::uint64_t>> by_key_;
-  tree::JTree<std::uint64_t, K> by_recency_;
+  FlatSegment<K, V> flat_;
+  KeyTree by_key_;
+  RecTree by_recency_;
   StampGen stamps_;
+  bool is_tree_ = false;   // starts flat; see promote()/maybe_demote()
+  bool pin_tree_ = false;  // debug_force_tree() disables demotion
 };
 
 /// Answers one read-only ordered query (kPredecessor / kSuccessor /

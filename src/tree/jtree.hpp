@@ -35,6 +35,7 @@
 
 #include "sched/scheduler.hpp"
 #include "util/node_pool.hpp"
+#include "util/prefetch.hpp"
 
 namespace pwss::tree {
 
@@ -89,6 +90,10 @@ class JTree {
 
   std::size_t size() const noexcept { return node_size(root_); }
   bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Requests the root node's cache line ahead of a descent (the rest of
+  /// the path is data-dependent and cannot usefully be prefetched).
+  void prefetch_root() const noexcept { util::prefetch_read(root_); }
 
   void clear() {
     destroy(root_);

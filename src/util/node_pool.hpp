@@ -17,6 +17,18 @@
 //    external (non-worker) thread; each shard carries its own spinlock so
 //    the pool stays safe under any threading, the sharding only makes the
 //    fork/join case contention-free;
+//  * each shard additionally carries an OWNER-PRIVATE free list: the first
+//    thread to touch a shard claims it (one CAS on a thread-identity
+//    cookie, never released), and from then on that thread's node churn is
+//    plain pointer pushes/pops with no atomics at all — the fast path that
+//    makes tiny-tree insert/erase cost what an unpooled `new`-free loop
+//    would. Worker shards are single-thread-mapped by construction, so in
+//    practice every worker runs the private path; on slot 0 the first
+//    external thread wins the claim and later external threads fall back
+//    to the shard's locked list. Nodes cross between the private list and
+//    the rest of the pool only through the shard lock (draining the shared
+//    list on refill) or the global spine (spilling past the cap), which
+//    bounds how many free nodes a claimant can strand;
 //  * a global overflow spine rebalances memory: a shard past its cap (and
 //    every bulk `recycle_chain` of a dropped subtree) splices nodes to the
 //    spine in O(1), and an empty shard refills from the spine before
@@ -89,8 +101,7 @@ class NodePool {
   NodePool& operator=(const NodePool&) = delete;
 
   ~NodePool() {
-    assert(allocs_.load(std::memory_order_relaxed) ==
-               frees_.load(std::memory_order_relaxed) &&
+    assert(total_allocs() == total_frees() &&
            "pool destroyed with live nodes — a tree outlived its pool");
     ChunkHeader* c = chunks_;
     while (c != nullptr) {
@@ -147,13 +158,24 @@ class NodePool {
   /// global-lock splice), small chains land on the calling thread's shard.
   void recycle_chain(FreeChain chain) noexcept {
     if (chain.empty()) return;
-    frees_.fetch_add(chain.count_, std::memory_order_relaxed);
     if (chain.count_ >= chunk_nodes_) {
+      frees_.fetch_add(chain.count_, std::memory_order_relaxed);
       std::lock_guard<SpinLock> lk(global_mu_);
       splice_into_overflow(chain);
       return;
     }
     Shard& s = home_shard();
+    if (owns(s)) {
+      bump(s.priv_frees, chain.count_);
+      chain.tail_->next = s.priv_head;
+      s.priv_head = chain.head_;
+      const std::size_t n =
+          s.priv_count.load(std::memory_order_relaxed) + chain.count_;
+      s.priv_count.store(n, std::memory_order_relaxed);
+      if (n > kShardCapChunks * chunk_nodes_) spill_private(s);
+      return;
+    }
+    frees_.fetch_add(chain.count_, std::memory_order_relaxed);
     FreeChain spill;
     {
       std::lock_guard<SpinLock> lk(s.lock);
@@ -169,6 +191,18 @@ class NodePool {
   /// placement new).
   void* allocate_raw() {
     Shard& s = home_shard();
+    if (owns(s)) {
+      // Private fast path: no lock, no CAS, no RMW — the claim protocol
+      // guarantees this thread is the only one touching priv_head, and the
+      // accounting goes to owner-written counters (plain load+store).
+      if (s.priv_head == nullptr) refill_private(s);
+      FreeLink* p = s.priv_head;
+      s.priv_head = p->next;
+      s.priv_count.store(s.priv_count.load(std::memory_order_relaxed) - 1,
+                         std::memory_order_relaxed);
+      bump(s.priv_allocs, 1);
+      return static_cast<void*>(p);
+    }
     for (;;) {
       {
         std::lock_guard<SpinLock> lk(s.lock);
@@ -186,8 +220,19 @@ class NodePool {
 
   /// Recycles storage whose T was already destructed.
   void recycle_raw(void* p) noexcept {
-    frees_.fetch_add(1, std::memory_order_relaxed);
     Shard& s = home_shard();
+    if (owns(s)) {
+      bump(s.priv_frees, 1);
+      auto* link = static_cast<FreeLink*>(p);
+      link->next = s.priv_head;
+      s.priv_head = link;
+      const std::size_t n =
+          s.priv_count.load(std::memory_order_relaxed) + 1;
+      s.priv_count.store(n, std::memory_order_relaxed);
+      if (n > kShardCapChunks * chunk_nodes_) spill_private(s);
+      return;
+    }
+    frees_.fetch_add(1, std::memory_order_relaxed);
     FreeChain spill;
     {
       std::lock_guard<SpinLock> lk(s.lock);
@@ -211,10 +256,14 @@ class NodePool {
   };
   Stats stats() const {
     Stats st;
-    st.node_allocs = allocs_.load(std::memory_order_relaxed);
-    st.node_frees = frees_.load(std::memory_order_relaxed);
+    st.node_allocs = total_allocs();
+    st.node_frees = total_frees();
     st.chunk_allocs = chunk_count_.load(std::memory_order_relaxed);
     for (const auto& s : shards_) {
+      // The priv_* counters are relaxed atomics written only by the
+      // shard's owner; reading them here is approximate unless the pool
+      // is quiescent.
+      st.free_nodes += s.priv_count.load(std::memory_order_relaxed);
       std::lock_guard<SpinLock> lk(s.lock);
       st.free_nodes += s.count;
     }
@@ -227,8 +276,7 @@ class NodePool {
 
   /// Nodes currently constructed out of this pool (exact when quiescent).
   std::uint64_t live_nodes() const noexcept {
-    return allocs_.load(std::memory_order_relaxed) -
-           frees_.load(std::memory_order_relaxed);
+    return total_allocs() - total_frees();
   }
 
  private:
@@ -240,7 +288,64 @@ class NodePool {
     mutable SpinLock lock;
     FreeLink* head = nullptr;
     std::size_t count = 0;  // guarded by lock
+
+    // Owner-private free list: claimed once (owner CAS below), then
+    // touched only by the claiming thread — no lock, no atomics on the
+    // list itself. The counters are atomic solely so stats() can read
+    // them from other threads; the owner is their only writer, updating
+    // with plain load+store (never an RMW — that would put a locked
+    // instruction back on the fast path the private list exists to
+    // strip).
+    std::atomic<void*> owner{nullptr};
+    FreeLink* priv_head = nullptr;
+    std::atomic<std::size_t> priv_count{0};
+    std::atomic<std::uint64_t> priv_allocs{0};
+    std::atomic<std::uint64_t> priv_frees{0};
   };
+
+  /// Single-writer counter bump: load+store, not fetch_add.
+  template <typename U, typename By>
+  static void bump(std::atomic<U>& c, By by) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + static_cast<U>(by),
+            std::memory_order_relaxed);
+  }
+
+  /// Pool-wide alloc/free totals: the shared RMW counters plus every
+  /// shard's owner-private counters (exact when quiescent).
+  std::uint64_t total_allocs() const noexcept {
+    std::uint64_t a = allocs_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) {
+      a += s.priv_allocs.load(std::memory_order_relaxed);
+    }
+    return a;
+  }
+  std::uint64_t total_frees() const noexcept {
+    std::uint64_t f = frees_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) {
+      f += s.priv_frees.load(std::memory_order_relaxed);
+    }
+    return f;
+  }
+
+  /// Per-thread identity for the shard-claim protocol: the address of a
+  /// thread_local is unique among live threads. A dead thread's cookie
+  /// value may be reused by a new thread, which then simply inherits the
+  /// claim — still a single owner, so the protocol stays sound.
+  static void* thread_cookie() noexcept {
+    static thread_local char cookie;
+    return static_cast<void*>(&cookie);
+  }
+
+  /// True iff the calling thread owns `s`'s private list, claiming it if
+  /// unclaimed. Fast path is one relaxed load.
+  bool owns(Shard& s) noexcept {
+    void* const me = thread_cookie();
+    void* cur = s.owner.load(std::memory_order_relaxed);
+    if (cur == me) return true;
+    if (cur != nullptr) return false;
+    return s.owner.compare_exchange_strong(cur, me, std::memory_order_acq_rel,
+                                           std::memory_order_relaxed);
+  }
 
   static constexpr std::size_t slot_align() noexcept {
     return alignof(T) > alignof(FreeLink) ? alignof(T) : alignof(FreeLink);
@@ -299,39 +404,90 @@ class NodePool {
     chain.count_ = 0;
   }
 
-  /// Restocks `s` with up to one chunk of nodes: from the overflow spine
-  /// when it has any, else from a fresh heap chunk.
-  void refill(Shard& s) {
+  /// One chunk's worth of free nodes from the overflow spine (preferred)
+  /// or a fresh heap chunk. Takes and releases global_mu_.
+  FreeChain acquire_chunk() {
     FreeChain chain;
-    {
-      std::lock_guard<SpinLock> lk(global_mu_);
-      if (overflow_.head_ != nullptr) {
-        for (std::size_t i = 0;
-             i < chunk_nodes_ && overflow_.head_ != nullptr; ++i) {
-          FreeLink* p = overflow_.head_;
-          overflow_.head_ = p->next;
-          --overflow_.count_;
-          chain.push(static_cast<void*>(p));
-        }
-        if (overflow_.head_ == nullptr) overflow_.tail_ = nullptr;
-      } else {
-        const std::size_t bytes = header_span() + chunk_nodes_ * slot_size();
-        auto* raw = static_cast<unsigned char*>(
-            ::operator new(bytes, std::align_val_t{chunk_align()}));
-        auto* header = reinterpret_cast<ChunkHeader*>(raw);
-        header->next = chunks_;
-        chunks_ = header;
-        chunk_count_.fetch_add(1, std::memory_order_relaxed);
-        unsigned char* slots = raw + header_span();
-        for (std::size_t i = 0; i < chunk_nodes_; ++i) {
-          chain.push(static_cast<void*>(slots + i * slot_size()));
-        }
+    std::lock_guard<SpinLock> lk(global_mu_);
+    if (overflow_.head_ != nullptr) {
+      for (std::size_t i = 0; i < chunk_nodes_ && overflow_.head_ != nullptr;
+           ++i) {
+        FreeLink* p = overflow_.head_;
+        overflow_.head_ = p->next;
+        --overflow_.count_;
+        chain.push(static_cast<void*>(p));
+      }
+      if (overflow_.head_ == nullptr) overflow_.tail_ = nullptr;
+    } else {
+      const std::size_t bytes = header_span() + chunk_nodes_ * slot_size();
+      auto* raw = static_cast<unsigned char*>(
+          ::operator new(bytes, std::align_val_t{chunk_align()}));
+      auto* header = reinterpret_cast<ChunkHeader*>(raw);
+      header->next = chunks_;
+      chunks_ = header;
+      chunk_count_.fetch_add(1, std::memory_order_relaxed);
+      unsigned char* slots = raw + header_span();
+      for (std::size_t i = 0; i < chunk_nodes_; ++i) {
+        chain.push(static_cast<void*>(slots + i * slot_size()));
       }
     }
+    return chain;
+  }
+
+  /// Restocks `s`'s locked list with up to one chunk of nodes.
+  void refill(Shard& s) {
+    FreeChain chain = acquire_chunk();
     std::lock_guard<SpinLock> lk(s.lock);
     chain.tail_->next = s.head;
     s.head = chain.head_;
     s.count += chain.count_;
+  }
+
+  /// Restocks the calling owner's private list: first drains whatever
+  /// non-owner threads parked on the shard's locked list (that memory is
+  /// closest — same shard, likely same cache domain), then falls back to
+  /// the spine / a fresh chunk. Caller must own `s`.
+  void refill_private(Shard& s) {
+    {
+      std::lock_guard<SpinLock> lk(s.lock);
+      if (s.head != nullptr) {
+        std::size_t moved = 0;
+        while (s.head != nullptr && moved < chunk_nodes_) {
+          FreeLink* p = s.head;
+          s.head = p->next;
+          --s.count;
+          p->next = s.priv_head;
+          s.priv_head = p;
+          ++moved;
+        }
+        s.priv_count.store(
+            s.priv_count.load(std::memory_order_relaxed) + moved,
+            std::memory_order_relaxed);
+        return;
+      }
+    }
+    FreeChain chain = acquire_chunk();
+    chain.tail_->next = s.priv_head;
+    s.priv_head = chain.head_;
+    s.priv_count.store(
+        s.priv_count.load(std::memory_order_relaxed) + chain.count_,
+        std::memory_order_relaxed);
+  }
+
+  /// Moves a chunk's worth of nodes from the calling owner's private list
+  /// to the overflow spine (the private-path analogue of maybe_spill).
+  /// Caller must own `s`.
+  void spill_private(Shard& s) noexcept {
+    FreeChain spill;
+    std::size_t n = s.priv_count.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < chunk_nodes_ && s.priv_head != nullptr; ++i) {
+      FreeLink* p = s.priv_head;
+      s.priv_head = p->next;
+      --n;
+      spill.push(static_cast<void*>(p));
+    }
+    s.priv_count.store(n, std::memory_order_relaxed);
+    flush_spill(spill);
   }
 
   sched::Scheduler* scheduler_;

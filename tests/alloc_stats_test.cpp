@@ -22,6 +22,7 @@
 
 #include "core/m1_map.hpp"
 #include "core/m2_map.hpp"
+#include "core/segment.hpp"
 #include "driver/registry.hpp"
 #include "sort/esort.hpp"
 #include "sched/scheduler.hpp"
@@ -168,6 +169,52 @@ TEST(AllocStats, JTreeWarmPoolBatchChurnIsAllocationFree) {
   }
   EXPECT_EQ(alloc_count() - before, 0u)
       << "warm-pool multi_extract/multi_insert churn must be allocation-free";
+}
+
+TEST(AllocStats, FlatSegmentProbeIsAllocationFree) {
+  // Front segments (S[0..2]) live in the flat sorted-array representation;
+  // probing one is a branchless binary search over two parallel arrays and
+  // must never touch the heap.
+  core::Segment<std::uint64_t, std::uint64_t> seg;
+  ASSERT_TRUE(seg.is_flat());
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    seg.insert_front({i * 7, i, 0});
+  }
+  ASSERT_TRUE(seg.is_flat());
+  const std::uint64_t before = alloc_count();
+  std::uint64_t found = 0;
+  for (int round = 0; round < 4096; ++round) {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      found += seg.peek(i * 7) != nullptr;
+      found += seg.peek(i * 7 + 3) != nullptr;  // miss path
+    }
+    found += seg.range_count(0, 200);
+    found += seg.predecessor(50).first != nullptr;
+    found += seg.successor(50).first != nullptr;
+  }
+  EXPECT_EQ(alloc_count() - before, 0u)
+      << "flat-segment probes must be allocation-free (" << found << ")";
+}
+
+TEST(AllocStats, FlatSegmentWarmChurnIsAllocationFree) {
+  // The flat arrays reserve to kFlatSegmentMax on first use, so warm
+  // point insert/extract churn below the promote threshold is in-place
+  // memmove over the arrays — zero heap traffic, zero pool traffic.
+  core::Segment<std::uint64_t, std::uint64_t> seg;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    seg.insert_front({i * 7, i, 0});  // first insert warms the reserve
+  }
+  util::Xoshiro256 rng(17);
+  const std::uint64_t before = alloc_count();
+  for (int round = 0; round < 8192; ++round) {
+    const std::uint64_t k = rng.bounded(16) * 7;
+    auto item = seg.extract(k);
+    ASSERT_TRUE(item.has_value());
+    seg.insert_front(std::move(*item));
+  }
+  ASSERT_TRUE(seg.is_flat());
+  EXPECT_EQ(alloc_count() - before, 0u)
+      << "warm flat-segment insert/extract churn must be allocation-free";
 }
 
 TEST(AllocStats, M1BatchAllocsDropOnceArenaIsWarm) {

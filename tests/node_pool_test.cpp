@@ -6,8 +6,10 @@
 // runs to prove the per-worker shards are race-free.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -318,6 +320,61 @@ TEST(NodePool, SegmentTransfersAreChunkNeutralWhenWarm) {
   }
   EXPECT_EQ(pools.key_pool.stats().chunk_allocs, warm_key);
   EXPECT_EQ(pools.rec_pool.stats().chunk_allocs, warm_rec);
+}
+
+// Without a scheduler every thread maps to shard 0, so this pins the
+// claim protocol's sharing case: the first thread to touch the shard owns
+// its private list (lock-free fast path) while every other thread funnels
+// through the same shard's locked shared list — concurrently. Accounting
+// must balance across both paths, and TSan must see no race between the
+// owner's plain priv_head accesses and the foreigners' locked traffic
+// (they only meet under the shard lock inside refill_private/spill).
+TEST(NodePool, ForeignThreadsShareShardWithOwnerFastPath) {
+  util::NodePool<std::pair<int, int>> pool;
+  // Claim shard 0 for this thread before any contender exists.
+  { auto* p = pool.create(0, 0); pool.destroy(p); }
+  constexpr int kForeign = 4;
+  constexpr int kOps = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kForeign);
+  for (int t = 0; t < kForeign; ++t) {
+    threads.emplace_back([&pool, &go, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::vector<std::pair<int, int>*> held;
+      held.reserve(64);
+      util::Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOps; ++i) {
+        if (held.size() < 64 && (held.empty() || (rng() & 1) != 0)) {
+          held.push_back(pool.create(t, i));
+        } else {
+          pool.destroy(held.back());
+          held.pop_back();
+        }
+      }
+      for (auto* p : held) pool.destroy(p);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Owner churns the private fast path concurrently with the foreigners.
+  std::vector<std::pair<int, int>*> held;
+  held.reserve(64);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < kOps; ++i) {
+    if (held.size() < 64 && (held.empty() || (rng() & 1) != 0)) {
+      held.push_back(pool.create(-1, i));
+    } else {
+      pool.destroy(held.back());
+      held.pop_back();
+    }
+  }
+  for (auto* p : held) pool.destroy(p);
+  for (auto& th : threads) th.join();
+  const auto st = pool.stats();
+  EXPECT_EQ(st.node_allocs, st.node_frees)
+      << "owner-private and locked-shared accounting must agree";
+  EXPECT_EQ(pool.live_nodes(), 0u);
+  EXPECT_GE(st.node_allocs, static_cast<std::uint64_t>(kOps));
 }
 
 }  // namespace

@@ -178,6 +178,40 @@ TEST(Scheduler, SpawnStressFromManyThreads) {
   EXPECT_EQ(executed.load(), expected);
 }
 
+TEST(Scheduler, LocalityStealDrainsUnbalancedBurst) {
+  // Steal stress for the ring-distance visit order: a single worker's
+  // deque receives a storm of tasks (spawned from inside one root task, so
+  // they all land on that worker's own deque, not the injection queues)
+  // and every other worker can make progress only by stealing. Each task
+  // spins long enough that the burst cannot drain before thieves arrive,
+  // so near-ring and far-ring steals both happen. Pins completion (no task
+  // lost to the reordered probe sequence) and actual multi-worker
+  // participation; TSan covers the racy side in CI.
+  constexpr int kBurst = 4000;
+  std::atomic<int> executed{0};
+  std::atomic<std::uint64_t> worker_mask{0};
+  sched::Scheduler s(8);
+  s.spawn([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      s.spawn([&] {
+        worker_mask.fetch_or(1ULL << (std::hash<std::thread::id>{}(
+                                          std::this_thread::get_id()) %
+                                      64));
+        volatile int sink = 0;
+        for (int j = 0; j < 500; ++j) sink = sink + j;
+        executed.fetch_add(1);
+      });
+    }
+    executed.fetch_add(1);
+  });
+  for (int i = 0; i < 200000000 && executed.load() < kBurst + 1; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(executed.load(), kBurst + 1);
+  EXPECT_GE(std::popcount(worker_mask.load()), 2)
+      << "burst drained without any stealing";
+}
+
 TEST(ChaseLev, LifoForOwner) {
   sched::ChaseLevDeque dq;
   auto fn = [] {};
