@@ -11,7 +11,10 @@
 #include <cstddef>
 #include <deque>
 #include <iterator>
+#include <string>
 #include <vector>
+
+#include "util/validate.hpp"
 
 namespace pwss::buffer {
 
@@ -63,6 +66,37 @@ class FeedBuffer {
       bunches_.pop_front();
     }
     return out;
+  }
+
+  /// Deep bunch-structure check (single-consumer context only, like every
+  /// other member): every bunch non-empty and within capacity, every
+  /// bunch except the last exactly full (appends top up the tail before
+  /// opening a fresh bunch), and total_ equal to the sum of bunch sizes.
+  /// Empty string = OK.
+  std::string validate() const {
+    util::Validator v("feed_buffer: ");
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < bunches_.size(); ++i) {
+      const std::size_t sz = bunches_[i].size();
+      sum += sz;
+      if (!v.require(sz != 0, "bunch ", i, " of ", bunches_.size(),
+                     " is empty")) {
+        break;
+      }
+      if (!v.require(sz <= bunch_cap_, "bunch ", i, " holds ", sz,
+                     " items, above the bunch capacity ", bunch_cap_)) {
+        break;
+      }
+      if (!v.require(i + 1 == bunches_.size() || sz == bunch_cap_, "bunch ", i,
+                     " of ", bunches_.size(), " holds ", sz,
+                     " items but only the last bunch may be partial (cap ",
+                     bunch_cap_, ")")) {
+        break;
+      }
+    }
+    v.require(sum == total_, "size accounting broken: bunches hold ", sum,
+              " items but total_=", total_);
+    return std::move(v).take();
   }
 
  private:

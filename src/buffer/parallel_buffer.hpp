@@ -17,10 +17,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sync/nonblocking_lock.hpp"
+#include "util/schedule_points.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::buffer {
 
@@ -44,6 +47,9 @@ class ParallelBuffer {
     Slot& slot = slots_[this_thread_slot() % slots_.size()];
     slot.lock_spin();
     slot.items.push_back(std::move(item));
+    // Item pushed, credit not yet applied: only the slot lock keeps a
+    // racing flush() from taking the item and debiting first.
+    PWSS_SCHED_POINT("parallel_buffer.submit.credit");
     // Publish the count under the slot lock: a flush() racing with this
     // submit would otherwise take the item and fetch_sub before our
     // fetch_add, wrapping pending_ below zero.
@@ -65,6 +71,9 @@ class ParallelBuffer {
       std::vector<T> taken;
       slot.lock_spin();
       taken.swap(slot.items);
+      // Items taken, debit not yet applied — still under the slot lock,
+      // so no submitter can observe a deficit.
+      PWSS_SCHED_POINT("parallel_buffer.flush.debit");
       // Debit under the same lock that credited: per slot, subs are
       // serialized after the adds for the items taken, so pending_ is
       // always >= the true buffered count and never wraps.
@@ -84,12 +93,34 @@ class ParallelBuffer {
     return out;
   }
 
+  /// Deep credit-conservation check: locks every slot (so no submit or
+  /// flush is mid-window), then requires pending_ to equal the number of
+  /// buffered items. Holding all the locks freezes both sides of the
+  /// credit protocol, so the check is exact even with submitters and
+  /// flushers running. Empty string = OK.
+  std::string validate() {
+    util::Validator v("parallel_buffer: ");
+    for (auto& slot : slots_) slot.lock_spin();
+    std::size_t buffered = 0;
+    for (auto& slot : slots_) buffered += slot.items.size();
+    const std::size_t credited = pending_.load(std::memory_order_acquire);
+    v.require(credited == buffered, "credit conservation broken: pending_=",
+              credited, " but slots hold ", buffered, " items");
+    for (auto& slot : slots_) slot.lock.unlock();
+    return std::move(v).take();
+  }
+
  private:
   struct alignas(64) Slot {
     sync::NonBlockingLock lock;
     std::vector<T> items;
     void lock_spin() {
-      while (!lock.try_lock()) std::this_thread::yield();
+      while (!lock.try_lock()) {
+        // NonBlockingLock handoff under contention: a perturbed waiter
+        // widens the window in which the holder's critical section runs.
+        PWSS_SCHED_POINT("parallel_buffer.slot.lock_spin");
+        std::this_thread::yield();
+      }
     }
   };
 

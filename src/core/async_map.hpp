@@ -19,6 +19,7 @@
 #include "core/ops.hpp"
 #include "sched/scheduler.hpp"
 #include "sync/async_gate.hpp"
+#include "util/schedule_points.hpp"
 
 namespace pwss::core {
 
@@ -96,6 +97,9 @@ class AsyncMap {
     // in_flight_ wrap below zero and quiesce() transiently observe a clean
     // state with the op still buffered.
     in_flight_.fetch_add(1, std::memory_order_release);
+    // The PR-2 window: an op claimed but not yet published. With the
+    // claim/publish order reverted, a park here lets drive() debit first.
+    PWSS_SCHED_POINT("async_map.submit.claim_publish");
     input_.submit(Submission{std::move(op), ticket});
     poke();
   }
@@ -166,6 +170,9 @@ class AsyncMap {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].ticket->fulfill(std::move(results_scratch_[i]));
     }
+    // Tickets fulfilled, debit not yet applied: quiesce() must still see
+    // these ops as in flight (fulfill happens-before the decrement).
+    PWSS_SCHED_POINT("async_map.drive.fulfill_debit");
     in_flight_.fetch_sub(batch.size(), std::memory_order_release);
   }
 

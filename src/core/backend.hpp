@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,15 @@ void execute_batch_into(B& backend, std::span<const Op<K, V>> ops,
 template <typename B>
 concept HasInvariantCheck = requires(B b) {
   { b.check_invariants() } -> std::convertible_to<bool>;
+};
+
+/// True when the backend's validator also produces a failure description
+/// (validate() returning "" = sound). Drivers surface it through
+/// Driver::validate() so cross-backend fuzzers report WHAT broke, not
+/// just that something did.
+template <typename B>
+concept HasDeepValidate = requires(B b) {
+  { b.validate() } -> std::convertible_to<std::string>;
 };
 
 /// True when the backend reports which segment currently holds a key — the

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "util/prefetch.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::core {
 
@@ -328,13 +330,31 @@ class FlatSegment {
     entries_.push_back(entry);
   }
 
-  bool check_invariants() const {
-    if (keys_.size() != entries_.size()) return false;
-    if (keys_.size() > kFlatSegmentMax) return false;
-    for (std::size_t i = 1; i < keys_.size(); ++i) {
-      if (!(keys_[i - 1] < keys_[i])) return false;
+  bool check_invariants() const { return validate().empty(); }
+
+  /// Deep representation check with a precise failure description:
+  /// parallel arrays in lockstep, occupancy within kFlatSegmentMax, and
+  /// keys strictly ascending. Empty string = OK. Requires K streamable.
+  std::string validate() const {
+    util::Validator v("flat_segment: ");
+    if (!v.require(keys_.size() == entries_.size(),
+                   "parallel arrays diverged: ", keys_.size(), " keys vs ",
+                   entries_.size(), " entries")) {
+      return std::move(v).take();
     }
-    return true;
+    if (!v.require(keys_.size() <= kFlatSegmentMax, "over capacity: ",
+                   keys_.size(), " items > kFlatSegmentMax=",
+                   kFlatSegmentMax)) {
+      return std::move(v).take();
+    }
+    for (std::size_t i = 1; i < keys_.size(); ++i) {
+      if (!v.require(keys_[i - 1] < keys_[i], "keys not strictly ascending: ",
+                     "keys_[", i - 1, "]=", keys_[i - 1], " !< keys_[", i,
+                     "]=", keys_[i])) {
+        return std::move(v).take();
+      }
+    }
+    return std::move(v).take();
   }
 
  private:

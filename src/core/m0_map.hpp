@@ -17,11 +17,13 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/backend.hpp"
 #include "core/ops.hpp"
 #include "core/segment.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::core {
 
@@ -199,16 +201,59 @@ class M0Map {
 
   /// Validation: segment structure sound, capacities respected (all full
   /// but the last).
-  bool check_invariants() const {
+  bool check_invariants() const { return validate().empty(); }
+
+  /// Deep structural check with a precise failure description: every
+  /// segment's own invariants, the doubly-exponential capacity bound, the
+  /// all-full-except-last occupancy rule, the size_ accounting, and the
+  /// pool-domain accounting (every tree-represented segment holds exactly
+  /// one key-map and one recency-map node per item, and nothing else
+  /// draws from this instance's pools). Empty string = OK.
+  std::string validate() const {
+    util::Validator v("m0: ");
+    std::size_t total = 0;
+    std::uint64_t tree_items = 0;
     for (std::size_t k = 0; k < segments_.size(); ++k) {
-      if (!segments_[k].check_invariants()) return false;
-      if (segments_[k].size() > segment_capacity(k)) return false;
-      if (k + 1 < segments_.size() &&
-          segments_[k].size() != segment_capacity(k)) {
-        return false;
+      const auto& seg = segments_[k];
+      if (!v.absorb(seg.validate(), "segment[", k, "]: ")) {
+        return std::move(v).take();
       }
+      if (!v.require(seg.size() <= segment_capacity(k), "segment[", k,
+                     "] holds ", seg.size(), " items, over its capacity ",
+                     segment_capacity(k))) {
+        return std::move(v).take();
+      }
+      if (!v.require(k + 1 == segments_.size() ||
+                         seg.size() == segment_capacity(k),
+                     "segment[", k, "] holds ", seg.size(),
+                     " items but only the last segment may be partial ",
+                     "(capacity ", segment_capacity(k), ")")) {
+        return std::move(v).take();
+      }
+      total += seg.size();
+      if (!seg.is_flat()) tree_items += seg.size();
     }
-    return true;
+    if (!v.require(total == size_, "size accounting broken: segments hold ",
+                   total, " items but size_=", size_)) {
+      return std::move(v).take();
+    }
+    if (!v.require(pools_->key_pool.live_nodes() == tree_items,
+                   "key-pool accounting broken: ",
+                   pools_->key_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.require(pools_->rec_pool.live_nodes() == tree_items,
+                   "recency-pool accounting broken: ",
+                   pools_->rec_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.absorb(pools_->key_pool.validate(), "key-pool: ")) {
+      return std::move(v).take();
+    }
+    v.absorb(pools_->rec_pool.validate(), "recency-pool: ");
+    return std::move(v).take();
   }
 
  private:

@@ -22,8 +22,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -34,6 +36,7 @@
 #include "sched/scheduler.hpp"
 #include "sort/pesort.hpp"
 #include "tree/jtree.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::core {
 
@@ -119,23 +122,57 @@ class M1Map {
 
   /// Validation: segments sound; every prefix S[0..i] is exactly at
   /// capacity or the suffix beyond it is empty.
-  bool check_invariants() const {
+  bool check_invariants() const { return validate().empty(); }
+
+  /// Deep structural check with a precise failure description: every
+  /// segment's own invariants, the size_ accounting, the restore-capacity
+  /// prefix rule (each capacity prefix is full until the items run out),
+  /// and the pool-domain accounting (one key-map and one recency-map node
+  /// per item in a tree-represented segment). Empty string = OK.
+  std::string validate() const {
+    util::Validator v("m1: ");
     std::size_t total = 0;
-    for (const auto& seg : segments_) {
-      if (!seg.check_invariants()) return false;
-      total += seg.size();
+    std::uint64_t tree_items = 0;
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (!v.absorb(segments_[k].validate(), "segment[", k, "]: ")) {
+        return std::move(v).take();
+      }
+      total += segments_[k].size();
+      if (!segments_[k].is_flat()) tree_items += segments_[k].size();
     }
-    if (total != size_) return false;
+    if (!v.require(total == size_, "size accounting broken: segments hold ",
+                   total, " items but size_=", size_)) {
+      return std::move(v).take();
+    }
     std::size_t cum = 0;
     for (std::size_t i = 0; i < segments_.size(); ++i) {
       cum += segments_[i].size();
       const std::size_t cap_prefix = capacity_prefix(i + 1);
-      if (cum != std::min<std::size_t>(size_, cap_prefix) &&
-          !(cum == size_ && segments_[i].size() > 0)) {
-        return false;
+      if (!v.require(cum == std::min<std::size_t>(size_, cap_prefix) ||
+                         (cum == size_ && segments_[i].size() > 0),
+                     "prefix occupancy rule broken at segment ", i,
+                     ": prefix holds ", cum, " items, expected min(size_=",
+                     size_, ", capacity prefix ", cap_prefix, ")")) {
+        return std::move(v).take();
       }
     }
-    return true;
+    if (!v.require(pools_->key_pool.live_nodes() == tree_items,
+                   "key-pool accounting broken: ",
+                   pools_->key_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.require(pools_->rec_pool.live_nodes() == tree_items,
+                   "recency-pool accounting broken: ",
+                   pools_->rec_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.absorb(pools_->key_pool.validate(), "key-pool: ")) {
+      return std::move(v).take();
+    }
+    v.absorb(pools_->rec_pool.validate(), "recency-pool: ");
+    return std::move(v).take();
   }
 
  private:

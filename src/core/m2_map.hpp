@@ -45,6 +45,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,6 +60,7 @@
 #include "sort/pesort.hpp"
 #include "sync/async_gate.hpp"
 #include "sync/dedicated_lock.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::core {
 
@@ -204,21 +206,87 @@ class M2Map {
   /// Structural validation; callable only when quiescent. M2's balance
   /// invariants (Lemma 16) are lenient: final-slab segment S[k] holds at
   /// most 3·2^(2^k) items and prefixes are at most 2p^2 below capacity.
-  bool check_invariants() {
-    if (pipeline_busy()) return false;
-    if (filter_size_.load() != 0) return false;
+  bool check_invariants() { return validate().empty(); }
+
+  /// Deep structural check with a precise failure description; callable
+  /// only when quiescent (a busy pipeline is itself reported as the
+  /// failure). Checks every segment's own invariants, Lemma 16's lenient
+  /// stage bound (S[k] holds at most 3·2^(2^k)), the size accounting, the
+  /// drained filter (both the counter and its tree/pool), and the shared
+  /// pool domain (one key-map + one recency-map node per item sitting in a
+  /// tree-represented segment). Empty string = OK.
+  std::string validate() {
+    util::Validator v("m2: ");
+    if (!v.require(!pipeline_busy(),
+                   "pipeline still busy: validation is quiescent-only")) {
+      return std::move(v).take();
+    }
+    if (!v.require(filter_size_.load() == 0,
+                   "filter not drained at quiescence: ", filter_size_.load(),
+                   " in-flight groups still admitted")) {
+      return std::move(v).take();
+    }
     std::size_t total = 0;
+    std::uint64_t tree_items = 0;
     for (std::size_t k = 0; k < m_; ++k) {
-      if (!first_slab_[k].check_invariants()) return false;
+      if (!v.absorb(first_slab_[k].validate(), "first-slab segment[", k,
+                    "]: ")) {
+        return std::move(v).take();
+      }
       total += first_slab_[k].size();
+      if (!first_slab_[k].is_flat()) tree_items += first_slab_[k].size();
     }
     for (std::size_t j = 0; j <= terminal_; ++j) {
-      if (!stages_[j].seg.check_invariants()) return false;
       const std::size_t k = m_ + j;
-      if (stages_[j].seg.size() > 3 * segment_capacity(k)) return false;
+      if (!v.absorb(stages_[j].seg.validate(), "stage segment S[", k,
+                    "]: ")) {
+        return std::move(v).take();
+      }
+      if (!v.require(stages_[j].seg.size() <= 3 * segment_capacity(k),
+                     "stage segment S[", k, "] holds ", stages_[j].seg.size(),
+                     " items, over its Lemma 16 bound 3*2^(2^", k, ") = ",
+                     3 * segment_capacity(k))) {
+        return std::move(v).take();
+      }
       total += stages_[j].seg.size();
+      if (!stages_[j].seg.is_flat()) tree_items += stages_[j].seg.size();
     }
-    return total == size_.load();
+    if (!v.require(total == size_.load(),
+                   "size accounting broken: segments hold ", total,
+                   " items but size_=", size_.load())) {
+      return std::move(v).take();
+    }
+    if (!v.require(filter_.size() == 0,
+                   "filter tree not empty at quiescence: ", filter_.size(),
+                   " entries remain")) {
+      return std::move(v).take();
+    }
+    if (!v.require(filter_pool_.live_nodes() == 0,
+                   "filter-pool accounting broken: ",
+                   filter_pool_.live_nodes(),
+                   " live nodes but the filter is drained")) {
+      return std::move(v).take();
+    }
+    if (!v.require(pools_.key_pool.live_nodes() == tree_items,
+                   "key-pool accounting broken: ",
+                   pools_.key_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.require(pools_.rec_pool.live_nodes() == tree_items,
+                   "recency-pool accounting broken: ",
+                   pools_.rec_pool.live_nodes(), " live nodes but ",
+                   tree_items, " items live in tree-represented segments")) {
+      return std::move(v).take();
+    }
+    if (!v.absorb(pools_.key_pool.validate(), "key-pool: ")) {
+      return std::move(v).take();
+    }
+    if (!v.absorb(pools_.rec_pool.validate(), "recency-pool: ")) {
+      return std::move(v).take();
+    }
+    v.absorb(filter_pool_.validate(), "filter-pool: ");
+    return std::move(v).take();
   }
 
   /// Segment index (global numbering S[0..l]) holding `key`; quiescent only.

@@ -40,12 +40,15 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/flat_segment.hpp"
 #include "core/ops.hpp"
 #include "tree/jtree.hpp"
+#include "util/schedule_points.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::core {
 
@@ -442,27 +445,70 @@ class Segment {
 
   /// Structural validation: representation invariants hold, both orders
   /// cover the same items, stamps distinct.
-  bool check_invariants() const {
-    if (!is_tree_) {
-      if (!flat_.check_invariants()) return false;
-      if (!by_key_.empty() || !by_recency_.empty()) return false;
-      std::vector<std::uint64_t> stamps;
-      stamps.reserve(flat_.size());
-      flat_.for_each([&](const K&, const V&, std::uint64_t stamp) {
-        stamps.push_back(stamp);
-      });
-      std::sort(stamps.begin(), stamps.end());
-      return std::adjacent_find(stamps.begin(), stamps.end()) == stamps.end();
+  bool check_invariants() const { return validate().empty(); }
+
+  /// Deep representation check with a precise failure description.
+  /// Flat: the flat arrays' own invariants, both trees empty, stamps
+  /// distinct. Tree: both trees' own invariants, equal sizes, the
+  /// recency<->key bijection, and the demotion hysteresis (an unpinned
+  /// tree segment at or below kFlatSegmentDemote should have demoted on
+  /// the mutation that shrank it). Empty string = OK.
+  std::string validate() const {
+    util::Validator v("segment: ");
+    if (!v.require(!pin_tree_ || is_tree_,
+                   "pinned to the tree representation but currently flat")) {
+      return std::move(v).take();
     }
-    if (!by_key_.check_invariants() || !by_recency_.check_invariants())
-      return false;
-    if (by_key_.size() != by_recency_.size()) return false;
-    bool ok = true;
+    if (!is_tree_) {
+      if (!v.absorb(flat_.validate(), "")) return std::move(v).take();
+      if (!v.require(by_key_.empty() && by_recency_.empty(),
+                     "flat representation but the trees still hold ",
+                     by_key_.size(), " key-map / ", by_recency_.size(),
+                     " recency-map items")) {
+        return std::move(v).take();
+      }
+      std::vector<std::pair<std::uint64_t, K>> stamps;
+      stamps.reserve(flat_.size());
+      flat_.for_each([&](const K& k, const V&, std::uint64_t stamp) {
+        stamps.emplace_back(stamp, k);
+      });
+      std::sort(stamps.begin(), stamps.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::size_t i = 1; i < stamps.size(); ++i) {
+        if (!v.require(stamps[i - 1].first != stamps[i].first,
+                       "duplicate recency stamp ", stamps[i].first,
+                       " shared by keys ", stamps[i - 1].second, " and ",
+                       stamps[i].second)) {
+          return std::move(v).take();
+        }
+      }
+      return std::move(v).take();
+    }
+    if (!v.absorb(by_key_.validate(), "key-map: ")) return std::move(v).take();
+    if (!v.absorb(by_recency_.validate(), "recency-map: ")) {
+      return std::move(v).take();
+    }
+    if (!v.require(by_key_.size() == by_recency_.size(),
+                   "tree sizes diverged: key-map holds ", by_key_.size(),
+                   " items, recency-map ", by_recency_.size())) {
+      return std::move(v).take();
+    }
+    if (!v.require(pin_tree_ || by_key_.size() > kFlatSegmentDemote,
+                   "hysteresis violated: tree representation with size ",
+                   by_key_.size(), " <= demote bound ", kFlatSegmentDemote,
+                   " and not pinned")) {
+      return std::move(v).take();
+    }
     by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
       const K* back = by_recency_.find(e.second);
-      if (!back || !(*back == k)) ok = false;
+      if (!v.require(back != nullptr, "recency map is missing stamp ",
+                     e.second, " of key ", k)) {
+        return;
+      }
+      v.require(*back == k, "recency map maps stamp ", e.second, " to key ",
+                *back, " but the key map says ", k);
     });
-    return ok;
+    return std::move(v).take();
   }
 
  private:
@@ -475,6 +521,9 @@ class Segment {
   /// side needs one stamp sort of at most kFlatSegmentMax pairs.
   void promote(SegmentScratch<K, V>* s) {
     assert(!is_tree_);
+    // Representation change in flight: flat arrays about to drain into
+    // freshly built trees (pool draws happen inside from_sorted).
+    PWSS_SCHED_POINT("segment.promote");
     SegmentScratch<K, V> local;
     SegmentScratch<K, V>& sc = s ? *s : local;
     sc.key_entries.clear();
@@ -494,6 +543,9 @@ class Segment {
   void maybe_demote() {
     if (!is_tree_ || pin_tree_) return;
     if (by_key_.size() > kFlatSegmentDemote) return;
+    // Representation change in flight: tree contents about to walk back
+    // into the flat arrays, then both trees bulk-recycle their nodes.
+    PWSS_SCHED_POINT("segment.demote");
     flat_.clear();
     by_key_.for_each([&](const K& k, const std::pair<V, std::uint64_t>& e) {
       flat_.append_sorted(k, e);

@@ -189,6 +189,12 @@ class Driver {
   /// first); backends without check_invariants() vacuously pass.
   virtual bool check() = 0;
 
+  /// Deep structural validation with a failure description (quiescing
+  /// first). "" = sound. Backends with only a boolean check_invariants()
+  /// report a generic message on failure; backends without any validator
+  /// vacuously pass.
+  virtual std::string validate() = 0;
+
   /// The scheduler this driver owns or runs on (a caller-supplied
   /// Options::scheduler is shared, not owned), or nullptr for
   /// schedulerless backends (the sequential baselines and the locked
@@ -253,6 +259,20 @@ bool checked_invariants(B& backend) {
   } else {
     (void)backend;
     return true;
+  }
+}
+
+template <typename B, typename K, typename V>
+std::string deep_validate(B& backend) {
+  if constexpr (core::HasDeepValidate<B>) {
+    return backend.validate();
+  } else if constexpr (core::HasInvariantCheck<B>) {
+    return backend.check_invariants()
+               ? std::string()
+               : "check_invariants() failed (backend has no deep validator)";
+  } else {
+    (void)backend;
+    return {};
   }
 }
 
@@ -348,6 +368,10 @@ class AsyncDriver final : public Driver<K, V> {
     async_.quiesce();
     return detail::checked_invariants<B, K, V>(async_.map());
   }
+  std::string validate() override {
+    async_.quiesce();
+    return detail::deep_validate<B, K, V>(async_.map());
+  }
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   /// The wrapped backend; safe only when quiescent.
@@ -429,6 +453,10 @@ class NativeAsyncDriver final : public Driver<K, V> {
     backend_.quiesce();
     return detail::checked_invariants<B, K, V>(backend_);
   }
+  std::string validate() override {
+    backend_.quiesce();
+    return detail::deep_validate<B, K, V>(backend_);
+  }
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   B& backend() { return backend_; }
@@ -483,6 +511,9 @@ class DirectDriver final : public Driver<K, V> {
   void quiesce() override {}
   std::size_t size() override { return backend_.size(); }
   bool check() override { return detail::checked_invariants<B, K, V>(backend_); }
+  std::string validate() override {
+    return detail::deep_validate<B, K, V>(backend_);
+  }
   sched::Scheduler* scheduler() noexcept override { return nullptr; }
 
   B& backend() { return backend_; }

@@ -125,6 +125,16 @@ class ShardedDriver final : public Driver<K, V> {
     return ok;
   }
 
+  std::string validate() override {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::string err = shards_[i]->validate();
+      if (!err.empty()) {
+        return "shard[" + std::to_string(i) + "]: " + err;
+      }
+    }
+    return {};
+  }
+
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
  protected:

@@ -32,6 +32,9 @@ class ChaseLevDeque {
   TaskBase* steal();
 
   bool empty() const noexcept {
+    // relaxed (both): advisory probe only — callers that act on the
+    // answer (pop/steal) re-read under their own synchronized protocol,
+    // so a stale emptiness verdict costs a retry, never correctness.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b <= t;
@@ -45,6 +48,10 @@ class ChaseLevDeque {
     std::size_t mask;
     std::vector<std::atomic<TaskBase*>> slots;
 
+    // relaxed (both): per PPoPP'13, slot contents are published by the
+    // release store of bottom_ in push() and acquired through the
+    // top_/bottom_ protocol in steal(); the slots are atomic only so a
+    // racy read of a recycled index is not UB, never for ordering.
     TaskBase* get(std::int64_t i) const noexcept {
       return slots[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);

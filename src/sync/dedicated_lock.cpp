@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/schedule_points.hpp"
+
 namespace pwss::sync {
 
 DedicatedLock::DedicatedLock(std::size_t keys) : slots_(keys ? keys : 1) {
@@ -23,6 +25,9 @@ void DedicatedLock::acquire(std::size_t key, Continuation cont,
     cont();  // lock obtained immediately
     return;
   }
+  // The straggler window: the count says we are waiting but the slot is
+  // still empty — a racing release() must keep scanning until we park.
+  PWSS_SCHED_POINT("dedicated_lock.acquire.park");
   // Park the continuation; a release will find it. The slot must be empty:
   // the key discipline says no two concurrent acquirers share a key.
   auto* parked = new Continuation(std::move(cont));
@@ -34,6 +39,9 @@ void DedicatedLock::acquire(std::size_t key, Continuation cont,
 
 void DedicatedLock::release(const ResumeSink& resume) {
   if (count_.fetch_sub(1, std::memory_order_acq_rel) <= 1) return;
+  // Ownership already handed off by the decrement; the next holder is
+  // parked (or parking) but not yet resumed.
+  PWSS_SCHED_POINT("dedicated_lock.release.scan");
   // At least one acquirer is parked or about to park. Scan cyclically from
   // just after the last holder's key; the parked slot may lag the count
   // increment by a few instructions, so the scan loops until it finds one

@@ -27,15 +27,18 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sched/scheduler.hpp"
 #include "util/node_pool.hpp"
 #include "util/prefetch.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::tree {
 
@@ -310,10 +313,22 @@ class JTree {
 
   /// Structural validation for tests: AVL balance, correct height/size
   /// fields, strict key order.
-  bool check_invariants() const {
-    bool ok = true;
-    check_rec(root_, nullptr, nullptr, ok);
-    return ok;
+  bool check_invariants() const { return validate().empty(); }
+
+  /// Deep structural validation with a precise failure description:
+  /// strict key order within every subtree's bounds, height and size
+  /// fields consistent with the children, AVL balance, and an acyclicity
+  /// budget (a link cycle or corrupt size field trips the node budget
+  /// instead of hanging the walk). Empty string = OK. Requires K
+  /// streamable.
+  std::string validate() const {
+    util::Validator v("jtree: ");
+    // One node over the root's claim: a healthy walk visits exactly
+    // node_size(root_) nodes, so exceeding the budget means the links
+    // reach more nodes than the size fields admit.
+    std::uint64_t budget = node_size(root_) + 1;
+    validate_rec(root_, nullptr, nullptr, v, budget);
+    return std::move(v).take();
   }
 
  private:
@@ -603,16 +618,44 @@ class JTree {
     }
   }
 
-  void check_rec(const Node* t, const K* lo, const K* hi, bool& ok) const {
-    if (!t || !ok) return;
-    if (lo && !cmp_(*lo, t->key)) ok = false;
-    if (hi && !cmp_(t->key, *hi)) ok = false;
-    if (t->height != 1 + std::max(node_height(t->left), node_height(t->right)))
-      ok = false;
-    if (t->size != 1 + node_size(t->left) + node_size(t->right)) ok = false;
-    if (std::abs(node_height(t->left) - node_height(t->right)) > 1) ok = false;
-    check_rec(t->left, lo, &t->key, ok);
-    check_rec(t->right, &t->key, hi, ok);
+  void validate_rec(const Node* t, const K* lo, const K* hi,
+                    util::Validator& v, std::uint64_t& budget) const {
+    if (t == nullptr || !v.ok()) return;
+    if (!v.require(budget > 0, "links reach more nodes than the root's ",
+                   "size field ", node_size(root_),
+                   " admits (cycle or corrupt size)")) {
+      return;
+    }
+    --budget;
+    if (!v.require(lo == nullptr || cmp_(*lo, t->key), "order violated at key ",
+                   t->key, ": not above its subtree's lower bound ",
+                   lo != nullptr ? *lo : t->key)) {
+      return;
+    }
+    if (!v.require(hi == nullptr || cmp_(t->key, *hi), "order violated at key ",
+                   t->key, ": not below its subtree's upper bound ",
+                   hi != nullptr ? *hi : t->key)) {
+      return;
+    }
+    const int want_h =
+        1 + std::max(node_height(t->left), node_height(t->right));
+    if (!v.require(t->height == want_h, "height field wrong at key ", t->key,
+                   ": stored ", t->height, ", children imply ", want_h)) {
+      return;
+    }
+    const std::size_t want_n = 1 + node_size(t->left) + node_size(t->right);
+    if (!v.require(t->size == want_n, "size field wrong at key ", t->key,
+                   ": stored ", t->size, ", children imply ", want_n)) {
+      return;
+    }
+    const int skew = node_height(t->left) - node_height(t->right);
+    if (!v.require(skew >= -1 && skew <= 1, "AVL balance violated at key ",
+                   t->key, ": left height ", node_height(t->left),
+                   " vs right height ", node_height(t->right))) {
+      return;
+    }
+    validate_rec(t->left, lo, &t->key, v, budget);
+    validate_rec(t->right, &t->key, hi, v, budget);
   }
 
   void assert_sorted_pairs(

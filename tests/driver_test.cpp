@@ -169,10 +169,18 @@ TEST(Driver, BatchArenasIndependentAcrossInstances) {
     expect_matches_reference(ref_a, ops_a, got_a, "instance a");
     expect_matches_reference(ref_b, ops_b, got_b, "instance b");
     expect_matches_reference(ref_c, ops_c, got_c, "instance c");
+    // Deep-validate all three instances (with failure descriptions)
+    // every few rounds; structure churn accumulates across rounds, so
+    // late rounds cover states the final check alone would miss.
+    if (round % 5 == 4) {
+      ASSERT_EQ(a->validate(), "") << "round " << round;
+      ASSERT_EQ(b->validate(), "") << "round " << round;
+      ASSERT_EQ(c->validate(), "") << "round " << round;
+    }
   }
-  EXPECT_TRUE(a->check());
-  EXPECT_TRUE(b->check());
-  EXPECT_TRUE(c->check());
+  EXPECT_EQ(a->validate(), "");
+  EXPECT_EQ(b->validate(), "");
+  EXPECT_EQ(c->validate(), "");
   EXPECT_EQ(a->size(), ref_a.size());
   EXPECT_EQ(b->size(), ref_b.size());
   EXPECT_EQ(c->size(), ref_c.size());

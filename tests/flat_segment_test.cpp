@@ -320,8 +320,8 @@ TEST(FlatSegmentFuzz, DifferentialAgainstPinnedTreeAndOracle) {
     if (!was_flat && flat_seg.is_flat()) ++demotes_seen;
     was_flat = flat_seg.is_flat();
     if (step % 512 == 0) {
-      ASSERT_TRUE(flat_seg.check_invariants()) << "step " << step;
-      ASSERT_TRUE(tree_seg.check_invariants()) << "step " << step;
+      ASSERT_EQ(flat_seg.validate(), "") << "step " << step;
+      ASSERT_EQ(tree_seg.validate(), "") << "step " << step;
     }
   }
 

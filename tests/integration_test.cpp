@@ -70,9 +70,16 @@ TEST_P(BackendIntegrationTest, AgreesWithM0ReferenceOnBatches) {
           << GetParam() << " round " << round << " op " << i;
     }
     ASSERT_EQ(map->size(), ref.size()) << GetParam() << " round " << round;
+    // Deep validator sweep (representation flags, hysteresis, pool
+    // accounting) every few rounds, with the failure description when a
+    // backend provides one.
+    if (round % 10 == 9) {
+      ASSERT_EQ(map->validate(), "") << GetParam() << " round " << round;
+      ASSERT_EQ(ref.validate(), "") << "reference, round " << round;
+    }
   }
-  EXPECT_TRUE(map->check());
-  EXPECT_TRUE(ref.check_invariants());
+  EXPECT_EQ(map->validate(), "") << GetParam();
+  EXPECT_EQ(ref.validate(), "");
 }
 
 // Concurrent clients with per-thread key spaces: the backend converges to
@@ -190,7 +197,7 @@ TEST(Integration, ZipfWorkloadSoundness) {
     if (batch.size() == 2048 || i + 1 == ops.size()) {
       m1.execute_batch(batch);
       batch.clear();
-      ASSERT_TRUE(m1.check_invariants());
+      ASSERT_EQ(m1.validate(), "");
     }
   }
 }

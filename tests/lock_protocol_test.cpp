@@ -30,19 +30,25 @@ TEST(DedicatedLockProtocol, ManyKeysUnderSchedulerLoad) {
 
   for (std::size_t key = 0; key < kKeys; ++key) {
     s.spawn([&, key] {
-      // Each key's chain re-acquires kRounds times, sequentially.
+      // Each key's chain re-acquires kRounds times, sequentially. The
+      // STORED function must capture itself weakly (a strong self-capture
+      // is a shared_ptr cycle and leaks the whole chain closure — LSan
+      // caught exactly that); every in-flight continuation re-locks a
+      // strong ref, so the function dies with the chain's last hop.
       auto step = std::make_shared<std::function<void(int)>>();
-      *step = [&, key, step](int remaining) {
+      std::weak_ptr<std::function<void(int)>> wstep = step;
+      *step = [&, key, wstep](int remaining) {
         if (remaining == 0) return;
+        auto self = wstep.lock();  // callers hold a strong ref
         lock.acquire(
             key,
-            [&, key, step, remaining] {
+            [&, key, self, remaining] {
               if (in_critical.fetch_add(1) != 0) violation = true;
               in_critical.fetch_sub(1);
               completed.fetch_add(1);
               lock.release(sink);
               // Continue the chain outside the lock.
-              s.spawn([step, remaining] { (*step)(remaining - 1); });
+              s.spawn([self, remaining] { (*self)(remaining - 1); });
             },
             sink);
       };
@@ -74,19 +80,23 @@ TEST(DedicatedLockProtocol, DescendingChainSerializesWithoutDeadlock) {
   constexpr int kRunsPerStage = 200;
 
   // stage j acquires FL[j] (key 0), then FL[j-1..0] (key 1), runs, releases.
+  // Same weak-self discipline as above: the stored function captures
+  // itself weakly, each pending lock continuation holds a strong ref.
   auto run_stage = [&](std::size_t j) {
     auto acquire_down = std::make_shared<std::function<void(std::size_t)>>();
-    *acquire_down = [&, j, acquire_down](std::size_t i) {
+    std::weak_ptr<std::function<void(std::size_t)>> wdown = acquire_down;
+    *acquire_down = [&, j, wdown](std::size_t i) {
+      auto self = wdown.lock();  // callers hold a strong ref
       fl[i]->acquire(
           i == j ? 0u : 1u,
-          [&, j, i, acquire_down] {
+          [&, j, i, self] {
             if (i == 0) {
               if (in_front.fetch_add(1) != 0) violation = true;
               in_front.fetch_sub(1);
               for (std::size_t r = 0; r <= j; ++r) fl[r]->release(sink);
               completed.fetch_add(1);
             } else {
-              (*acquire_down)(i - 1);
+              (*self)(i - 1);
             }
           },
           sink);

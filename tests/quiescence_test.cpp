@@ -35,17 +35,12 @@
 #include "driver/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
-
-#if defined(__linux__)
-#include <cerrno>
-#include <csignal>
-#include <ctime>
-#include <sys/syscall.h>
-#include <unistd.h>
-#endif
+#include "util/schedule_points.hpp"
 
 namespace pwss {
 namespace {
+
+using util::PreemptionFuzzer;
 
 using IntMap = core::M1Map<std::uint64_t, std::uint64_t>;
 using IntAsyncMap = core::AsyncMap<std::uint64_t, std::uint64_t, IntMap>;
@@ -54,61 +49,6 @@ using IntOp = core::Op<std::uint64_t, std::uint64_t>;
 // No run ever has this many ops outstanding; a wrapped counter exceeds it
 // by five orders of magnitude.
 constexpr std::size_t kWrapBound = std::size_t{1} << 40;
-
-#if defined(__linux__)
-
-extern "C" void preemption_fuzzer_park(int) {
-  const int saved_errno = errno;
-  timespec park{0, 5'000'000};  // 5 ms: longer than a scheduling slice
-  nanosleep(&park, nullptr);
-  errno = saved_errno;
-}
-
-/// Arms a CPU-time timer on the calling thread that delivers SIGPROF (to
-/// this thread only) roughly every interval_ns of ITS cpu time; the
-/// handler parks the thread mid-instruction-stream. Returns true if armed.
-class PreemptionFuzzer {
- public:
-  explicit PreemptionFuzzer(long interval_ns) {
-    struct sigaction sa{};
-    sa.sa_handler = preemption_fuzzer_park;
-    sa.sa_flags = SA_RESTART;
-    sigaction(SIGPROF, &sa, nullptr);
-
-    sigevent sev{};
-    sev.sigev_notify = SIGEV_THREAD_ID;
-    sev.sigev_signo = SIGPROF;
-#ifndef sigev_notify_thread_id
-#define sigev_notify_thread_id _sigev_un._tid
-#endif
-    sev.sigev_notify_thread_id = static_cast<pid_t>(syscall(SYS_gettid));
-    armed_ = timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &timer_) == 0;
-    if (armed_) {
-      itimerspec its{};
-      its.it_interval.tv_nsec = interval_ns;
-      its.it_value.tv_nsec = interval_ns;
-      timer_settime(timer_, 0, &its, nullptr);
-    }
-  }
-  ~PreemptionFuzzer() {
-    if (armed_) timer_delete(timer_);
-  }
-  PreemptionFuzzer(const PreemptionFuzzer&) = delete;
-  PreemptionFuzzer& operator=(const PreemptionFuzzer&) = delete;
-
- private:
-  timer_t timer_{};
-  bool armed_ = false;
-};
-
-#else
-
-class PreemptionFuzzer {
- public:
-  explicit PreemptionFuzzer(long) {}
-};
-
-#endif  // __linux__
 
 unsigned oversubscribed_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -237,7 +177,7 @@ TEST(QuiescenceStress, AsyncMapInFlightNeverWraps) {
 
     amap.quiesce();
     EXPECT_EQ(amap.in_flight(), 0u) << "round " << round;
-    EXPECT_TRUE(amap.map().check_invariants()) << "round " << round;
+    EXPECT_EQ(amap.map().validate(), "") << "round " << round;
     if (wrapped.load()) wrapped_any = true;
   }
   EXPECT_FALSE(wrapped_any) << "in_flight() wrapped below zero";
@@ -279,7 +219,7 @@ TEST(QuiescenceStress, QuiesceImpliesAllTicketsFulfilled) {
     }
     ASSERT_EQ(amap.in_flight(), 0u) << "round " << round;
   }
-  EXPECT_TRUE(amap.map().check_invariants());
+  EXPECT_EQ(amap.map().validate(), "");
 }
 
 // Protocol-v2 stress: client threads drive the driver-level submit()
@@ -346,7 +286,7 @@ TEST(QuiescenceStress, ConcurrentSubmitAndQuiesceAcrossBackends) {
     stop.store(true, std::memory_order_release);
     quiescer.join();
     d->quiesce();
-    EXPECT_TRUE(d->check()) << name;
+    EXPECT_EQ(d->validate(), "") << name;
     // quiesce() returning implies every completion callback already ran
     // (fulfill — and the hook inside it — happens before the in-flight
     // decrement quiesce() waits on).

@@ -187,29 +187,39 @@ TEST(Scheduler, LocalityStealDrainsUnbalancedBurst) {
   // so near-ring and far-ring steals both happen. Pins completion (no task
   // lost to the reordered probe sequence) and actual multi-worker
   // participation; TSan covers the racy side in CI.
+  //
+  // Completion is asserted on every round. Participation gets a few
+  // retries: on a single-core box the owner can drain the whole burst
+  // inside one OS quantum before any thief thread is ever scheduled, and
+  // one such quantum-alignment round proves nothing about the steal path.
   constexpr int kBurst = 4000;
-  std::atomic<int> executed{0};
-  std::atomic<std::uint64_t> worker_mask{0};
-  sched::Scheduler s(8);
-  s.spawn([&] {
-    for (int i = 0; i < kBurst; ++i) {
-      s.spawn([&] {
-        worker_mask.fetch_or(1ULL << (std::hash<std::thread::id>{}(
-                                          std::this_thread::get_id()) %
-                                      64));
-        volatile int sink = 0;
-        for (int j = 0; j < 500; ++j) sink = sink + j;
-        executed.fetch_add(1);
-      });
+  constexpr int kAttempts = 6;
+  bool stolen = false;
+  for (int attempt = 0; attempt < kAttempts && !stolen; ++attempt) {
+    std::atomic<int> executed{0};
+    std::atomic<std::uint64_t> worker_mask{0};
+    sched::Scheduler s(8);
+    s.spawn([&] {
+      for (int i = 0; i < kBurst; ++i) {
+        s.spawn([&] {
+          worker_mask.fetch_or(1ULL << (std::hash<std::thread::id>{}(
+                                            std::this_thread::get_id()) %
+                                        64));
+          volatile int sink = 0;
+          for (int j = 0; j < 500; ++j) sink = sink + j;
+          executed.fetch_add(1);
+        });
+      }
+      executed.fetch_add(1);
+    });
+    for (int i = 0; i < 200000000 && executed.load() < kBurst + 1; ++i) {
+      std::this_thread::yield();
     }
-    executed.fetch_add(1);
-  });
-  for (int i = 0; i < 200000000 && executed.load() < kBurst + 1; ++i) {
-    std::this_thread::yield();
+    ASSERT_EQ(executed.load(), kBurst + 1) << "attempt " << attempt;
+    stolen = std::popcount(worker_mask.load()) >= 2;
   }
-  EXPECT_EQ(executed.load(), kBurst + 1);
-  EXPECT_GE(std::popcount(worker_mask.load()), 2)
-      << "burst drained without any stealing";
+  EXPECT_TRUE(stolen) << "burst drained without any stealing, " << kAttempts
+                      << " rounds in a row";
 }
 
 TEST(ChaseLev, LifoForOwner) {

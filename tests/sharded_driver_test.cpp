@@ -253,6 +253,7 @@ TEST(ShardedDriverTest, ConcurrentClientsConvergeAndAggregate) {
           case core::OpType::kInsert: map->insert(op.key, op.value); break;
           case core::OpType::kErase: map->erase(op.key); break;
           case core::OpType::kSearch: map->search(op.key); break;
+          default: break;  // generator emits only the three point kinds
         }
       }
     });
