@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         threads.emplace_back([&, t] {
           pwss::bench::WallTimer wt;
           for (std::size_t i = 0; i < per; ++i) {
-            buf.submit(t * per + i);
+            (void)buf.submit(t * per + i);
           }
           submit_ns_total.fetch_add(static_cast<std::uint64_t>(wt.ns()));
         });

@@ -12,7 +12,7 @@ repeated runs appended to the same file) are median-reduced.
 
 Metric direction is inferred from the name: *_per_sec is higher-better,
 ns_* / *_ns is lower-better. Counter-shaped metrics (hits_*, misses,
-share_*) are NEUTRAL: they describe workload shape (e.g. the per-segment-
+share_*, shed_*) are NEUTRAL: they describe workload shape (e.g. the per-segment-
 depth probe counters from bench_micro's probe_depth panel), not speed, so
 they are shown informationally and never flagged as regressions. The exit
 code is nonzero when any shared series regressed by more than the
@@ -62,9 +62,14 @@ def load(path):
 
 
 def is_neutral(metric):
-    """Workload-shape counters: reported, never gated on."""
+    """Workload-shape counters: reported, never gated on.
+
+    Shed rates (bench_e10_overload) are policy outcomes — a higher shed
+    rate under a tighter window is the admission controller WORKING, not a
+    performance regression — so they are informational by construction.
+    """
     return (metric.startswith("hits_") or metric.startswith("share_")
-            or metric == "misses")
+            or metric.startswith("shed_") or metric == "misses")
 
 
 def higher_is_better(metric):

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sync/nonblocking_lock.hpp"
+#include "util/fault.hpp"
 #include "util/schedule_points.hpp"
 #include "util/validate.hpp"
 
@@ -42,8 +43,14 @@ class ParallelBuffer {
     slots_ = std::vector<Slot>(slots);
   }
 
-  /// O(1) amortized; callable from any thread concurrently.
-  void submit(T item) {
+  /// O(1) amortized; callable from any thread concurrently. Returns
+  /// false when the buffer refuses the publication (today only under
+  /// injected faults — the hook a future bounded-capacity policy will
+  /// share): the item is NOT buffered and the caller must deliver a
+  /// terminal kOverloaded result and unwind any in-flight accounting it
+  /// performed before publishing.
+  [[nodiscard]] bool submit(T item) {
+    if (PWSS_FAULT_POINT("parallel_buffer.submit.reject")) return false;
     Slot& slot = slots_[this_thread_slot() % slots_.size()];
     slot.lock_spin();
     slot.items.push_back(std::move(item));
@@ -55,6 +62,7 @@ class ParallelBuffer {
     // fetch_add, wrapping pending_ below zero.
     pending_.fetch_add(1, std::memory_order_release);
     slot.lock.unlock();
+    return true;
   }
 
   /// Approximate number of buffered items (exact when quiescent).

@@ -19,6 +19,7 @@
 #include "core/ops.hpp"
 #include "sched/scheduler.hpp"
 #include "sync/async_gate.hpp"
+#include "util/fault.hpp"
 #include "util/schedule_points.hpp"
 
 namespace pwss::core {
@@ -32,19 +33,48 @@ namespace pwss::core {
 template <typename V, typename K = V>
 struct OpTicket {
   std::atomic<bool> ready{false};
+  /// Cancellation REQUEST flag (overload-robustness layer). cancel() never
+  /// fulfills the ticket itself: only the executing side fulfills, after
+  /// checking this flag at a batch-cut boundary. That single-fulfiller
+  /// rule is what makes the terminal status exact — an op is either
+  /// executed (fulfilled with its real result) or completed kCancelled,
+  /// never both, and the in-flight accounting debits exactly once either
+  /// way. A cancel() that loses the race to the executor is a no-op.
+  std::atomic<bool> cancel_requested{false};
   Result<V, K> result;
   void (*on_complete)(OpTicket*) = nullptr;
+  /// Admission-window release hook (driver layer): runs on the fulfilling
+  /// thread after the result is published, before on_complete, so the
+  /// window slot frees no later than the waiter wakes. Cached before the
+  /// ready publish like on_complete (the ticket may die the moment ready
+  /// is observed).
+  void (*on_release)(void*) = nullptr;
+  void* release_ctx = nullptr;
+
+  /// Requests cancellation. Best-effort: the op completes kCancelled only
+  /// if the request is observed before it is cut into an executing batch;
+  /// otherwise it completes with its real result. Either way it reaches a
+  /// terminal status.
+  void cancel() noexcept {
+    cancel_requested.store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return cancel_requested.load(std::memory_order_acquire);
+  }
 
   void fulfill(Result<V, K> r) {
-    // Cache the hook BEFORE publishing: the moment ready is true a
+    // Cache the hooks BEFORE publishing: the moment ready is true a
     // spin-waiting owner may return and reuse/destroy a stack ticket, so
     // no field may be read afterwards. Hooked tickets (FutureState) stay
     // alive past the store — the producer reference is released by the
     // hook itself.
     void (*hook)(OpTicket*) = on_complete;
+    void (*release)(void*) = on_release;
+    void* rctx = release_ctx;
     result = std::move(r);
     ready.store(true, std::memory_order_release);
     ready.notify_all();
+    if (release != nullptr) release(rctx);
     if (hook != nullptr) hook(this);
   }
   Result<V, K> wait() {
@@ -60,7 +90,10 @@ struct OpTicket {
   /// Only legal when no waiter can still observe the previous round.
   void reset() noexcept {
     ready.store(false, std::memory_order_relaxed);
+    cancel_requested.store(false, std::memory_order_relaxed);
     result = Result<V, K>{};
+    on_release = nullptr;
+    release_ctx = nullptr;
   }
 };
 
@@ -90,7 +123,10 @@ class AsyncMap {
     return run_op(Op<K, V>::erase(key)).value;
   }
 
-  /// Submits without blocking; caller later waits on the ticket.
+  /// Submits without blocking; caller later waits on the ticket. Always
+  /// delivers a terminal result: on a buffer rejection (injected fault or
+  /// a future bounded-capacity policy) the ticket completes kOverloaded
+  /// right here on the submitting thread.
   void submit(Op<K, V> op, OpTicket<V, K>* ticket) {
     // Claim before publish: drive() may fulfill the op and fetch_sub the
     // moment it is visible in input_, so incrementing afterwards would let
@@ -100,7 +136,14 @@ class AsyncMap {
     // The PR-2 window: an op claimed but not yet published. With the
     // claim/publish order reverted, a park here lets drive() debit first.
     PWSS_SCHED_POINT("async_map.submit.claim_publish");
-    input_.submit(Submission{std::move(op), ticket});
+    if (!input_.submit(Submission{std::move(op), ticket})) {
+      // Not buffered: undo the claim (nobody else can have seen the op)
+      // and shed. Debit before fulfill so a waiter that frees the ticket
+      // on wake never races the counter update.
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      ticket->fulfill(Result<V, K>::error(ResultStatus::kOverloaded));
+      return;
+    }
     poke();
   }
 
@@ -159,21 +202,57 @@ class AsyncMap {
                std::ceil(std::log2(n) / static_cast<double>(p_))));
     std::vector<Submission> batch = feed_.take_bunches(bunches);
     if (batch.empty()) return;
-    // The scratch buffers are safe to reuse: the gate guarantees one
-    // drive owner, so steady-state cut batches recycle both the staged
-    // ops and the results capacity.
-    ops_scratch_.clear();
-    ops_scratch_.reserve(batch.size());
-    for (auto& s : batch) ops_scratch_.push_back(std::move(s.op));
-    execute_batch_into<K, V>(map_, std::span<const Op<K, V>>(ops_scratch_),
-                             results_scratch_);
+    const std::size_t submitted = batch.size();
+    // Terminal-status pass (the batch-cut boundary of the robustness
+    // layer): cancelled and deadline-expired ops complete HERE, before
+    // the structure is touched, and are compacted out of the batch. They
+    // still count toward the debit below — every claimed op debits
+    // exactly once, fulfilled or not, so quiescence stays conserved.
+    std::uint64_t now = 0;  // lazily read: deadline-free batches skip the clock
+    std::size_t live = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].ticket->fulfill(std::move(results_scratch_[i]));
+      Submission& s = batch[i];
+      if (s.ticket->cancelled()) {
+        s.ticket->fulfill(Result<V, K>::error(ResultStatus::kCancelled));
+        continue;
+      }
+      if (s.op.deadline_ns != 0) {
+        if (now == 0) now = now_ns();
+        if (s.op.expired(now)) {
+          s.ticket->fulfill(Result<V, K>::error(ResultStatus::kTimedOut));
+          continue;
+        }
+      }
+      if (live != i) batch[live] = std::move(s);
+      ++live;
+    }
+    batch.resize(live);
+    // Injected pool exhaustion, detected before the batch executes: the
+    // whole cut sheds kOverloaded with the structure untouched — the
+    // clean analogue of NodePool::acquire_chunk failing mid-rebuild.
+    if (!batch.empty() && PWSS_FAULT_POINT("async_map.batch.pool_reserve")) {
+      for (auto& s : batch) {
+        s.ticket->fulfill(Result<V, K>::error(ResultStatus::kOverloaded));
+      }
+      batch.clear();
+    }
+    if (!batch.empty()) {
+      // The scratch buffers are safe to reuse: the gate guarantees one
+      // drive owner, so steady-state cut batches recycle both the staged
+      // ops and the results capacity.
+      ops_scratch_.clear();
+      ops_scratch_.reserve(batch.size());
+      for (auto& s : batch) ops_scratch_.push_back(std::move(s.op));
+      execute_batch_into<K, V>(map_, std::span<const Op<K, V>>(ops_scratch_),
+                               results_scratch_);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].ticket->fulfill(std::move(results_scratch_[i]));
+      }
     }
     // Tickets fulfilled, debit not yet applied: quiesce() must still see
     // these ops as in flight (fulfill happens-before the decrement).
     PWSS_SCHED_POINT("async_map.drive.fulfill_debit");
-    in_flight_.fetch_sub(batch.size(), std::memory_order_release);
+    in_flight_.fetch_sub(submitted, std::memory_order_release);
   }
 
   MapT map_;

@@ -86,6 +86,16 @@ class Future {
     return state_->wait();
   }
 
+  /// Requests cancellation of the underlying operation. Best-effort: the
+  /// op completes with status kCancelled only if the request is observed
+  /// before it is cut into an executing batch; otherwise it completes
+  /// with its real result. Either way get() returns exactly one terminal
+  /// result — never both a fulfilled value and kCancelled.
+  void cancel() noexcept {
+    assert(state_ != nullptr);
+    state_->cancel();
+  }
+
  private:
   void release() noexcept {
     if (state_ != nullptr) {

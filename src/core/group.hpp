@@ -35,6 +35,10 @@ struct PendingOp {
   V value{};
   K key2{};
   Target target{};
+  /// Absolute deadline on the now_ns() clock; 0 = none. Checked only at
+  /// the batch-cut boundary (submission plumbing) — an op that enters a
+  /// group-operation always executes.
+  std::uint64_t deadline_ns = 0;
 };
 
 /// All pending operations on one key within a batch, in program order.

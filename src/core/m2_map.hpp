@@ -60,6 +60,7 @@
 #include "sort/pesort.hpp"
 #include "sync/async_gate.hpp"
 #include "sync/dedicated_lock.hpp"
+#include "util/fault.hpp"
 #include "util/validate.hpp"
 
 namespace pwss::core {
@@ -115,11 +116,21 @@ class M2Map {
 
   /// Asynchronous submission: the ticket is fulfilled when the operation
   /// finishes (possibly deep in the pipeline; ordered kinds when the
-  /// interface's next global ordered read completes). Thread-safe.
+  /// interface's next global ordered read completes). Thread-safe. Always
+  /// delivers a terminal result: a buffer rejection (injected fault or a
+  /// future bounded-capacity policy) completes the ticket kOverloaded
+  /// right here on the submitting thread.
   void submit(Op<K, V> op, OpTicket<V, K>* ticket) {
     in_flight_.fetch_add(1, std::memory_order_release);
-    input_.submit(POp{op.type, std::move(op.key), std::move(op.value),
-                      std::move(op.key2), ticket});
+    if (!input_.submit(POp{op.type, std::move(op.key), std::move(op.value),
+                           std::move(op.key2), ticket, op.deadline_ns})) {
+      // Not buffered: undo the claim (nobody else can have seen the op)
+      // and shed. Debit before fulfill: a waiter may free the ticket the
+      // moment it wakes, and the counter update must not race that.
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      ticket->fulfill(Result<V, K>::error(ResultStatus::kOverloaded));
+      return;
+    }
     activate_interface();
   }
 
@@ -406,6 +417,42 @@ class M2Map {
       if (!in.empty()) feed_.append(std::move(in));
     }
     std::vector<POp> batch = feed_.take_bunches(1);
+
+    // Terminal-status pass (the batch-cut boundary of the robustness
+    // layer): cancelled and deadline-expired ops complete here, before
+    // the pipeline touches them; emit_fn debits the in-flight claim so
+    // quiescence stays conserved.
+    {
+      auto emit = emit_fn();
+      std::uint64_t now = 0;  // lazily read: deadline-free cuts skip the clock
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        POp& op = batch[i];
+        if (op.target->cancelled()) {
+          emit(op.target, Result<V, K>::error(ResultStatus::kCancelled));
+          continue;
+        }
+        if (op.deadline_ns != 0) {
+          if (now == 0) now = now_ns();
+          if (now >= op.deadline_ns) {
+            emit(op.target, Result<V, K>::error(ResultStatus::kTimedOut));
+            continue;
+          }
+        }
+        if (live != i) batch[live] = std::move(op);
+        ++live;
+      }
+      batch.resize(live);
+      // Injected pool exhaustion, detected before the cut enters the
+      // pipeline: the whole bunch sheds kOverloaded with every segment,
+      // the filter, and the stage inboxes untouched.
+      if (!batch.empty() && PWSS_FAULT_POINT("m2.batch.pool_reserve")) {
+        for (auto& op : batch) {
+          emit(op.target, Result<V, K>::error(ResultStatus::kOverloaded));
+        }
+        batch.clear();
+      }
+    }
 
     // Protocol v2: ordered kinds need one consistent view of EVERY
     // segment, which the per-key pipeline cannot give them. Park them for

@@ -27,6 +27,7 @@
 // M1Map::execute_batch); within an ordered phase identical queries combine
 // the same way duplicate point operations do (Section 6.1).
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -35,6 +36,25 @@
 #include <vector>
 
 namespace pwss::core {
+
+/// Monotonic nanoseconds since the steady-clock epoch — the time base of
+/// every Op deadline. One clock for the whole protocol so a deadline
+/// stamped by a client compares directly against the front end's batch-cut
+/// clock read.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Converts a relative timeout into the absolute deadline Op carries;
+/// zero-duration (and negative) timeouts produce an already-expired
+/// deadline, not "no deadline".
+inline std::uint64_t deadline_after(std::chrono::nanoseconds timeout) noexcept {
+  const auto ns = timeout.count();
+  return now_ns() + (ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+}
 
 enum class OpType : std::uint8_t {
   kSearch,
@@ -64,6 +84,25 @@ struct Op {
   K key;
   V value{};  // payload for inserts/upserts
   K key2{};   // kRangeCount: inclusive high bound of [key, key2]
+  /// Absolute deadline on the now_ns() clock; 0 = none. An op whose
+  /// deadline has passed completes with kTimedOut instead of executing —
+  /// checked on submission and again at batch-cut boundaries (the op may
+  /// still execute if it was already cut into a batch when the deadline
+  /// passed; expiry is best-effort, terminal delivery is not).
+  std::uint64_t deadline_ns = 0;
+
+  /// Builder-style deadline attachment: Op::search(k).with_deadline(...).
+  Op&& with_deadline(std::uint64_t abs_ns) && noexcept {
+    deadline_ns = abs_ns;
+    return std::move(*this);
+  }
+  Op&& with_timeout(std::chrono::nanoseconds timeout) && noexcept {
+    deadline_ns = deadline_after(timeout);
+    return std::move(*this);
+  }
+  bool expired(std::uint64_t now) const noexcept {
+    return deadline_ns != 0 && now >= deadline_ns;
+  }
 
   static Op search(K k) { return {OpType::kSearch, std::move(k), V{}, K{}}; }
   static Op insert(K k, V v) {
@@ -93,7 +132,24 @@ enum class ResultStatus : std::uint8_t {
   kInserted,  // insert/upsert created the key
   kUpdated,   // insert/upsert overwrote an existing value
   kErased,    // erase removed the key
+  // ---- terminal error statuses (overload-robustness layer) ----
+  // The op did NOT execute; the map is unchanged by it. Every submitted
+  // op reaches exactly one terminal status — fulfilled (one of the five
+  // above) or one of these — never both, never neither.
+  kOverloaded,   // shed by admission control / buffer or pool rejection
+  kTimedOut,     // deadline passed before the op was executed
+  kCancelled,    // cancel() observed at a batch-cut boundary
+  kUnsupported,  // op kind refused by the backend (e.g. ordered on splay)
 };
+
+/// True for the terminal error statuses: the op was not executed and had
+/// no effect on the map. Composes with the v2 statuses — a Result is
+/// either fulfilled (one of the five execution statuses, value/matched_key/
+/// count meaningful) or errored (one of these, payload fields empty).
+constexpr bool is_error(ResultStatus s) noexcept {
+  return s == ResultStatus::kOverloaded || s == ResultStatus::kTimedOut ||
+         s == ResultStatus::kCancelled || s == ResultStatus::kUnsupported;
+}
 
 /// Result of one operation.
 ///  * search: kFound/kNotFound, value = the found value
@@ -121,6 +177,19 @@ struct Result {
     return status == ResultStatus::kFound ||
            status == ResultStatus::kInserted ||
            status == ResultStatus::kErased;
+  }
+
+  /// True when the op reached a terminal ERROR status (shed, expired,
+  /// cancelled, or unsupported) — it never executed. Distinct from
+  /// !success(): a kNotFound search executed fine, it just missed.
+  constexpr bool is_error() const noexcept { return core::is_error(status); }
+
+  /// An error Result for one terminal error status (the shape every shed/
+  /// expiry/cancellation path delivers).
+  static constexpr Result error(ResultStatus s) noexcept {
+    Result r;
+    r.status = s;
+    return r;
   }
 };
 

@@ -1,0 +1,116 @@
+#pragma once
+// Admission control (DESIGN.md "Overload & fault model") — the bounded
+// outstanding-op window the network serving layer's backpressure rides on
+// (ROADMAP item 1).
+//
+// A Driver owns one AdmissionController; every asynchronous submission
+// and every blocking per-op call passes its accept/shed decision before
+// the backend sees the op. Two policies:
+//
+//   * kReject — a full window sheds immediately with kOverloaded (the
+//     caller decides: retry with backoff, drop, or surface the error);
+//   * kBlock  — a full window parks the submitting thread until a slot
+//     frees or the op's deadline passes (bounded-block). With no
+//     deadline it blocks until a slot frees — admitted ops always
+//     complete (terminal-status invariant), so a slot always frees.
+//
+// The window is one shared atomic counter: admit is a CAS-increment,
+// release a fetch_sub fired by the ticket's on_release hook on the
+// fulfilling thread (after the result is published, before any waiter
+// can free the ticket). max_in_flight == 0 disables the window entirely
+// — no counting, no hook, zero cost on the default path.
+//
+// ShardedDriver deliberately runs its own controller DISABLED and lets
+// every shard driver enforce its own window: shedding is per-shard, so
+// one hot shard rejects its overflow while the others keep accepting —
+// the hot-key groundwork for ROADMAP item 3.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "core/ops.hpp"
+
+namespace pwss::driver {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kReject,  ///< full window => shed with kOverloaded
+  kBlock,   ///< full window => park until a slot frees or deadline passes
+};
+
+struct AdmissionConfig {
+  /// Maximum admitted-but-not-yet-completed ops; 0 = unbounded (the
+  /// controller is inert: no counting, no release hooks).
+  std::size_t max_in_flight = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+};
+
+/// Per-submit verdict. kExpired outranks the window: an op whose
+/// deadline already passed is never admitted, even to an empty window.
+enum class Admit : std::uint8_t { kAdmitted, kShed, kExpired };
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  bool bounded() const noexcept { return cfg_.max_in_flight != 0; }
+  const AdmissionConfig& config() const noexcept { return cfg_; }
+
+  /// Admitted ops currently holding a window slot (0 when unbounded).
+  std::size_t in_flight() const noexcept {
+    return window_.load(std::memory_order_acquire);
+  }
+
+  /// The accept/shed decision for one op. An admitted op holds a window
+  /// slot until release() — callers arm the ticket's on_release hook (or
+  /// call release() directly on synchronous paths) exactly when bounded()
+  /// is true and the verdict is kAdmitted.
+  Admit try_admit(std::uint64_t deadline_ns) noexcept {
+    if (deadline_ns != 0 && core::now_ns() >= deadline_ns) {
+      return Admit::kExpired;
+    }
+    if (cfg_.max_in_flight == 0) return Admit::kAdmitted;
+    for (;;) {
+      std::size_t cur = window_.load(std::memory_order_relaxed);
+      while (cur < cfg_.max_in_flight) {
+        if (window_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          return Admit::kAdmitted;
+        }
+      }
+      if (cfg_.policy == AdmissionPolicy::kReject) return Admit::kShed;
+      // Bounded-block: the slot we are waiting for frees when some
+      // admitted op completes, which the terminal-status invariant
+      // guarantees happens — so this loop always exits (or the deadline
+      // does it for us).
+      if (deadline_ns != 0 && core::now_ns() >= deadline_ns) {
+        return Admit::kExpired;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Frees one window slot. No-op when unbounded, so synchronous paths
+  /// may call it unconditionally after an admitted op completes.
+  void release() noexcept {
+    if (cfg_.max_in_flight != 0) {
+      window_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// OpTicket::on_release-compatible trampoline; ctx is the controller.
+  static void release_hook(void* ctx) noexcept {
+    static_cast<AdmissionController*>(ctx)->release();
+  }
+
+ private:
+  AdmissionConfig cfg_{};
+  std::atomic<std::size_t> window_{0};
+};
+
+}  // namespace pwss::driver

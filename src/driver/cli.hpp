@@ -8,6 +8,12 @@
 //   --workers=N                scheduler worker count (0 = hardware)
 //   --p=N                      M2 bunch parameter p (0 = worker count)
 //   --shards=N                 shard count for sharded:* backends (0 = 4)
+//   --max-in-flight=N          admission window: max admitted-but-not-
+//                              completed ops (0 = unbounded; per shard on
+//                              sharded:* backends)
+//   --admission=reject|block   full-window policy: shed with kOverloaded
+//                              (default) or park until a slot frees /
+//                              the op's deadline passes
 //   --mix=S,I,E[,P,Su,R]       op mix fractions (search,insert,erase and
 //                              optionally predecessor,successor,range-count;
 //                              must sum to 1). A mix with ordered weights is
@@ -146,7 +152,9 @@ CliOptions parse(int argc, char** argv,
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--backend=NAME[,NAME...]|all] [--workers=N] [--p=N]\n"
-          "          [--shards=N] [--mix=S,I,E[,P,Su,R]] [--range-span=N]\n"
+          "          [--shards=N] [--max-in-flight=N] "
+          "[--admission=reject|block]\n"
+          "          [--mix=S,I,E[,P,Su,R]] [--range-span=N]\n"
           "          [--list-backends]\n"
           "       (NAME may be sharded:NAME, e.g. --backend=sharded:m1)\n",
           argv[0]);
@@ -185,6 +193,22 @@ CliOptions parse(int argc, char** argv,
       cli.driver.shards = detail::parse_unsigned(
           argv[0], "--shards",
           arg.substr(std::string_view("--shards=").size()));
+    } else if (arg.starts_with("--max-in-flight=")) {
+      cli.driver.max_in_flight = detail::parse_unsigned(
+          argv[0], "--max-in-flight",
+          arg.substr(std::string_view("--max-in-flight=").size()));
+    } else if (arg.starts_with("--admission=")) {
+      const std::string_view val =
+          arg.substr(std::string_view("--admission=").size());
+      if (val == "reject") {
+        cli.driver.admission = AdmissionPolicy::kReject;
+      } else if (val == "block") {
+        cli.driver.admission = AdmissionPolicy::kBlock;
+      } else {
+        std::fprintf(stderr, "%s: --admission expects reject|block, got '%.*s'\n",
+                     argv[0], static_cast<int>(val.size()), val.data());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
                    argv[0], argv[i]);

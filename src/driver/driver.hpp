@@ -25,11 +25,16 @@
 //                           (implicit batching,
 //                            Section 4)
 //
-// Protocol-v2 ordered kinds are refused up front (std::invalid_argument on
-// the calling thread, naming the backend) when the backend's traits say
-// !supports_ordered — never half-executed on a worker. The public
-// run/step/submit entry points validate and then forward to the
-// do_* virtuals the wirings implement.
+// Protocol-v2 ordered kinds are refused up front when the backend's
+// traits say !supports_ordered — never half-executed on a worker. The
+// blocking/bulk entry points throw std::invalid_argument on the calling
+// thread (naming the backend); the async submit forms honour the
+// completion-delivery contract instead and fulfill the ticket with
+// kUnsupported. The public run/step/submit entry points validate, pass
+// admission control (driver/admission.hpp: bounded in-flight window,
+// shed or bounded-block on overflow; blocking conveniences absorb
+// transient kOverloaded via driver/retry.hpp backoff), and then forward
+// to the do_* virtuals the wirings implement.
 //
 // The bulk path must not race with concurrent blocking callers on
 // AsyncMap-wrapped backends (it quiesces the front end, then batches
@@ -51,6 +56,8 @@
 #include "core/backend.hpp"
 #include "core/future.hpp"
 #include "core/ops.hpp"
+#include "driver/admission.hpp"
+#include "driver/retry.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pwss::driver {
@@ -69,7 +76,21 @@ struct Options {
   /// one (it must outlive the driver). ShardedDriver uses this to put all
   /// its shards behind one shared pool. Ignored by schedulerless backends.
   sched::Scheduler* scheduler = nullptr;
+  /// Admission window: maximum admitted-but-not-completed ops; 0 =
+  /// unbounded (no admission control). For sharded:* backends the window
+  /// applies PER SHARD — one hot shard sheds its overflow while the
+  /// others keep accepting.
+  std::size_t max_in_flight = 0;
+  /// What a full window does to a submission: shed (kOverloaded) or
+  /// park the submitter until a slot frees / the op's deadline passes.
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
 };
+
+/// The admission window a single (non-sharded) driver enforces for the
+/// given options.
+inline AdmissionConfig admission_config(const Options& opts) {
+  return AdmissionConfig{opts.max_in_flight, opts.admission};
+}
 
 /// Type-erased handle to a wired backend. Obtained from BackendRegistry.
 template <typename K, typename V>
@@ -82,31 +103,67 @@ class Driver {
   Driver(const Driver&) = delete;
   Driver& operator=(const Driver&) = delete;
 
-  /// Blocking per-op API; thread-safe.
+  /// Blocking per-op API; thread-safe. Passes admission control with
+  /// transparent retry: transient kOverloaded results (a shed window, an
+  /// injected buffer rejection) are absorbed by capped exponential
+  /// backoff — see run_blocking().
   std::optional<V> search(const K& key) {
-    return run_one(core::Op<K, V>::search(key)).value;
+    return run_blocking(core::Op<K, V>::search(key)).value;
   }
   bool insert(const K& key, V value) {
-    return run_one(core::Op<K, V>::insert(key, std::move(value))).success();
+    return run_blocking(core::Op<K, V>::insert(key, std::move(value)))
+        .success();
   }
   /// Write-either-way; returns the status (kInserted or kUpdated).
   core::ResultStatus upsert(const K& key, V value) {
-    return run_one(core::Op<K, V>::upsert(key, std::move(value))).status;
+    return run_blocking(core::Op<K, V>::upsert(key, std::move(value))).status;
   }
   std::optional<V> erase(const K& key) {
-    return run_one(core::Op<K, V>::erase(key)).value;
+    return run_blocking(core::Op<K, V>::erase(key)).value;
   }
 
   /// Ordered blocking API (protocol v2); throws std::invalid_argument for
   /// backends without ordered support (see supports_ordered()).
   std::optional<std::pair<K, V>> predecessor(const K& key) {
-    return ordered_pair(run_one(core::Op<K, V>::predecessor(key)));
+    return ordered_pair(run_blocking(core::Op<K, V>::predecessor(key)));
   }
   std::optional<std::pair<K, V>> successor(const K& key) {
-    return ordered_pair(run_one(core::Op<K, V>::successor(key)));
+    return ordered_pair(run_blocking(core::Op<K, V>::successor(key)));
   }
   std::uint64_t range_count(const K& lo, const K& hi) {
-    return run_one(core::Op<K, V>::range_count(lo, hi)).count;
+    return run_blocking(core::Op<K, V>::range_count(lo, hi)).count;
+  }
+
+  /// One op through the blocking path: throwing ordered validation,
+  /// admission control, and the retry loop that absorbs transient
+  /// kOverloaded results (deadline-aware, capped attempts). The terminal
+  /// result is exact: kTimedOut when the deadline passed before
+  /// execution, kOverloaded when the retry budget ran out, the executed
+  /// result otherwise.
+  core::Result<V, K> run_blocking(core::Op<K, V> op) {
+    check_ordered(op);
+    retry::Backoff backoff;
+    for (;;) {
+      switch (admission_.try_admit(op.deadline_ns)) {
+        case Admit::kExpired:
+          return core::Result<V, K>::error(core::ResultStatus::kTimedOut);
+        case Admit::kShed:
+          if (backoff.next(op.deadline_ns)) continue;
+          return core::Result<V, K>::error(core::ResultStatus::kOverloaded);
+        case Admit::kAdmitted:
+          break;
+      }
+      // The op is retried on transient overload, so the attempt gets a
+      // copy; the window slot is held across the attempt and released
+      // before any backoff sleep.
+      core::Result<V, K> r = run_one(core::Op<K, V>(op));
+      admission_.release();
+      if (r.status == core::ResultStatus::kOverloaded &&
+          backoff.next(op.deadline_ns)) {
+        continue;
+      }
+      return r;
+    }
   }
 
   /// True when the wired backend executes the ordered kinds
@@ -116,20 +173,24 @@ class Driver {
   virtual bool supports_ordered() const noexcept = 0;
 
   // ---- asynchronous submission ---------------------------------------------
+  // The async forms never throw for protocol refusals: the contract is
+  // completion delivery, so an ordered op on a backend without ordered
+  // support, a shed window, and an expired deadline all surface as a
+  // ticket completed with the matching terminal error status
+  // (kUnsupported / kOverloaded / kTimedOut). Only the blocking
+  // conveniences keep the calling-thread throw.
 
   /// Lowest-level form: the caller owns the completion token (stack or
   /// arena; zero allocation). The ticket must stay alive until fulfilled.
   void submit(core::Op<K, V> op, Ticket* ticket) {
-    check_ordered(op);
-    do_submit(std::move(op), ticket);
+    submit_admitted(std::move(op), ticket);
   }
 
   /// Future form: one heap-shared state per call; wait with get(), poll
   /// with ready(), or drop the future (the operation still completes).
   core::Future<V, K> submit(core::Op<K, V> op) {
-    check_ordered(op);
     auto* state = new core::detail::FutureState<V, K>();
-    do_submit(std::move(op), state);
+    submit_admitted(std::move(op), state);
     return core::Future<V, K>(state);
   }
 
@@ -137,12 +198,14 @@ class Driver {
   /// result (batched delivery — the front end fulfills whole cut batches,
   /// so completions of one batch run back-to-back without a wakeup each).
   void submit(core::Op<K, V> op, Completion done) {
-    check_ordered(op);
     auto* state = new core::detail::FutureState<V, K>();
     state->completion = std::move(done);
     state->refs.store(1, std::memory_order_relaxed);  // producer only
-    do_submit(std::move(op), state);
+    submit_admitted(std::move(op), state);
   }
+
+  /// The admission window this driver enforces (inert when unbounded).
+  const AdmissionController& admission() const noexcept { return admission_; }
 
   // ---- bulk path -----------------------------------------------------------
 
@@ -205,7 +268,8 @@ class Driver {
   const std::string& name() const noexcept { return name_; }
 
  protected:
-  explicit Driver(std::string name) : name_(std::move(name)) {}
+  explicit Driver(std::string name, AdmissionConfig admission = {})
+      : name_(std::move(name)), admission_(admission) {}
 
   virtual core::Result<V, K> run_one(core::Op<K, V> op) = 0;
   virtual void do_submit(core::Op<K, V> op, Ticket* ticket) = 0;
@@ -224,6 +288,35 @@ class Driver {
   }
 
  private:
+  /// Shared body of the three async submit forms: protocol refusal,
+  /// deadline screen, and the admission decision, each delivered as a
+  /// completed ticket; admitted ops arm the ticket's release hook so the
+  /// window slot frees on the fulfilling thread.
+  void submit_admitted(core::Op<K, V> op, Ticket* ticket) {
+    if (core::is_ordered(op.type) && !supports_ordered()) {
+      ticket->fulfill(
+          core::Result<V, K>::error(core::ResultStatus::kUnsupported));
+      return;
+    }
+    switch (admission_.try_admit(op.deadline_ns)) {
+      case Admit::kExpired:
+        ticket->fulfill(
+            core::Result<V, K>::error(core::ResultStatus::kTimedOut));
+        return;
+      case Admit::kShed:
+        ticket->fulfill(
+            core::Result<V, K>::error(core::ResultStatus::kOverloaded));
+        return;
+      case Admit::kAdmitted:
+        break;
+    }
+    if (admission_.bounded()) {
+      ticket->on_release = &AdmissionController::release_hook;
+      ticket->release_ctx = &admission_;
+    }
+    do_submit(std::move(op), ticket);
+  }
+
   [[noreturn]] void refuse_ordered() const {
     throw std::invalid_argument(
         "backend '" + name_ +
@@ -233,6 +326,7 @@ class Driver {
   }
 
   std::string name_;
+  AdmissionController admission_;
 };
 
 namespace detail {
@@ -346,7 +440,7 @@ class AsyncDriver final : public Driver<K, V> {
   using typename Driver<K, V>::Ticket;
 
   AsyncDriver(std::string name, const Options& opts)
-      : Driver<K, V>(std::move(name)),
+      : Driver<K, V>(std::move(name), admission_config(opts)),
         scheduler_(opts),
         async_(make_backend(*scheduler_.ptr), *scheduler_.ptr) {}
 
@@ -431,7 +525,7 @@ class NativeAsyncDriver final : public Driver<K, V> {
   using typename Driver<K, V>::Ticket;
 
   NativeAsyncDriver(std::string name, const Options& opts)
-      : Driver<K, V>(std::move(name)),
+      : Driver<K, V>(std::move(name), admission_config(opts)),
         scheduler_(opts),
         backend_(*scheduler_.ptr, opts.p) {}
 
@@ -497,8 +591,8 @@ class DirectDriver final : public Driver<K, V> {
  public:
   using typename Driver<K, V>::Ticket;
 
-  DirectDriver(std::string name, const Options&)
-      : Driver<K, V>(std::move(name)) {}
+  DirectDriver(std::string name, const Options& opts)
+      : Driver<K, V>(std::move(name), admission_config(opts)) {}
 
   bool supports_ordered() const noexcept override {
     return core::backend_traits<B>::supports_ordered;

@@ -66,6 +66,10 @@ class ShardedDriver final : public Driver<K, V> {
   /// caller's Options::scheduler when supplied, else a pool this driver
   /// owns. An owned pool is dropped again when no shard wired itself to
   /// it (e.g. sharded:locked, whose shards are schedulerless).
+  /// The outer driver's own admission controller stays DISABLED (default
+  /// AdmissionConfig): Options::max_in_flight rides the inner Options
+  /// copy into every shard, so the window is enforced per shard and one
+  /// hot shard sheds its overflow without starving the rest.
   ShardedDriver(std::string name, const Options& opts, ShardFactory make_shard)
       : Driver<K, V>(std::move(name)), scheduler_(opts) {
     const unsigned count = opts.shards == 0 ? kDefaultShards : opts.shards;
@@ -155,9 +159,12 @@ class ShardedDriver final : public Driver<K, V> {
   core::Result<V, K> do_step(core::Op<K, V> op) override {
     if (core::is_ordered(op.type)) {
       // Single-owner path: consult every shard synchronously and reduce.
+      // An errored sub-answer poisons the reduce (see sub_done).
       core::Result<V, K> best;
       for (auto& s : shards_) {
-        reduce_ordered(op.type, best, s->step(op));
+        core::Result<V, K> shard_r = s->step(op);
+        if (shard_r.is_error()) return shard_r;
+        reduce_ordered(op.type, best, std::move(shard_r));
       }
       if (op.type == core::OpType::kRangeCount) {
         best.status = core::ResultStatus::kFound;
@@ -211,8 +218,20 @@ class ShardedDriver final : public Driver<K, V> {
       auto* sub = static_cast<SubTicket*>(t);
       auto* g = static_cast<OrderedGather*>(sub->owner);
       if (g->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
-      // Last shard in: reduce and deliver.
+      // Last shard in: reduce and deliver. Any errored sub-query (a shard
+      // shed it, or its deadline passed) poisons the whole gather — a
+      // reduce over fewer than all shards would silently return a wrong
+      // answer, and an errored op must surface as errored (the blocking
+      // path's retry resubmits the full scatter).
       core::Result<V, K> best;
+      for (auto& s : g->subs) {
+        if (s.result.is_error()) {
+          best = core::Result<V, K>::error(s.result.status);
+          g->target->fulfill(std::move(best));
+          delete g;
+          return;
+        }
+      }
       for (auto& s : g->subs) {
         reduce_ordered(g->type, best, std::move(s.result));
       }

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace pwss::sched {
@@ -128,6 +130,12 @@ void Scheduler::recycle_spawn_node(SpawnTask* node) {
 }
 
 void Scheduler::spawn(Closure fn, Priority pri) {
+  if (PWSS_FAULT_POINT("scheduler.spawn.stall")) {
+    // Injected slow spawn: the task is delayed, never lost — models a
+    // worker that is slow to pick up a drive loop, which widens the
+    // pending-op windows the quiescence protocol must tolerate.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
   SpawnTask* task = allocate_spawn_node(std::move(fn));
   {
     std::lock_guard<std::mutex> lk(global_mu_);

@@ -1,0 +1,304 @@
+#pragma once
+// Schedule-point fault injection (DESIGN.md "Overload & fault model").
+//
+// PWSS_FAULT_POINT("name") is the failure-side sibling of
+// PWSS_SCHED_POINT: an *expression* that answers "should this site fail
+// right now?". In ordinary builds it compiles to the constant `false` —
+// zero code, zero data, branches fold away. Under -DPWSS_FAULT_INJECT=ON
+// each evaluation consults a seeded mix of (global seed, site name,
+// per-thread hit counter) exactly like the interleaving explorer, so a
+// failing seed replays; tests can additionally *force* a named site to
+// fail a fixed number of times for deterministic coverage of one
+// recovery path.
+//
+// The contract at every site is the robustness layer's core invariant:
+// an injected failure must surface as a terminal Result status
+// (kOverloaded at buffer/pool sites) with the structure untouched — deep
+// validate() clean, quiescence counters conserved — never as a torn
+// pipeline or a lost op. Sites are therefore placed only where failure
+// is clean *by construction*:
+//
+//   site                               models                    surfaces as
+//   ---------------------------------- ------------------------- -----------
+//   node_pool.chunk_alloc              heap exhaustion in        PoolExhausted
+//                                      NodePool::acquire_chunk   (unit tests
+//                                                                only; pool
+//                                                                state is
+//                                                                untouched)
+//   async_map.batch.pool_reserve       pool exhaustion detected  whole cut
+//                                      before a cut batch runs   batch sheds
+//                                                                kOverloaded
+//   m2.batch.pool_reserve              same, M2 native front end kOverloaded
+//   parallel_buffer.submit.reject      bounded input buffer      submit()
+//                                      refusing a publication    returns false
+//                                                                → kOverloaded
+//   scheduler.spawn.stall              a worker that is slow to  brief park,
+//                                      pick up a spawned drive   not failure
+//
+// The registry mirrors util/schedule_points.hpp: function-local static
+// Sites link into a push-only list on first hit, counters are relaxed,
+// configuration words are plain atomics — no locks anywhere on the hit
+// path.
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/schedule_points.hpp"  // mix64 / hash_name
+
+namespace pwss::util {
+
+/// Thrown by NodePool::acquire_chunk when the "node_pool.chunk_alloc"
+/// site fires: injected heap exhaustion. Derives from std::bad_alloc so
+/// code written for the real failure handles the injected one the same
+/// way. A failed acquire_chunk leaves the pool untouched (create() is
+/// exception-safe), so recovery is simply "stop allocating".
+struct PoolExhausted : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "pwss: node-pool chunk allocation failed (injected)";
+  }
+};
+
+namespace faultpt {
+
+/// True in builds where PWSS_FAULT_POINT compiles to a live site. Tests
+/// use this to GTEST_SKIP injection scenarios in ordinary builds instead
+/// of silently passing without injecting anything.
+#if defined(PWSS_FAULT_INJECT)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+struct Site {
+  const char* name;
+  std::atomic<std::uint64_t> hits{0};   ///< times the site was evaluated
+  std::atomic<std::uint64_t> fires{0};  ///< times it answered "fail"
+  Site* next = nullptr;                 ///< registry link (push-only list)
+};
+
+inline std::atomic<Site*>& registry_head() {
+  static std::atomic<Site*> head{nullptr};
+  return head;
+}
+
+inline void register_site(Site& s) {
+  Site* head = registry_head().load(std::memory_order_relaxed);
+  do {
+    s.next = head;
+  } while (!registry_head().compare_exchange_weak(
+      head, &s, std::memory_order_release, std::memory_order_relaxed));
+}
+
+/// The active seed; 0 = seeded injection disabled (sites still count
+/// hits, and forced failures still fire).
+inline std::atomic<std::uint64_t>& seed_word() {
+  static std::atomic<std::uint64_t> seed{0};
+  return seed;
+}
+
+/// Mean hits between seeded fires at each site (a fire is roughly a
+/// 1-in-period event per evaluation). Kept deliberately coarse: overload
+/// handling is exercised by *occasional* failure, not by failing every
+/// call.
+inline std::atomic<std::uint32_t>& period_word() {
+  static std::atomic<std::uint32_t> period{16};
+  return period;
+}
+
+// ---- selection & forcing -----------------------------------------------------
+// Both tables are small fixed arrays of (name, payload) slots claimed by
+// CAS — lock-free for the hit path, plenty for tests (a handful of sites
+// exist in the whole tree). Names must be string literals or otherwise
+// outlive the process; matching is by content, not pointer, because the
+// same site name appears as distinct literals across TUs.
+
+inline constexpr std::size_t kMaxSlots = 16;
+
+struct NameSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::int64_t> payload{0};
+};
+
+inline NameSlot* forced_table() {
+  static NameSlot table[kMaxSlots];
+  return table;
+}
+inline NameSlot* selected_table() {
+  static NameSlot table[kMaxSlots];
+  return table;
+}
+/// Number of names in selected_table; 0 = no filter, every site
+/// participates in seeded injection.
+inline std::atomic<std::size_t>& selected_count() {
+  static std::atomic<std::size_t> n{0};
+  return n;
+}
+
+inline NameSlot* find_or_claim(NameSlot* table, const char* name) {
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    const char* cur = table[i].name.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      if (table[i].name.compare_exchange_strong(cur, name,
+                                                std::memory_order_acq_rel)) {
+        return &table[i];
+      }
+      cur = table[i].name.load(std::memory_order_acquire);
+    }
+    if (cur != nullptr && std::string_view(cur) == name) return &table[i];
+  }
+  return nullptr;  // table full — config error in a test, not a hot path
+}
+
+inline NameSlot* find(NameSlot* table, std::string_view name) {
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    const char* cur = table[i].name.load(std::memory_order_acquire);
+    if (cur == nullptr) return nullptr;  // slots fill front-to-back
+    if (std::string_view(cur) == name) return &table[i];
+  }
+  return nullptr;
+}
+
+/// Makes the named site fail its next `count` evaluations, regardless of
+/// the seed — the deterministic hammer for unit-testing one recovery
+/// path. Counts accumulate across calls.
+inline void force(const char* name, std::int64_t count) {
+  if (NameSlot* s = find_or_claim(forced_table(), name)) {
+    s->payload.fetch_add(count, std::memory_order_acq_rel);
+  }
+}
+
+inline void clear_forced() {
+  NameSlot* t = forced_table();
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    t[i].payload.store(0, std::memory_order_release);
+  }
+}
+
+/// Restricts *seeded* injection to the named sites (forced failures are
+/// unaffected). The sweep tests use this to keep unclean-by-construction
+/// sites (node_pool.chunk_alloc mid-tree-op) out of integrated runs.
+inline void select_only(std::initializer_list<const char*> names) {
+  NameSlot* t = selected_table();
+  std::size_t n = 0;
+  for (const char* name : names) {
+    if (n < kMaxSlots) t[n++].name.store(name, std::memory_order_release);
+  }
+  selected_count().store(n, std::memory_order_release);
+}
+
+inline void clear_selection() {
+  selected_count().store(0, std::memory_order_release);
+}
+
+inline bool selected(std::string_view name) {
+  const std::size_t n = selected_count().load(std::memory_order_acquire);
+  if (n == 0) return true;
+  NameSlot* t = selected_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* cur = t[i].name.load(std::memory_order_acquire);
+    if (cur != nullptr && std::string_view(cur) == name) return true;
+  }
+  return false;
+}
+
+// ---- enable / disable / counters ---------------------------------------------
+
+/// Enables seeded injection with the given nonzero seed. The decision at
+/// each site is a pure function of (seed, site name, per-thread hit
+/// index): re-running a scenario with the same seed and thread structure
+/// replays the same failure schedule.
+inline void enable(std::uint64_t seed, std::uint32_t period = 16) {
+  period_word().store(period < 2 ? 2 : period, std::memory_order_relaxed);
+  seed_word().store(seed == 0 ? 1 : seed, std::memory_order_release);
+}
+
+inline void disable() { seed_word().store(0, std::memory_order_release); }
+
+struct Snapshot {
+  std::string_view name;
+  std::uint64_t hits;
+  std::uint64_t fires;
+};
+inline std::vector<Snapshot> snapshot() {
+  std::vector<Snapshot> out;
+  for (Site* s = registry_head().load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    out.push_back({s->name, s->hits.load(std::memory_order_relaxed),
+                   s->fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+// hits()/fires() SUM across every registered site carrying the name: the
+// same PWSS_FAULT_POINT expression instantiated from several TUs or
+// template specializations (ParallelBuffer<T>::submit for each T) yields
+// distinct function-local statics that all share one logical site.
+inline std::uint64_t hits(std::string_view name) {
+  std::uint64_t total = 0;
+  for (Site* s = registry_head().load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    if (name == s->name) total += s->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+inline std::uint64_t fires(std::string_view name) {
+  std::uint64_t total = 0;
+  for (Site* s = registry_head().load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    if (name == s->name) total += s->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+/// The hit path: registers the site on first evaluation, then answers
+/// forced failures first (deterministic, seed-independent) and the
+/// seeded coin flip second.
+inline bool should_fail(Site& s) {
+  if (s.hits.fetch_add(1, std::memory_order_relaxed) == 0) register_site(s);
+  if (NameSlot* f = find(forced_table(), s.name)) {
+    std::int64_t r = f->payload.load(std::memory_order_acquire);
+    while (r > 0) {
+      if (f->payload.compare_exchange_weak(r, r - 1, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        s.fires.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  const std::uint64_t seed = seed_word().load(std::memory_order_acquire);
+  if (seed == 0) return false;
+  if (!selected(s.name)) return false;
+  thread_local std::uint64_t thread_salt = schedpt::mix64(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  thread_local std::uint64_t sequence = 0;
+  const std::uint64_t h = schedpt::mix64(seed ^ schedpt::hash_name(s.name) ^
+                                         thread_salt ^ ++sequence);
+  const std::uint32_t period = period_word().load(std::memory_order_relaxed);
+  if (h % period == 0) {
+    s.fires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace faultpt
+}  // namespace pwss::util
+
+// The site itself. `name` must be a string literal. The expression form
+// (an immediately-invoked lambda holding the function-local static) lets
+// call sites read naturally: `if (PWSS_FAULT_POINT("x")) { shed(); }`.
+// Without -DPWSS_FAULT_INJECT the whole branch folds to nothing.
+#if defined(PWSS_FAULT_INJECT)
+#define PWSS_FAULT_POINT(name)                                  \
+  ([]() -> bool {                                               \
+    static ::pwss::util::faultpt::Site pwss_fault_site_{name};  \
+    return ::pwss::util::faultpt::should_fail(pwss_fault_site_); \
+  }())
+#else
+#define PWSS_FAULT_POINT(name) (false)
+#endif

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "util/fault.hpp"
 #include "util/schedule_points.hpp"
 #include "util/validate.hpp"
 
@@ -521,6 +522,11 @@ class NodePool {
   /// One chunk's worth of free nodes from the overflow spine (preferred)
   /// or a fresh heap chunk. Takes and releases global_mu_.
   FreeChain acquire_chunk() {
+    // Injected heap exhaustion. Placed BEFORE the lock and before any
+    // state changes so a failed acquisition leaves the pool exactly as
+    // it was — the same guarantee the real ::operator new failure gives
+    // (create() is exception-safe), just deterministic and recoverable.
+    if (PWSS_FAULT_POINT("node_pool.chunk_alloc")) throw PoolExhausted{};
     FreeChain chain;
     std::lock_guard<SpinLock> lk(global_mu_);
     if (overflow_.head_ != nullptr) {

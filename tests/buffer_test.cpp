@@ -19,7 +19,7 @@ namespace {
 
 TEST(ParallelBuffer, SubmitFlushRoundTrip) {
   buffer::ParallelBuffer<int> buf(4);
-  for (int i = 0; i < 100; ++i) buf.submit(i);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(buf.submit(i));
   EXPECT_EQ(buf.pending(), 100u);
   auto out = buf.flush();
   EXPECT_EQ(out.size(), 100u);
@@ -35,7 +35,7 @@ TEST(ParallelBuffer, FlushEmpty) {
 
 TEST(ParallelBuffer, SameThreadOrderPreserved) {
   buffer::ParallelBuffer<int> buf(4);
-  for (int i = 0; i < 50; ++i) buf.submit(i);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(buf.submit(i));
   const auto out = buf.flush();
   // All from one thread => one slot => order preserved.
   ASSERT_EQ(out.size(), 50u);
@@ -57,7 +57,7 @@ TEST(ParallelBuffer, ConcurrentSubmittersLoseNothing) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPer; ++i) {
-        buf.submit(static_cast<std::uint64_t>(t) * kPer + i);
+        EXPECT_TRUE(buf.submit(static_cast<std::uint64_t>(t) * kPer + i));
       }
     });
   }

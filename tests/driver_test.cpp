@@ -286,8 +286,10 @@ TEST(Registry, ReportsOrderedCapabilityPerBackend) {
 }
 
 TEST(Driver, OrderedRefusedWithoutSupport) {
-  // Every ordered entry point must refuse on the calling thread with a
-  // clear error — never half-execute on a worker.
+  // Blocking and bulk ordered entry points must refuse on the calling
+  // thread with a clear error — never half-execute on a worker. The async
+  // submit forms honour the completion-delivery contract instead: the
+  // ticket comes back already completed with kUnsupported.
   for (const char* name : {"splay", "sharded:splay"}) {
     auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name);
     EXPECT_FALSE(d->supports_ordered()) << name;
@@ -300,9 +302,25 @@ TEST(Driver, OrderedRefusedWithoutSupport) {
         << name;
     EXPECT_THROW((void)d->step(IntOp::successor(1)), std::invalid_argument)
         << name;
-    EXPECT_THROW((void)d->submit(IntOp::predecessor(1)), std::invalid_argument)
-        << name;
-    // The point surface keeps working after a refusal.
+
+    // Future form: completed before submit() even returns.
+    auto f = d->submit(IntOp::predecessor(1));
+    ASSERT_TRUE(f.ready()) << name;
+    EXPECT_EQ(f.get().status, core::ResultStatus::kUnsupported) << name;
+
+    // Raw-ticket form: same status, fulfilled synchronously.
+    core::OpTicket<std::uint64_t> ticket;
+    d->submit(IntOp::successor(1), &ticket);
+    ASSERT_TRUE(ticket.ready.load()) << name;
+    EXPECT_EQ(ticket.wait().status, core::ResultStatus::kUnsupported) << name;
+
+    // Completion form: callback fires on the calling thread with the error.
+    core::ResultStatus seen = core::ResultStatus::kFound;
+    d->submit(IntOp::range_count(0, 5),
+              [&](core::Result<std::uint64_t>&& r) { seen = r.status; });
+    EXPECT_EQ(seen, core::ResultStatus::kUnsupported) << name;
+
+    // The point surface keeps working after every refusal flavour.
     EXPECT_EQ(d->search(1), 10u) << name;
     EXPECT_TRUE(d->check()) << name;
   }

@@ -34,6 +34,7 @@
 #include "core/ops.hpp"
 #include "sched/scheduler.hpp"
 #include "sync/dedicated_lock.hpp"
+#include "util/fault.hpp"
 #include "util/node_pool.hpp"
 #include "util/rng.hpp"
 #include "util/schedule_points.hpp"
@@ -217,7 +218,8 @@ std::string parallel_buffer_scenario(std::uint64_t seed) {
   for (unsigned t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&, t] {
       for (std::size_t i = 0; i < kPerThread; ++i) {
-        buf.submit(static_cast<std::uint64_t>(t) * kPerThread + i);
+        while (!buf.submit(static_cast<std::uint64_t>(t) * kPerThread + i)) {
+        }
         if (buf.pending() > kWrapBound) wrapped.store(true);
       }
     });
@@ -420,6 +422,144 @@ std::string segment_boundary_scenario(std::uint64_t seed) {
 TEST(InterleaveExplorer, SegmentPromoteDemoteBoundary) {
   PWSS_REQUIRE_POINTS();
   sweep("SegmentPromoteDemoteBoundary", segment_boundary_scenario);
+}
+
+// ---- scenario 6: cancellation racing fulfillment -----------------------------
+//
+// cancel() sets a request flag any thread may write at any time; only the
+// drive loop fulfills, reading the flag at the batch-cut boundary
+// ("async_map.drive.fulfill_debit" parks inside that window). The
+// single-fulfiller rule makes the terminal status exact: an op is either
+// kCancelled and never touched the structure, or it executed normally —
+// so on distinct insert keys, size() must equal the count of kInserted
+// results no matter where the canceller lands.
+std::string cancel_race_scenario(std::uint64_t seed) {
+  constexpr std::size_t kOps = 256;
+
+  sched::Scheduler scheduler(2);
+  IntAsyncMap amap(IntMap(&scheduler), scheduler);
+  (void)seed;  // the schedule points consume it; the script is fixed
+
+  std::vector<core::OpTicket<std::uint64_t>> tickets(kOps);
+  std::atomic<bool> go{false};
+  std::thread canceller([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    // Sweep cancel over the whole burst while the drive loop is cutting
+    // batches: some requests land before the cut (op sheds kCancelled),
+    // some after the fulfill (harmless no-op on a completed ticket).
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (i % 2 == 0) tickets[i].cancel();
+    }
+  });
+
+  for (std::size_t i = 0; i < kOps; ++i) {
+    amap.submit(IntOp::insert(1000 + i, i), &tickets[i]);
+    if (i == kOps / 4) go.store(true, std::memory_order_release);
+  }
+  go.store(true, std::memory_order_release);  // tiny bursts: start anyway
+  canceller.join();
+  amap.quiesce();
+
+  std::size_t inserted = 0;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    if (!tickets[i].ready.load(std::memory_order_acquire)) {
+      return "ticket not terminal after quiesce()";
+    }
+    const auto status = tickets[i].result.status;
+    if (status == core::ResultStatus::kInserted) {
+      ++inserted;
+    } else if (status != core::ResultStatus::kCancelled) {
+      std::ostringstream os;
+      os << "unexpected terminal status " << static_cast<int>(status)
+         << " for op " << i;
+      return os.str();
+    }
+  }
+  if (amap.in_flight() != 0) {
+    std::ostringstream os;
+    os << "in_flight() = " << amap.in_flight() << " after quiesce()";
+    return os.str();
+  }
+  if (amap.map().size() != inserted) {
+    std::ostringstream os;
+    os << "terminal-status exactness broken: " << inserted
+       << " ops reported kInserted but size() = " << amap.map().size();
+    return os.str();
+  }
+  return amap.map().validate();
+}
+
+TEST(InterleaveExplorer, CancelRacesFulfill) {
+  PWSS_REQUIRE_POINTS();
+  sweep("CancelRacesFulfill", cancel_race_scenario);
+}
+
+// ---- scenario 7: injected pool exhaustion mid-batch --------------------------
+//
+// The "async_map.batch.pool_reserve" fault site sheds a whole cut batch
+// with kOverloaded before the batch touches the structure. Forcing it to
+// fire while a burst is in flight must leave every op terminal (inserted
+// or shed — nothing torn), the quiescence counter at zero, and the
+// distinct-key conservation size() == #kInserted intact.
+std::string pool_exhaustion_scenario(std::uint64_t seed) {
+  constexpr std::size_t kOps = 256;
+
+  sched::Scheduler scheduler(2);
+  IntAsyncMap amap(IntMap(&scheduler), scheduler);
+  util::Xoshiro256 rng(seed ^ 0xfa17ULL);
+
+  // A handful of forced batch-shed events land at seed-dependent moments
+  // of the burst (the schedule points shift which ops each cut contains).
+  util::faultpt::force("async_map.batch.pool_reserve",
+                       1 + static_cast<std::int64_t>(rng.bounded(3)));
+
+  std::vector<core::OpTicket<std::uint64_t>> tickets(kOps);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    amap.submit(IntOp::insert(5000 + i, i), &tickets[i]);
+  }
+  amap.quiesce();
+  util::faultpt::clear_forced();
+
+  std::size_t inserted = 0;
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    if (!tickets[i].ready.load(std::memory_order_acquire)) {
+      return "ticket not terminal after quiesce()";
+    }
+    const auto status = tickets[i].result.status;
+    if (status == core::ResultStatus::kInserted) {
+      ++inserted;
+    } else if (status == core::ResultStatus::kOverloaded) {
+      ++shed;
+    } else {
+      std::ostringstream os;
+      os << "unexpected terminal status " << static_cast<int>(status)
+         << " for op " << i;
+      return os.str();
+    }
+  }
+  if (inserted + shed != kOps) return "ops neither inserted nor shed";
+  if (amap.in_flight() != 0) {
+    std::ostringstream os;
+    os << "in_flight() = " << amap.in_flight() << " after quiesce()";
+    return os.str();
+  }
+  if (amap.map().size() != inserted) {
+    std::ostringstream os;
+    os << "shed batch touched the structure: size() = " << amap.map().size()
+       << " but only " << inserted << " ops reported kInserted";
+    return os.str();
+  }
+  return amap.map().validate();
+}
+
+TEST(InterleaveExplorer, InjectedPoolExhaustionMidBatch) {
+  PWSS_REQUIRE_POINTS();
+  if (!util::faultpt::kCompiled) {
+    GTEST_SKIP() << "fault points compiled out; rebuild with "
+                 << "-DPWSS_FAULT_INJECT=ON to run the injection scenario";
+  }
+  sweep("InjectedPoolExhaustionMidBatch", pool_exhaustion_scenario);
 }
 
 // ---- coverage: the instrumented windows actually executed --------------------

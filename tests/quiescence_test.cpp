@@ -93,8 +93,9 @@ TEST(QuiescenceStress, ParallelBufferPendingNeverWraps) {
       PreemptionFuzzer fuzz(200'000 + 50'000 * (t % 7));
       std::size_t count = 0;
       while (!stop.load(std::memory_order_acquire)) {
-        buf.submit(static_cast<std::uint64_t>(t) * 1000000 + count);
-        ++count;
+        if (buf.submit(static_cast<std::uint64_t>(t) * 1000000 + count)) {
+          ++count;
+        }
         watch(buf.pending());
       }
       submitted.fetch_add(count, std::memory_order_relaxed);
