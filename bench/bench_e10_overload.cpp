@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
                                                                     opts);
         pwss::bench::prepopulate(*map, kN);
         const Cell cell = offered_load_run(*map, clients);
+        pwss::driver::finish(cli, *map);
         pwss::bench::print_cell(cell.accepted_mops);
         pwss::bench::print_cell(cell.shed_rate);
         pwss::bench::print_cell(cell.p99_us);

@@ -9,9 +9,12 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -21,6 +24,9 @@
 #include "driver/cli.hpp"
 #include "sched/scheduler.hpp"
 #include "sort/pesort.hpp"
+#include "store/recovery.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
 #include "tree/jtree.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
@@ -322,6 +328,80 @@ void emit_probe_depth_panel() {
               params);
 }
 
+// Durability-substrate recovery panel (panel "recovery"): snapshot
+// write/load bandwidth and WAL scan+replay rate over a scratch
+// directory. Info-only pwss-bench-v1 series — single-shot wall-clock
+// numbers, machine-dependent and fsync-bound, so compare_baseline.py
+// reports them without gating. Runs only when --json is given.
+void emit_recovery_panel() {
+  auto& json = pwss::bench::BenchJson::instance();
+  if (!json.enabled()) return;
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  char tmpl[] = "/tmp/pwss-micro-recovery-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) return;
+  const std::string dir = tmpl;
+
+  constexpr std::size_t kEntries = 1u << 18;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(kEntries);
+  for (std::uint64_t i = 0; i < kEntries; ++i) entries.emplace_back(i * 2, i);
+  const double payload_mb =
+      static_cast<double>(kEntries * 2 * sizeof(std::uint64_t)) / 1e6;
+  const std::initializer_list<std::pair<const char*, double>> snap_params = {
+      {"entries", static_cast<double>(kEntries)}};
+
+  auto t0 = Clock::now();
+  pwss::store::SnapshotWriter<std::uint64_t, std::uint64_t>::write(
+      pwss::store::snapshot_path(dir), kEntries, entries);
+  json.record("recovery", "snapshot", "write_mb_per_sec",
+              payload_mb / seconds_since(t0), snap_params);
+
+  t0 = Clock::now();
+  const auto loaded =
+      pwss::store::SnapshotReader<std::uint64_t, std::uint64_t>::load(
+          pwss::store::snapshot_path(dir));
+  json.record("recovery", "snapshot", "load_mb_per_sec",
+              payload_mb / seconds_since(t0), snap_params);
+
+  // WAL suffix replay: append past the snapshot's seq, then time the
+  // boot-path combination (scan + verify + rebuild into a map).
+  constexpr std::size_t kWalOps = 1u << 16;
+  {
+    pwss::store::Wal<std::uint64_t, std::uint64_t> wal;
+    wal.open(pwss::store::wal_path(dir), kEntries, kEntries, 0);
+    for (std::size_t i = 0; i < kWalOps; ++i) {
+      wal.log(pwss::core::OpType::kUpsert, i * 2 + 1, i);
+    }
+    wal.close();
+  }
+  t0 = Clock::now();
+  const auto rec =
+      pwss::store::recover_dir<std::uint64_t, std::uint64_t>(dir);
+  pwss::core::M0Map<std::uint64_t, std::uint64_t> map;
+  const std::size_t replayed = pwss::store::replay_into(
+      rec,
+      [&map](const std::vector<pwss::core::Op<std::uint64_t, std::uint64_t>>&
+                 batch) {
+        for (const auto& op : batch) {
+          if (op.type == pwss::core::OpType::kErase) {
+            map.erase(op.key);
+          } else {
+            map.insert(op.key, op.value);
+          }
+        }
+      });
+  json.record("recovery", "wal", "replay_ops_per_sec",
+              static_cast<double>(loaded.entries.size() + replayed) /
+                  seconds_since(t0),
+              {{"entries", static_cast<double>(kEntries)},
+               {"wal_ops", static_cast<double>(kWalOps)}});
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
 // Console output as usual, plus one JSON Lines record per run when --json
 // is given (items_per_second when the bench reports it, else ns/iteration).
 class JsonForwardingReporter : public benchmark::ConsoleReporter {
@@ -380,6 +460,7 @@ int main(int argc, char** argv) {
   JsonForwardingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   emit_probe_depth_panel();
+  emit_recovery_panel();
   benchmark::Shutdown();
   return 0;
 }

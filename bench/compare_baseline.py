@@ -61,15 +61,18 @@ def load(path):
     return series
 
 
-def is_neutral(metric):
+def is_neutral(panel, metric):
     """Workload-shape counters: reported, never gated on.
 
     Shed rates (bench_e10_overload) are policy outcomes — a higher shed
     rate under a tighter window is the admission controller WORKING, not a
     performance regression — so they are informational by construction.
+    The recovery panel (bench_micro) is single-shot, fsync-bound
+    wall-clock bandwidth — far too machine-dependent to gate on.
     """
-    return (metric.startswith("hits_") or metric.startswith("share_")
-            or metric.startswith("shed_") or metric == "misses")
+    return (panel == "recovery" or metric.startswith("hits_")
+            or metric.startswith("share_") or metric.startswith("shed_")
+            or metric == "misses")
 
 
 def higher_is_better(metric):
@@ -129,7 +132,7 @@ def main(argv):
         else:
             delta = (b - c) / b  # improvement positive for lower-better too
         flag = ""
-        if is_neutral(metric):
+        if is_neutral(key[1], metric):
             flag = "  (info)"
         elif delta < -threshold:
             flag = "  << REGRESSION"

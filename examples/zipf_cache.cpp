@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const auto cli = pwss::driver::parse<std::uint64_t, std::uint64_t>(
       argc, argv, {"m2"});
 
+  int rc = 0;
   for (const auto& name : cli.backends) {
     auto cache = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
         name, cli.driver);
@@ -98,6 +99,7 @@ int main(int argc, char** argv) {
                     cache->search(key) ? "n/a" : "(absent)");
       }
     }
+    rc |= pwss::driver::finish(cli, *cache);
   }
-  return 0;
+  return rc;
 }

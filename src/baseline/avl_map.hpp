@@ -49,6 +49,13 @@ class AvlMap {
     return tree_.range_count(lo, hi);
   }
 
+  /// In-order traversal over (key, value) — the sorted-export surface the
+  /// checkpoint writer drains through the batched adapter.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    tree_.for_each(fn);
+  }
+
  private:
   tree::JTree<K, V> tree_;
 };

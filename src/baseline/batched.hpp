@@ -6,6 +6,7 @@
 // against, exposed through the same interface so benches, examples, and
 // typed tests can treat every backend identically.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -152,6 +153,19 @@ class Batched {
     requires core::HasInvariantCheck<PM>
   bool check_invariants() const {
     return map_.check_invariants();
+  }
+
+  /// Sorted drain for the checkpoint writer (store/snapshot.hpp):
+  /// collects via the point map's for_each, then sorts by key (the
+  /// working-set point maps yield in recency order, not key order).
+  template <typename PM = PointMap>
+    requires requires(const PM m) { m.for_each([](const K&, const V&) {}); }
+  void export_entries(std::vector<std::pair<K, V>>& out) const {
+    const std::size_t first = out.size();
+    out.reserve(first + map_.size());
+    map_.for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   PointMap& inner() { return map_; }

@@ -112,6 +112,15 @@ class IaconoMap {
     return segments_;
   }
 
+  /// Every (key, value) across all segments, no order guarantee — the
+  /// checkpoint export sorts after collecting.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& seg : segments_) {
+      seg.for_each([&](const K& k, const V& v, std::uint64_t) { fn(k, v); });
+    }
+  }
+
   /// Segment index currently holding `key` (recency depth), or nullopt.
   std::optional<std::size_t> segment_of(const K& key) const {
     for (std::size_t k = 0; k < segments_.size(); ++k) {

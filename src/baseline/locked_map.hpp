@@ -53,6 +53,14 @@ class LockedMap {
     return map_.range_count(lo, hi);
   }
 
+  /// In-order traversal over (key, value) with the lock held for the
+  /// whole walk — the checkpoint export drains an atomic snapshot.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.for_each(fn);
+  }
+
  private:
   mutable std::mutex mu_;
   AvlMap<K, V> map_;

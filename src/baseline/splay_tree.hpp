@@ -89,6 +89,13 @@ class SplayTree {
   /// maintain worst-case balance).
   std::size_t height() const { return height_rec(root_); }
 
+  /// In-order traversal over (key, value) without splaying — the
+  /// checkpoint export must not perturb the tree it drains.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_rec(root_, fn);
+  }
+
  private:
   struct Node {
     Node(const K& k, V v) : key(k), value(std::move(v)) {}
@@ -145,6 +152,14 @@ class SplayTree {
     destroy(t->left);
     destroy(t->right);
     delete t;
+  }
+
+  template <typename Fn>
+  static void for_each_rec(const Node* t, Fn& fn) {
+    if (t == nullptr) return;
+    for_each_rec(t->left, fn);
+    fn(t->key, t->value);
+    for_each_rec(t->right, fn);
   }
 
   static std::size_t height_rec(const Node* t) noexcept {

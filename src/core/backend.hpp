@@ -115,6 +115,15 @@ concept HasPointOps = requires(B b, const K& k, V v) {
   { b.erase(k) } -> std::convertible_to<std::optional<V>>;
 };
 
+/// True when the backend can drain its full contents into a sorted
+/// (key, value) vector — the multi_extract-style sorted export the
+/// checkpoint writer (store/snapshot.hpp) serializes. Must be called
+/// quiescent; drivers surface it through Driver::export_sorted(). The
+/// backend appends to `out` in ascending key order.
+template <typename B, typename K, typename V>
+concept HasExportEntries =
+    requires(B b, std::vector<std::pair<K, V>>& out) { b.export_entries(out); };
+
 /// True when a point map answers the ordered kinds directly:
 /// predecessor/successor return the matched (key, value) pair (by value,
 /// normalized shape for adapters) and range_count the inclusive-range

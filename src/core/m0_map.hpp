@@ -13,11 +13,13 @@
 // scheme is exactly what M2 pipelines, so M0 doubles as the reference
 // implementation ("model") in M1/M2 equivalence tests.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -40,6 +42,22 @@ class M0Map {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
   std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Sorted drain of the full contents for the checkpoint writer
+  /// (store/snapshot.hpp): appends every (key, value) in ascending key
+  /// order. Recency stamps are NOT exported — a restored map starts with
+  /// a fresh working set (documented in DESIGN.md "Durability").
+  void export_entries(std::vector<std::pair<K, V>>& out) const {
+    const std::size_t first = out.size();
+    out.reserve(first + size_);
+    for (const auto& seg : segments_) {
+      seg.for_each([&](const K& k, const V& v, std::uint64_t) {
+        out.emplace_back(k, v);
+      });
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
 
   /// Search with self-adjustment. Returns the value if found.
   std::optional<V> search(const K& key) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -54,6 +55,23 @@ class M1Map {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
   std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Sorted drain of the full contents for the checkpoint writer
+  /// (store/snapshot.hpp): appends every (key, value) in ascending key
+  /// order. Callable only between batches (the driver quiesces first);
+  /// recency stamps are not exported — a restored map starts with a
+  /// fresh working set.
+  void export_entries(std::vector<std::pair<K, V>>& out) const {
+    const std::size_t first = out.size();
+    out.reserve(first + size_);
+    for (const auto& seg : segments_) {
+      seg.for_each([&](const K& k, const V& v, std::uint64_t) {
+        out.emplace_back(k, v);
+      });
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
 
   /// Executes one batch; results returned in submission order. Operations
   /// on the same key take effect in submission order; operations on

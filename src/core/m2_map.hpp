@@ -47,6 +47,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "buffer/feed_buffer.hpp"
@@ -212,6 +213,29 @@ class M2Map {
     while (in_flight_.load(std::memory_order_acquire) != 0 || pipeline_busy()) {
       std::this_thread::yield();
     }
+  }
+
+  /// Sorted drain of the full contents for the checkpoint writer
+  /// (store/snapshot.hpp): appends every (key, value) in ascending key
+  /// order. Callable only when quiescent (every first-slab and stage
+  /// segment is then at rest); recency stamps are not exported — a
+  /// restored map starts with a fresh working set.
+  void export_entries(std::vector<std::pair<K, V>>& out) {
+    quiesce();
+    const std::size_t first = out.size();
+    out.reserve(first + size());
+    for (std::size_t k = 0; k < m_; ++k) {
+      first_slab_[k].for_each([&](const K& k2, const V& v, std::uint64_t) {
+        out.emplace_back(k2, v);
+      });
+    }
+    for (std::size_t j = 0; j <= terminal_; ++j) {
+      stages_[j].seg.for_each([&](const K& k2, const V& v, std::uint64_t) {
+        out.emplace_back(k2, v);
+      });
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   /// Structural validation; callable only when quiescent. M2's balance

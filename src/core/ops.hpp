@@ -140,6 +140,8 @@ enum class ResultStatus : std::uint8_t {
   kTimedOut,     // deadline passed before the op was executed
   kCancelled,    // cancel() observed at a batch-cut boundary
   kUnsupported,  // op kind refused by the backend (e.g. ordered on splay)
+  kReadOnly,     // mutation shed: driver degraded to read-only after a
+                 // persistence failure (store layer; sticky until restart)
 };
 
 /// True for the terminal error statuses: the op was not executed and had
@@ -148,7 +150,8 @@ enum class ResultStatus : std::uint8_t {
 /// count meaningful) or errored (one of these, payload fields empty).
 constexpr bool is_error(ResultStatus s) noexcept {
   return s == ResultStatus::kOverloaded || s == ResultStatus::kTimedOut ||
-         s == ResultStatus::kCancelled || s == ResultStatus::kUnsupported;
+         s == ResultStatus::kCancelled || s == ResultStatus::kUnsupported ||
+         s == ResultStatus::kReadOnly;
 }
 
 /// Result of one operation.

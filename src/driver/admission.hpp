@@ -70,6 +70,39 @@ class AdmissionController {
   /// call release() directly on synchronous paths) exactly when bounded()
   /// is true and the verdict is kAdmitted.
   Admit try_admit(std::uint64_t deadline_ns) noexcept {
+    return count(try_admit_impl(deadline_ns));
+  }
+
+  // ---- lifetime counters (Driver::stats()) -----------------------------------
+  // Relaxed totals of every verdict this controller handed out. On the
+  // unbounded default path only admitted_ ticks (one relaxed increment);
+  // the bounded paths were already contended-atomic.
+
+  std::uint64_t admitted_total() const noexcept {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_total() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t expired_total() const noexcept {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+  /// Frees one window slot. No-op when unbounded, so synchronous paths
+  /// may call it unconditionally after an admitted op completes.
+  void release() noexcept {
+    if (cfg_.max_in_flight != 0) {
+      window_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// OpTicket::on_release-compatible trampoline; ctx is the controller.
+  static void release_hook(void* ctx) noexcept {
+    static_cast<AdmissionController*>(ctx)->release();
+  }
+
+ private:
+  Admit try_admit_impl(std::uint64_t deadline_ns) noexcept {
     if (deadline_ns != 0 && core::now_ns() >= deadline_ns) {
       return Admit::kExpired;
     }
@@ -95,22 +128,26 @@ class AdmissionController {
     }
   }
 
-  /// Frees one window slot. No-op when unbounded, so synchronous paths
-  /// may call it unconditionally after an admitted op completes.
-  void release() noexcept {
-    if (cfg_.max_in_flight != 0) {
-      window_.fetch_sub(1, std::memory_order_release);
+  Admit count(Admit verdict) noexcept {
+    switch (verdict) {
+      case Admit::kAdmitted:
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Admit::kShed:
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Admit::kExpired:
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
+    return verdict;
   }
 
-  /// OpTicket::on_release-compatible trampoline; ctx is the controller.
-  static void release_hook(void* ctx) noexcept {
-    static_cast<AdmissionController*>(ctx)->release();
-  }
-
- private:
   AdmissionConfig cfg_{};
   std::atomic<std::size_t> window_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_{0};
 };
 
 }  // namespace pwss::driver

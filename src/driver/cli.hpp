@@ -20,6 +20,14 @@
 //                              refused for backends without ordered support
 //                              (BackendRegistry::require_ordered).
 //   --range-span=N             width of range-count queries (default 1024)
+//   --durability=off|async|sync  write-ahead logging mode (default off;
+//                              sync = acked mutations are fsynced)
+//   --durability-dir=PATH      snapshot + WAL directory (default pwss-data;
+//                              sharded backends use PATH/shard-N)
+//   --stats                    print the driver's counter snapshot at exit
+//                              (admission/retry + durability)
+//   --validate                 run the deep validators after the workload;
+//                              a report makes the binary exit nonzero
 //   --list-backends            print the registry and exit
 //   --help                     usage
 //
@@ -38,15 +46,18 @@
 #include <vector>
 
 #include "driver/registry.hpp"
+#include "store/durability.hpp"
 #include "util/workload.hpp"
 
 namespace pwss::driver {
 
 struct CliOptions {
   std::vector<std::string> backends;  // validated registry names
-  Options driver;                     // workers / p knobs
+  Options driver;                     // workers / p / durability knobs
   util::OpMix mix;                    // op mix (default: all searches)
   bool mix_given = false;             // --mix was present
+  bool print_stats = false;           // --stats was present
+  bool validate = false;              // --validate was present
 };
 
 namespace detail {
@@ -155,7 +166,8 @@ CliOptions parse(int argc, char** argv,
           "          [--shards=N] [--max-in-flight=N] "
           "[--admission=reject|block]\n"
           "          [--mix=S,I,E[,P,Su,R]] [--range-span=N]\n"
-          "          [--list-backends]\n"
+          "          [--durability=off|async|sync] [--durability-dir=PATH]\n"
+          "          [--stats] [--validate] [--list-backends]\n"
           "       (NAME may be sharded:NAME, e.g. --backend=sharded:m1)\n",
           argv[0]);
       std::exit(0);
@@ -197,6 +209,24 @@ CliOptions parse(int argc, char** argv,
       cli.driver.max_in_flight = detail::parse_unsigned(
           argv[0], "--max-in-flight",
           arg.substr(std::string_view("--max-in-flight=").size()));
+    } else if (arg.starts_with("--durability=")) {
+      const std::string_view val =
+          arg.substr(std::string_view("--durability=").size());
+      if (const auto mode = store::parse_durability(val)) {
+        cli.driver.durability = *mode;
+      } else {
+        std::fprintf(stderr,
+                     "%s: --durability expects off|async|sync, got '%.*s'\n",
+                     argv[0], static_cast<int>(val.size()), val.data());
+        std::exit(2);
+      }
+    } else if (arg.starts_with("--durability-dir=")) {
+      cli.driver.durability_dir =
+          arg.substr(std::string_view("--durability-dir=").size());
+    } else if (arg == "--stats") {
+      cli.print_stats = true;
+    } else if (arg == "--validate") {
+      cli.validate = true;
     } else if (arg.starts_with("--admission=")) {
       const std::string_view val =
           arg.substr(std::string_view("--admission=").size());
@@ -255,6 +285,59 @@ CliOptions parse(int argc, char** argv,
     }
   }
   return cli;
+}
+
+/// Prints one driver's counter snapshot (--stats) to stderr so it never
+/// mixes with result output on stdout.
+template <typename K, typename V>
+void print_stats(const Driver<K, V>& driver) {
+  const DriverStats s = driver.stats();
+  std::fprintf(stderr,
+               "stats[%s]: admitted=%llu shed=%llu timed_out=%llu "
+               "retries=%llu in_flight=%llu\n",
+               driver.name().c_str(),
+               static_cast<unsigned long long>(s.admitted),
+               static_cast<unsigned long long>(s.shed),
+               static_cast<unsigned long long>(s.timed_out),
+               static_cast<unsigned long long>(s.retries),
+               static_cast<unsigned long long>(s.in_flight));
+  if (s.durable) {
+    std::fprintf(
+        stderr,
+        "stats[%s]: durable read_only=%d wal_appends=%llu wal_fsyncs=%llu "
+        "recovered_ops=%llu recovered_entries=%llu torn_tails=%llu "
+        "checkpoints=%llu\n",
+        driver.name().c_str(), s.read_only ? 1 : 0,
+        static_cast<unsigned long long>(s.wal_appends),
+        static_cast<unsigned long long>(s.wal_fsyncs),
+        static_cast<unsigned long long>(s.recovered_ops),
+        static_cast<unsigned long long>(s.recovered_entries),
+        static_cast<unsigned long long>(s.torn_tail_truncations),
+        static_cast<unsigned long long>(s.checkpoints));
+  }
+}
+
+/// Post-workload epilogue for --stats/--validate: prints the counter
+/// snapshot when asked, runs the deep validators when asked. Returns 0,
+/// or 1 when --validate produced a report — callers fold it into their
+/// exit status so CI catches a corrupted structure even if every
+/// result looked plausible.
+template <typename K, typename V>
+int finish(const CliOptions& cli, Driver<K, V>& driver) {
+  int rc = 0;
+  if (cli.validate) {
+    driver.quiesce();
+    const std::string report = driver.validate();
+    if (!report.empty()) {
+      std::fprintf(stderr, "validate[%s]: %s\n", driver.name().c_str(),
+                   report.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "validate[%s]: ok\n", driver.name().c_str());
+    }
+  }
+  if (cli.print_stats) print_stats(driver);
+  return rc;
 }
 
 }  // namespace pwss::driver

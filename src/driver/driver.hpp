@@ -40,11 +40,13 @@
 // AsyncMap-wrapped backends (it quiesces the front end, then batches
 // directly); natively-async and point-thread-safe backends allow mixing.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -59,6 +61,8 @@
 #include "driver/admission.hpp"
 #include "driver/retry.hpp"
 #include "sched/scheduler.hpp"
+#include "store/durability.hpp"
+#include "util/fault.hpp"
 
 namespace pwss::driver {
 
@@ -84,6 +88,53 @@ struct Options {
   /// What a full window does to a submission: shed (kOverloaded) or
   /// park the submitter until a slot frees / the op's deadline passes.
   AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// Persistence mode (store/durability.hpp): kOff (default; zero
+  /// hot-path cost), kAsync (WAL flushed at thresholds), or kSync
+  /// (acked ⇒ fsynced via group commit). For sharded:* backends every
+  /// shard persists independently under durability_dir/shard-N.
+  store::DurabilityMode durability = store::DurabilityMode::kOff;
+  /// Directory holding the snapshot + WAL (created if absent). Ignored
+  /// when durability is kOff.
+  std::string durability_dir = "pwss-data";
+};
+
+/// Counter snapshot for one driver (aggregated across shards by
+/// ShardedDriver::stats()): the PR-8 admission/retry machinery plus the
+/// durability layer, finally observable. Printed by the CLI at exit
+/// (--stats) and asserted by the robustness tests.
+struct DriverStats {
+  // admission / retry (see driver/admission.hpp, driver/retry.hpp)
+  std::uint64_t admitted = 0;   ///< ops past the admission window
+  std::uint64_t shed = 0;       ///< kOverloaded verdicts handed out
+  std::uint64_t timed_out = 0;  ///< kExpired verdicts (deadline passed)
+  std::uint64_t retries = 0;    ///< blocking-path backoff retries
+  std::uint64_t in_flight = 0;  ///< current window occupancy
+  // durability (see store/durability.hpp)
+  bool durable = false;         ///< a WAL is armed on this driver
+  bool read_only = false;       ///< sticky degraded mode entered
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t recovered_ops = 0;      ///< WAL records replayed at boot
+  std::uint64_t recovered_entries = 0;  ///< snapshot entries restored
+  std::uint64_t torn_tail_truncations = 0;
+  std::uint64_t checkpoints = 0;
+
+  DriverStats& operator+=(const DriverStats& o) {
+    admitted += o.admitted;
+    shed += o.shed;
+    timed_out += o.timed_out;
+    retries += o.retries;
+    in_flight += o.in_flight;
+    durable = durable || o.durable;
+    read_only = read_only || o.read_only;
+    wal_appends += o.wal_appends;
+    wal_fsyncs += o.wal_fsyncs;
+    recovered_ops += o.recovered_ops;
+    recovered_entries += o.recovered_entries;
+    torn_tail_truncations += o.torn_tail_truncations;
+    checkpoints += o.checkpoints;
+    return *this;
+  }
 };
 
 /// The admission window a single (non-sharded) driver enforces for the
@@ -148,7 +199,10 @@ class Driver {
         case Admit::kExpired:
           return core::Result<V, K>::error(core::ResultStatus::kTimedOut);
         case Admit::kShed:
-          if (backoff.next(op.deadline_ns)) continue;
+          if (backoff.next(op.deadline_ns)) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           return core::Result<V, K>::error(core::ResultStatus::kOverloaded);
         case Admit::kAdmitted:
           break;
@@ -156,10 +210,17 @@ class Driver {
       // The op is retried on transient overload, so the attempt gets a
       // copy; the window slot is held across the attempt and released
       // before any backoff sleep.
-      core::Result<V, K> r = run_one(core::Op<K, V>(op));
+      core::Result<V, K> r =
+          durable() && core::is_mutation(op.type)
+              ? durable_one(core::Op<K, V>(op),
+                            [this](core::Op<K, V> o) {
+                              return run_one(std::move(o));
+                            })
+              : run_one(core::Op<K, V>(op));
       admission_.release();
       if (r.status == core::ResultStatus::kOverloaded &&
           backoff.next(op.deadline_ns)) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       return r;
@@ -221,9 +282,17 @@ class Driver {
   /// Same bulk path, results into a caller-owned buffer (cleared, then
   /// sized to the batch): a steady bulk caller reuses the results
   /// capacity across batches instead of reallocating it per run.
+  /// With durability armed, the batch's mutations are WAL-logged first
+  /// and covered by ONE group commit (the batch-cut-boundary fsync);
+  /// in read-only degraded mode the batch splits — reads execute,
+  /// mutation slots complete with kReadOnly.
   void run(const std::vector<core::Op<K, V>>& ops,
            std::vector<core::Result<V, K>>& out) {
     check_ordered_batch(ops);
+    if (durable() && batch_has_mutation(ops)) {
+      run_durable(ops, out);
+      return;
+    }
     do_run(ops, out);
   }
 
@@ -234,6 +303,11 @@ class Driver {
   /// batching overhead.
   core::Result<V, K> step(core::Op<K, V> op) {
     check_ordered(op);
+    if (durable() && core::is_mutation(op.type)) {
+      return durable_one(std::move(op), [this](core::Op<K, V> o) {
+        return do_step(std::move(o));
+      });
+    }
     return do_step(std::move(op));
   }
 
@@ -267,9 +341,107 @@ class Driver {
   /// Registry name this driver was created under ("m2", "avl", ...).
   const std::string& name() const noexcept { return name_; }
 
+  // ---- durability (store/) -------------------------------------------------
+
+  /// Opens the durability layer per `opts`; the registry calls this
+  /// right after construction, before the driver serves. Recovers the
+  /// directory (snapshot + WAL scan), replays the state through the
+  /// bulk path with logging still disarmed, runs the deep validators,
+  /// and only then arms the WAL. Throws store::StoreError when the
+  /// directory is corrupt or recovery validation fails — the driver
+  /// refuses to serve rather than serving a state the validators
+  /// cannot certify. kOff is a no-op. Throws std::invalid_argument for
+  /// K/V the file formats cannot serialize (non-trivially-copyable).
+  virtual void open_durability(const Options& opts) {
+    if (opts.durability == store::DurabilityMode::kOff) return;
+    if constexpr (!store::kSerializable<K, V>) {
+      throw std::invalid_argument(
+          "durability requires trivially copyable key/value types");
+    } else {
+      durability_ = std::make_unique<store::Durability<K, V>>(
+          opts.durability_dir, opts.durability);
+      store::RecoveredState<K, V> rec = durability_->recover();
+      std::vector<core::Result<V, K>> scratch;
+      store::replay_into(rec, [&](const std::vector<core::Op<K, V>>& batch) {
+        do_run(batch, scratch);
+      });
+      quiesce();
+      const std::string err = validate();
+      if (!err.empty()) {
+        durability_.reset();
+        throw store::StoreError("recovery validation failed (" +
+                                opts.durability_dir + "): " + err);
+      }
+      durability_->arm();
+    }
+  }
+
+  /// Compaction: quiesces, drains the sorted contents, writes a fresh
+  /// snapshot, and rotates the WAL — under the writer gate, so the
+  /// snapshot reflects exactly the logged prefix. Returns "" on
+  /// success, else the failure description (the driver is then in
+  /// sticky read-only mode). Throws std::logic_error with durability
+  /// off — checkpointing without a WAL to rotate is a caller bug.
+  virtual std::string checkpoint() {
+    if (!durability_) {
+      throw std::logic_error(
+          "checkpoint() requires durability (Options::durability != kOff)");
+    }
+    std::unique_lock<std::shared_mutex> gate(store_gate_);
+    quiesce();
+    const std::vector<std::pair<K, V>> entries = export_sorted();
+    try {
+      durability_->checkpoint(entries);
+    } catch (const store::StoreError& e) {
+      return e.what();
+    }
+    return {};
+  }
+
+  /// The full contents as sorted (key, value) pairs (quiesces first) —
+  /// the export surface the checkpoint writer serializes.
+  virtual std::vector<std::pair<K, V>> export_sorted() = 0;
+
+  /// True once the driver degraded to sticky read-only mode (a
+  /// persistence failure with durability armed). Mutations shed
+  /// kReadOnly; reads keep serving.
+  virtual bool read_only() const noexcept {
+    return durability_ != nullptr && durability_->read_only();
+  }
+
+  /// Counter snapshot: admission/retry and durability observability.
+  virtual DriverStats stats() const {
+    DriverStats s;
+    s.admitted = admission_.admitted_total();
+    s.shed = admission_.shed_total();
+    s.timed_out = admission_.expired_total();
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.in_flight = admission_.in_flight();
+    if (durability_) {
+      const store::DurabilityCounters c = durability_->counters();
+      s.durable = true;
+      s.read_only = c.read_only;
+      s.wal_appends = c.wal_appends;
+      s.wal_fsyncs = c.wal_fsyncs;
+      s.recovered_ops = c.recovered_ops;
+      s.recovered_entries = c.recovered_entries;
+      s.torn_tail_truncations = c.torn_tail_truncations;
+      s.checkpoints = c.checkpoints;
+    }
+    return s;
+  }
+
  protected:
   explicit Driver(std::string name, AdmissionConfig admission = {})
-      : name_(std::move(name)), admission_(admission) {}
+      : name_(std::move(name)), admission_(admission) {
+    util::faultpt::register_exit_dump();
+  }
+
+  /// True when mutations must be WAL-logged (durability recovered,
+  /// validated, and armed). One pointer test on the kOff default path.
+  bool durable() const noexcept {
+    return durability_ != nullptr && durability_->armed();
+  }
 
   virtual core::Result<V, K> run_one(core::Op<K, V> op) = 0;
   virtual void do_submit(core::Op<K, V> op, Ticket* ticket) = 0;
@@ -310,11 +482,125 @@ class Driver {
       case Admit::kAdmitted:
         break;
     }
+    if (durable() && core::is_mutation(op.type)) {
+      // Write-ahead: the record must be as durable as the mode promises
+      // BEFORE the op can execute (the ack necessarily follows
+      // do_submit, so acked ⇒ logged ⇒ fsynced under sync). A shed here
+      // releases the admission slot by hand — the release hook is not
+      // armed yet — so the window stays conserved.
+      if (durability_->read_only()) {
+        admission_.release();
+        ticket->fulfill(
+            core::Result<V, K>::error(core::ResultStatus::kReadOnly));
+        return;
+      }
+      std::shared_lock<std::shared_mutex> gate(store_gate_);
+      try {
+        const std::uint64_t seq =
+            durability_->log(op.type, op.key, op.value);
+        durability_->commit(seq);
+      } catch (const store::StoreError&) {
+        admission_.release();
+        ticket->fulfill(
+            core::Result<V, K>::error(core::ResultStatus::kReadOnly));
+        return;
+      }
+      if (admission_.bounded()) {
+        ticket->on_release = &AdmissionController::release_hook;
+        ticket->release_ctx = &admission_;
+      }
+      // Enqueue under the gate: once checkpoint() holds the gate
+      // exclusively and quiesces, every logged op is fully applied.
+      do_submit(std::move(op), ticket);
+      return;
+    }
     if (admission_.bounded()) {
       ticket->on_release = &AdmissionController::release_hook;
       ticket->release_ctx = &admission_;
     }
     do_submit(std::move(op), ticket);
+  }
+
+  /// One mutation through the write-ahead sequence (read-only screen,
+  /// log, mode-level commit, then execute under the shared gate).
+  /// Returns kReadOnly without executing when the persistence path is
+  /// (or just became) unusable. NOTE the documented corner: an op can be
+  /// logged durably and THEN shed (commit raced a concurrent failure) —
+  /// it did not execute in this process, but recovery will replay it
+  /// after a restart. The contract callers rely on is one-sided:
+  /// acked ⇒ durable; shed ⇒ not executed here.
+  template <typename Exec>
+  core::Result<V, K> durable_one(core::Op<K, V> op, Exec&& exec) {
+    if (durability_->read_only()) {
+      return core::Result<V, K>::error(core::ResultStatus::kReadOnly);
+    }
+    std::shared_lock<std::shared_mutex> gate(store_gate_);
+    try {
+      const std::uint64_t seq = durability_->log(op.type, op.key, op.value);
+      durability_->commit(seq);
+    } catch (const store::StoreError&) {
+      return core::Result<V, K>::error(core::ResultStatus::kReadOnly);
+    }
+    return exec(std::move(op));
+  }
+
+  static bool batch_has_mutation(const std::vector<core::Op<K, V>>& ops) {
+    for (const auto& op : ops) {
+      if (core::is_mutation(op.type)) return true;
+    }
+    return false;
+  }
+
+  /// Bulk path with durability armed: log the batch's mutations, ONE
+  /// group commit at the batch boundary, then execute — or, degraded,
+  /// split the batch so reads still serve.
+  void run_durable(const std::vector<core::Op<K, V>>& ops,
+                   std::vector<core::Result<V, K>>& out) {
+    if (!durability_->read_only()) {
+      std::shared_lock<std::shared_mutex> gate(store_gate_);
+      bool logged = true;
+      std::uint64_t last_seq = 0;
+      try {
+        for (const auto& op : ops) {
+          if (core::is_mutation(op.type)) {
+            last_seq = durability_->log(op.type, op.key, op.value);
+          }
+        }
+        durability_->commit(last_seq);
+      } catch (const store::StoreError&) {
+        logged = false;
+      }
+      if (logged) {
+        do_run(ops, out);
+        return;
+      }
+    }
+    run_read_only_split(ops, out);
+  }
+
+  /// Degraded bulk execution: mutation slots complete with kReadOnly,
+  /// the read subsequence runs as its own batch (relative read order —
+  /// and thus phase slicing — is preserved).
+  void run_read_only_split(const std::vector<core::Op<K, V>>& ops,
+                           std::vector<core::Result<V, K>>& out) {
+    out.clear();
+    out.resize(ops.size());
+    std::vector<core::Op<K, V>> reads;
+    std::vector<std::size_t> origin;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (core::is_mutation(ops[i].type)) {
+        out[i] = core::Result<V, K>::error(core::ResultStatus::kReadOnly);
+      } else {
+        reads.push_back(ops[i]);
+        origin.push_back(i);
+      }
+    }
+    if (reads.empty()) return;
+    std::vector<core::Result<V, K>> read_results;
+    do_run(reads, read_results);
+    for (std::size_t j = 0; j < origin.size(); ++j) {
+      out[origin[j]] = std::move(read_results[j]);
+    }
   }
 
   [[noreturn]] void refuse_ordered() const {
@@ -327,6 +613,16 @@ class Driver {
 
   std::string name_;
   AdmissionController admission_;
+  /// Null when durability is off (the default) — every hot-path check
+  /// is then one pointer test. The refusing stub type for K/V the file
+  /// formats cannot serialize (open_durability throws before it is
+  /// ever constructed).
+  std::unique_ptr<store::DurabilityFor<K, V>> durability_;
+  /// Writer gate: mutations log+execute under shared locks; checkpoint
+  /// takes it exclusively so the exported contents match the logged
+  /// prefix exactly. Untouched when durability is off.
+  std::shared_mutex store_gate_;
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 namespace detail {
@@ -368,6 +664,21 @@ std::string deep_validate(B& backend) {
     (void)backend;
     return {};
   }
+}
+
+/// The backend's sorted contents for the checkpoint writer; caller
+/// quiesces first. Every registered backend has the surface — the throw
+/// is a backstop for out-of-tree backends registered without one.
+template <typename K, typename V, typename B>
+std::vector<std::pair<K, V>> export_sorted_of(B& backend) {
+  std::vector<std::pair<K, V>> out;
+  if constexpr (core::HasExportEntries<B, K, V>) {
+    backend.export_entries(out);
+  } else {
+    throw std::logic_error(
+        "backend has no export_entries surface; durability needs one");
+  }
+  return out;
 }
 
 template <typename K, typename V, typename B>
@@ -466,6 +777,10 @@ class AsyncDriver final : public Driver<K, V> {
     async_.quiesce();
     return detail::deep_validate<B, K, V>(async_.map());
   }
+  std::vector<std::pair<K, V>> export_sorted() override {
+    async_.quiesce();
+    return detail::export_sorted_of<K, V>(async_.map());
+  }
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   /// The wrapped backend; safe only when quiescent.
@@ -551,6 +866,10 @@ class NativeAsyncDriver final : public Driver<K, V> {
     backend_.quiesce();
     return detail::deep_validate<B, K, V>(backend_);
   }
+  std::vector<std::pair<K, V>> export_sorted() override {
+    backend_.quiesce();
+    return detail::export_sorted_of<K, V>(backend_);
+  }
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
 
   B& backend() { return backend_; }
@@ -607,6 +926,9 @@ class DirectDriver final : public Driver<K, V> {
   bool check() override { return detail::checked_invariants<B, K, V>(backend_); }
   std::string validate() override {
     return detail::deep_validate<B, K, V>(backend_);
+  }
+  std::vector<std::pair<K, V>> export_sorted() override {
+    return detail::export_sorted_of<K, V>(backend_);
   }
   sched::Scheduler* scheduler() noexcept override { return nullptr; }
 

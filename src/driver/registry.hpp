@@ -109,16 +109,22 @@ class BackendRegistry {
   /// Creates a driver, or throws std::invalid_argument naming the known
   /// backends. Use contains() to probe without throwing. A `sharded:`
   /// prefix wraps Options::shards instances of the named backend behind
-  /// one shared scheduler.
+  /// one shared scheduler. With Options::durability != kOff the driver
+  /// recovers its directory (validated) and arms its WAL before it is
+  /// returned — store::StoreError propagates when the store is corrupt.
   std::unique_ptr<Driver<K, V>> create(std::string_view name,
                                        const Options& opts = {}) const {
     if (name.starts_with(kShardedPrefix)) {
       if (const Entry* e = find(name.substr(kShardedPrefix.size()))) {
-        return std::make_unique<ShardedDriver<K, V>>(std::string(name), opts,
-                                                     e->make);
+        auto driver = std::make_unique<ShardedDriver<K, V>>(std::string(name),
+                                                            opts, e->make);
+        driver->open_durability(opts);
+        return driver;
       }
     } else if (const Entry* e = find(name)) {
-      return e->make(opts);
+      auto driver = e->make(opts);
+      driver->open_durability(opts);
+      return driver;
     }
     std::string msg = "unknown backend '" + std::string(name) + "'; known:";
     for (const auto& e : entries_) msg += " " + e.name;

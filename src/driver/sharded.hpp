@@ -27,11 +27,13 @@
 // the wrapped backend's own factory, so `sharded:<name>` works for every
 // registered backend without this header depending on the registry.
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -44,6 +46,7 @@
 #include "core/ops.hpp"
 #include "driver/driver.hpp"
 #include "sched/scheduler.hpp"
+#include "store/format.hpp"
 
 namespace pwss::driver {
 
@@ -140,6 +143,67 @@ class ShardedDriver final : public Driver<K, V> {
   }
 
   sched::Scheduler* scheduler() noexcept override { return scheduler_.ptr; }
+
+  /// Per-shard durability: each shard recovers from and logs to its own
+  /// subdirectory (keys are hash-partitioned, so the shard stores hold
+  /// disjoint key sets). The outer driver's durability layer stays null
+  /// — scatter paths route through the shards' PUBLIC run/submit/step,
+  /// so write-ahead logging, group commit, and read-only shedding all
+  /// happen inside the shard that owns the key.
+  void open_durability(const Options& opts) override {
+    if (opts.durability == store::DurabilityMode::kOff) return;
+    store::ensure_dir(opts.durability_dir);
+    Options inner = opts;
+    inner.scheduler = scheduler_.ptr;
+    inner.shards = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      inner.durability_dir =
+          opts.durability_dir + "/shard-" + std::to_string(s);
+      shards_[s]->open_durability(inner);
+    }
+  }
+
+  /// Checkpoints every shard; error reports are concatenated so one
+  /// degraded shard does not hide another's.
+  std::string checkpoint() override {
+    std::string errors;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::string err = shards_[s]->checkpoint();
+      if (!err.empty()) {
+        if (!errors.empty()) errors += "; ";
+        errors += "shard[" + std::to_string(s) + "]: " + err;
+      }
+    }
+    return errors;
+  }
+
+  std::vector<std::pair<K, V>> export_sorted() override {
+    std::vector<std::pair<K, V>> out;
+    for (auto& s : shards_) {
+      auto part = s->export_sorted();
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    // Disjoint key sets per shard: a plain sort, no dedup needed.
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  /// Degradation is per shard (one shard's disk failing sheds only the
+  /// keys it owns); any degraded shard makes the aggregate report true.
+  bool read_only() const noexcept override {
+    for (const auto& s : shards_) {
+      if (s->read_only()) return true;
+    }
+    return false;
+  }
+
+  DriverStats stats() const override {
+    DriverStats total = Driver<K, V>::stats();  // outer retries/admission
+    for (const auto& s : shards_) total += s->stats();
+    return total;
+  }
 
  protected:
   void do_run(const std::vector<core::Op<K, V>>& ops,

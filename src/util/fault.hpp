@@ -34,6 +34,16 @@
 //                                                                → kOverloaded
 //   scheduler.spawn.stall              a worker that is slow to  brief park,
 //                                      pick up a spawned drive   not failure
+//   wal.append                         write(2) failure while    mutation sheds
+//                                      appending a WAL record    kReadOnly;
+//                                                                driver sticky
+//                                                                read-only
+//   wal.fsync                          fsync(2) failure at a     same
+//                                      group-commit boundary
+//   snapshot.write                     write failure while       checkpoint()
+//                                      emitting a snapshot       reports error;
+//                                                                driver sticky
+//                                                                read-only
 //
 // The registry mirrors util/schedule_points.hpp: function-local static
 // Sites link into a push-only list on first hit, counters are relaxed,
@@ -42,9 +52,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
+#include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/schedule_points.hpp"  // mix64 / hash_name
@@ -253,6 +267,67 @@ inline std::uint64_t fires(std::string_view name) {
     if (name == s->name) total += s->fires.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+// ---- PWSS_FAULT_LIST exit dump -----------------------------------------------
+
+/// Writes every fault site and schedule point the process ever executed
+/// to stderr, aggregated by name (the same logical site instantiates one
+/// function-local static per TU / template specialization). Used by the
+/// atexit dump below and callable directly from tests.
+inline void dump_sites(std::FILE* out) {
+  std::fprintf(out, "pwss: fault/schedule-point site dump\n");
+  std::fprintf(out, "  fault points (compiled: %s):\n",
+               kCompiled ? "yes" : "no");
+  std::vector<std::pair<std::string_view, std::pair<std::uint64_t,
+                                                    std::uint64_t>>> agg;
+  for (const Snapshot& s : snapshot()) {
+    bool merged = false;
+    for (auto& [name, counts] : agg) {
+      if (name == s.name) {
+        counts.first += s.hits;
+        counts.second += s.fires;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) agg.push_back({s.name, {s.hits, s.fires}});
+  }
+  if (agg.empty()) std::fprintf(out, "    (no site executed)\n");
+  for (const auto& [name, counts] : agg) {
+    std::fprintf(out, "    %-36.*s hits=%llu fires=%llu\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(counts.first),
+                 static_cast<unsigned long long>(counts.second));
+  }
+  std::fprintf(out, "  schedule points (compiled: %s):\n",
+               schedpt::kCompiled ? "yes" : "no");
+  const auto points = schedpt::snapshot();
+  if (points.empty()) std::fprintf(out, "    (no point executed)\n");
+  for (const auto& p : points) {
+    std::fprintf(out, "    %-36.*s hits=%llu delays=%llu\n",
+                 static_cast<int>(p.name.size()), p.name.data(),
+                 static_cast<unsigned long long>(p.hits),
+                 static_cast<unsigned long long>(p.delays));
+  }
+  std::fflush(out);
+}
+
+/// PWSS_FAULT_LIST=1 observability hook: when the env var is set (and not
+/// "0"), registers an atexit handler that dumps every fault/schedule-point
+/// site with its hit/fire counts. Idempotent — the driver constructor
+/// calls it on every instantiation, the handler registers once.
+inline void register_exit_dump() {
+  static const bool registered = [] {
+    const char* env = std::getenv("PWSS_FAULT_LIST");
+    if (env == nullptr || *env == '\0' ||
+        std::string_view(env) == "0") {
+      return false;
+    }
+    std::atexit([] { dump_sites(stderr); });
+    return true;
+  }();
+  (void)registered;
 }
 
 /// The hit path: registers the site on first evaluation, then answers

@@ -4,16 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/future.hpp"
 #include "core/m1_map.hpp"
 #include "driver/registry.hpp"
+#include "store/durability.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -406,6 +409,48 @@ INSTANTIATE_TEST_SUITE_P(AllWirings, DriverSubmitTest,
                          [](const auto& info) {
                            return testutil::gtest_safe(info.param);
                          });
+
+// Differential fuzz that crosses a full checkpoint→restart boundary at
+// the midpoint: the driver snapshots + rotates its WAL, is destroyed,
+// and a new driver recovers from the same directory while the std::map
+// oracle carries straight across. Every post-restart result is checked
+// against the oracle, so recovery dropping, duplicating, or reordering
+// even one op diverges immediately.
+TEST(Driver, DifferentialFuzzAcrossCheckpointRestart) {
+  for (const std::string name : {"m1", "sharded:m1"}) {
+    char tmpl[] = "/tmp/pwss-driver-ckpt-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    driver::Options opts;
+    opts.workers = 2;
+    opts.durability = store::DurabilityMode::kSync;
+    opts.durability_dir = std::string(tmpl) + "/store";
+
+    std::map<std::uint64_t, std::uint64_t> ref;
+    util::Xoshiro256 rng(99);
+    auto d = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+    for (int round = 0; round < 40; ++round) {
+      if (round == 20) {
+        ASSERT_EQ(d->checkpoint(), "") << name;
+        d.reset();
+        d = driver::make_driver<std::uint64_t, std::uint64_t>(name, opts);
+        ASSERT_EQ(d->validate(), "") << name;
+        ASSERT_GT(d->stats().recovered_entries, 0u) << name;
+      }
+      const auto ops = scripted_ops(500 + round, 1 + rng.bounded(60));
+      const auto got = d->run(ops);
+      ASSERT_EQ(got.size(), ops.size()) << name;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto want = reference_apply(ref, ops[i]);
+        testutil::expect_result_eq(got[i], want, name.c_str(), i);
+      }
+    }
+    d->quiesce();
+    ASSERT_EQ(d->size(), ref.size()) << name;
+    EXPECT_TRUE(d->check()) << name;
+    d.reset();
+    std::filesystem::remove_all(tmpl);
+  }
+}
 
 TEST(Driver, ShardedOrderedQueriesScatterGather) {
   // Keys deliberately straddle shard boundaries: predecessor/successor

@@ -3,12 +3,17 @@
 // capacity invariants, and parallel/sequential equivalence.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/m0_map.hpp"
 #include "core/m1_map.hpp"
 #include "sched/scheduler.hpp"
+#include "store/snapshot.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 #include "util/workload.hpp"
@@ -143,6 +148,43 @@ TEST(M1, DifferentialManySmallBatches) {
                          "small-batch");
   }
   EXPECT_TRUE(m.check_invariants());
+}
+
+// The same differential fuzz, but the map is serialized through the
+// store layer's snapshot format at the midpoint and rebuilt from the
+// loaded entries — the oracle carries straight across the boundary, so
+// any entry the snapshot drops, duplicates, or reorders diverges the
+// second half immediately.
+TEST(M1, DifferentialFuzzAcrossSnapshotBoundary) {
+  util::Xoshiro256 rng(13);
+  auto m = std::make_unique<M1Map<int, int>>();
+  std::map<int, int> ref;
+  char tmpl[] = "/tmp/pwss-m1-snap-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string snap = std::string(tmpl) + "/snapshot";
+  for (int round = 0; round < 1000; ++round) {
+    if (round == 500) {
+      std::vector<std::pair<int, int>> entries;
+      m->export_entries(entries);
+      store::SnapshotWriter<int, int>::write(snap, round, entries);
+      const auto loaded = store::SnapshotReader<int, int>::load(snap);
+      m = std::make_unique<M1Map<int, int>>();
+      std::vector<IntOp> rebuild;
+      rebuild.reserve(loaded.entries.size());
+      for (const auto& [k, v] : loaded.entries) {
+        rebuild.push_back(IntOp::insert(k, v));
+      }
+      m->execute_batch(rebuild);
+      ASSERT_TRUE(m->check_invariants());
+    }
+    const std::size_t b = 1 + rng.bounded(4);
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), b, 64, /*with_ordered=*/true);
+    expect_equal_results(m->execute_batch(batch),
+                         reference_results(ref, batch), "snap-boundary");
+  }
+  EXPECT_TRUE(m->check_invariants());
+  std::filesystem::remove_all(tmpl);
 }
 
 TEST(M1, DuplicateHeavyBatchesCombine) {

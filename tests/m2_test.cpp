@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/m2_map.hpp"
 #include "sched/scheduler.hpp"
+#include "store/snapshot.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -131,6 +136,52 @@ TEST(M2, DifferentialBatchesAgainstStdMap) {
     ASSERT_EQ(m.size(), ref.size()) << "round " << round;
     ASSERT_EQ(m.validate(), "") << "round " << round;
   }
+}
+
+// Differential fuzz crossing a snapshot→rebuild boundary mid-run: the
+// pipeline is quiesced, its contents round-trip through the store
+// layer's checksummed snapshot format, and a fresh M2 is bulk-rebuilt
+// from the loaded entries while the std::map oracle carries across
+// untouched.
+TEST(M2, DifferentialFuzzAcrossSnapshotBoundary) {
+  sched::Scheduler scheduler(4);
+  auto m = std::make_unique<M2Map<int, int>>(scheduler);
+  std::map<int, int> ref;
+  util::Xoshiro256 rng(78);
+  char tmpl[] = "/tmp/pwss-m2-snap-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string snap = std::string(tmpl) + "/snapshot";
+  for (int round = 0; round < 30; ++round) {
+    if (round == 15) {
+      m->quiesce();
+      std::vector<std::pair<int, int>> entries;
+      m->export_entries(entries);
+      store::SnapshotWriter<int, int>::write(snap, round, entries);
+      const auto loaded = store::SnapshotReader<int, int>::load(snap);
+      m = std::make_unique<M2Map<int, int>>(scheduler);
+      std::vector<IntOp> rebuild;
+      rebuild.reserve(loaded.entries.size());
+      for (const auto& [k, v] : loaded.entries) {
+        rebuild.push_back(IntOp::insert(k, v));
+      }
+      m->execute_batch(rebuild);
+      m->quiesce();
+      ASSERT_EQ(m->size(), ref.size());
+      ASSERT_EQ(m->validate(), "");
+    }
+    const std::size_t b = 1 + rng.bounded(300);
+    const std::vector<IntOp> batch = testutil::scripted_ops<int, int>(
+        rng.bounded(1u << 30), b, 400, /*with_ordered=*/true);
+    const auto got = m->execute_batch(batch);
+    const auto want = reference_results(ref, batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      testutil::expect_result_eq(got[i], want[i], "snap round", i);
+    }
+  }
+  m->quiesce();
+  EXPECT_EQ(m->validate(), "");
+  std::filesystem::remove_all(tmpl);
 }
 
 TEST(M2, RepeatedAccessPromotesTowardFront) {
