@@ -1,0 +1,252 @@
+// E11 (ROADMAP: network serving layer): the wire protocol under load —
+// what pipelining buys, what the op mix costs, and how the per-connection
+// window sheds an overrun without a single protocol error.
+//
+// The server and its clients run in one process over loopback TCP, so the
+// numbers measure the serving layer itself (framing, the reactor, the
+// completion-driven response path), not a datacenter network. Three panels:
+//
+//   pipeline — connections x pipeline depth, search-only on a prepopulated
+//              map. Throughput should SCALE WITH DEPTH: at depth 1 every op
+//              pays a full round trip; at depth W the round trip amortizes
+//              over W in-flight ops (the acceptance shape for the layer).
+//   opmix    — fixed connections/depth across read-only, mixed, and
+//              write-heavy op mixes: what mutations cost over the wire.
+//   shed     — a deliberately tiny server window overrun 16x by a client
+//              that ignores it: reports the shed rate and REQUIRES zero
+//              protocol errors (frames are answered kOverloaded, never
+//              dropped or torn — exits nonzero otherwise).
+//
+// All panels are info-only in compare_baseline.py (loopback latency noise
+// is not a regression signal); the JSON still lands in the baseline file
+// for trend plots.
+//
+//   ./bench_e11_serve [--backend=NAME[,NAME...]] [--workers=N] [--json=F]
+//                     [--net-window=N]   (caps the pipeline-depth sweep)
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/cli.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::uint64_t kN = 1u << 14;  ///< prepopulated key universe
+constexpr std::size_t kOpsPerConn = 30000;
+
+using pwss::net::WireOp;
+using pwss::net::WireResult;
+
+/// Deterministic op script: `read_pct`% searches, the rest split evenly
+/// between inserts and erases, keys uniform over the prepopulated range.
+std::vector<WireOp> make_mix(std::uint64_t seed, unsigned read_pct) {
+  pwss::util::Xoshiro256 rng(seed);
+  std::vector<WireOp> ops;
+  ops.reserve(kOpsPerConn);
+  for (std::size_t i = 0; i < kOpsPerConn; ++i) {
+    const std::uint64_t key = rng.bounded(kN);
+    const std::uint64_t roll = rng.bounded(100);
+    if (roll < read_pct) {
+      ops.push_back(WireOp::search(key));
+    } else if ((roll & 1u) != 0) {
+      ops.push_back(WireOp::insert(key, seed + i));
+    } else {
+      ops.push_back(WireOp::erase(key));
+    }
+  }
+  return ops;
+}
+
+struct RunResult {
+  double ops_per_sec = 0.0;
+  std::uint64_t shed = 0;
+};
+
+/// `connections` client threads, each pipelining its script through the
+/// server's advertised window (Client::run's sliding window IS the depth:
+/// the server caps it via ServerConfig::pipeline_window).
+RunResult serve_run(pwss::driver::Driver<std::uint64_t, std::uint64_t>& map,
+                    std::size_t depth, unsigned connections,
+                    unsigned read_pct) {
+  pwss::net::ServerConfig cfg;
+  cfg.tcp_addr = "127.0.0.1:0";
+  cfg.pipeline_window = depth;
+  pwss::net::Server server(map, cfg);
+  const std::string addr =
+      "127.0.0.1:" + std::to_string(server.tcp_port());
+
+  std::atomic<std::uint64_t> shed{0};
+  pwss::bench::WallTimer t;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      pwss::net::Client client = pwss::net::Client::dial_tcp(addr);
+      const auto ops = make_mix(0xE11 + c, read_pct);
+      std::vector<WireResult> results;
+      client.run(ops, results);
+      std::uint64_t mine = 0;
+      for (const auto& r : results) {
+        if (r.status == pwss::core::ResultStatus::kOverloaded) ++mine;
+      }
+      shed.fetch_add(mine, std::memory_order_relaxed);
+      client.close();
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs = t.seconds();
+  server.stop();
+
+  RunResult r;
+  r.ops_per_sec =
+      static_cast<double>(kOpsPerConn) * connections / secs;
+  r.shed = shed.load();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = pwss::bench::consume_json_flag(argc, argv, "e11");
+  auto cli =
+      pwss::driver::parse<std::uint64_t, std::uint64_t>(argc, argv, {"m2"});
+  if (cli.driver.workers == 0) cli.driver.workers = 4;
+  auto& json = pwss::bench::BenchJson::instance();
+
+  // ---- panel 1: pipeline depth ----------------------------------------------
+  std::vector<std::size_t> depths = {1, 4, 16, 64};
+  if (cli.net_window != 0) {
+    // --net-window caps the sweep (the CI smoke run uses a short panel).
+    std::vector<std::size_t> capped;
+    for (const std::size_t d : depths) {
+      if (d <= cli.net_window) capped.push_back(d);
+    }
+    if (capped.empty()) capped.push_back(cli.net_window);
+    depths = capped;
+  }
+  std::vector<std::string> cols = {"conns", "depth"};
+  for (const auto& b : cli.backends) cols.push_back(b + " ops/s");
+  pwss::bench::print_header(
+      "E11a: pipelined serving throughput (search-only, loopback TCP)",
+      cols);
+  for (const unsigned conns : {1u, 2u, 4u}) {
+    for (const std::size_t depth : depths) {
+      pwss::bench::print_cell(static_cast<double>(conns));
+      pwss::bench::print_cell(static_cast<double>(depth));
+      for (const auto& name : cli.backends) {
+        auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+            name, cli.driver);
+        pwss::bench::prepopulate(*map, kN);
+        const RunResult r = serve_run(*map, depth, conns, 100);
+        pwss::driver::finish(cli, *map);
+        pwss::bench::print_cell(r.ops_per_sec);
+        json.record("pipeline", name, "ops_per_sec", r.ops_per_sec,
+                    {{"connections", static_cast<double>(conns)},
+                     {"depth", static_cast<double>(depth)},
+                     {"workers", static_cast<double>(cli.driver.workers)}});
+      }
+      pwss::bench::end_row();
+    }
+  }
+
+  // ---- panel 2: op mix ------------------------------------------------------
+  struct Mix {
+    const char* label;
+    unsigned read_pct;
+  };
+  const Mix mixes[] = {{"read-only", 100}, {"mixed", 50}, {"write-heavy", 10}};
+  cols = {"mix"};
+  for (const auto& b : cli.backends) cols.push_back(b + " ops/s");
+  pwss::bench::print_header("E11b: op mix over the wire (2 conns, depth 16)",
+                            cols);
+  for (const Mix& mix : mixes) {
+    pwss::bench::print_cell(std::string(mix.label));
+    for (const auto& name : cli.backends) {
+      auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+          name, cli.driver);
+      pwss::bench::prepopulate(*map, kN);
+      const RunResult r = serve_run(*map, 16, 2, mix.read_pct);
+      pwss::driver::finish(cli, *map);
+      pwss::bench::print_cell(r.ops_per_sec);
+      json.record("opmix", name, "ops_per_sec", r.ops_per_sec,
+                  {{"read_pct", static_cast<double>(mix.read_pct)},
+                   {"workers", static_cast<double>(cli.driver.workers)}});
+    }
+    pwss::bench::end_row();
+  }
+
+  // ---- panel 3: window shed (acceptance: zero protocol errors) --------------
+  int rc = 0;
+  cols = {"window"};
+  for (const auto& b : cli.backends) {
+    cols.push_back(b + " shed");
+    cols.push_back(b + " proto_err");
+  }
+  pwss::bench::print_header(
+      "E11c: tiny server window overrun 16x — shed on the wire, no "
+      "protocol errors",
+      cols);
+  pwss::bench::print_cell(4.0);
+  for (const auto& name : cli.backends) {
+    auto map = pwss::driver::make_driver<std::uint64_t, std::uint64_t>(
+        name, cli.driver);
+    pwss::bench::prepopulate(*map, kN);
+    pwss::net::ServerConfig cfg;
+    cfg.tcp_addr = "127.0.0.1:0";
+    cfg.pipeline_window = 4;
+    pwss::net::Server server(*map, cfg);
+    pwss::net::Client client = pwss::net::Client::dial_tcp(
+        "127.0.0.1:" + std::to_string(server.tcp_port()));
+    std::uint64_t shed = 0;
+    // Ignore the advertised window on purpose: 64 tickets against a
+    // window of 4 — the overrun the server must answer, not drop.
+    for (int round = 0; round < 200; ++round) {
+      std::vector<pwss::net::Client::Ticket> tickets(64);
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        client.submit(WireOp::search(i), &tickets[i]);
+      }
+      for (auto& t : tickets) {
+        if (t.wait().status == pwss::core::ResultStatus::kOverloaded) ++shed;
+      }
+    }
+    client.close();
+    server.stop();
+    const pwss::net::NetStats stats = server.stats();
+    pwss::driver::finish(cli, *map);
+    pwss::bench::print_cell(static_cast<double>(shed));
+    pwss::bench::print_cell(static_cast<double>(stats.protocol_errors));
+    json.record("shed", name, "shed_ops", static_cast<double>(shed),
+                {{"window", 4.0}});
+    json.record("shed", name, "protocol_errors",
+                static_cast<double>(stats.protocol_errors), {{"window", 4.0}});
+    if (stats.protocol_errors != 0) {
+      std::fprintf(stderr,
+                   "E11c FAIL[%s]: %llu protocol errors during shed run\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(stats.protocol_errors));
+      rc = 1;
+    }
+    if (shed == 0) {
+      std::fprintf(stderr,
+                   "E11c FAIL[%s]: window overrun shed nothing on the wire\n",
+                   name.c_str());
+      rc = 1;
+    }
+  }
+  pwss::bench::end_row();
+
+  std::printf(
+      "\nShape: E11a throughput grows with pipeline depth (round trips "
+      "amortize); E11c sheds\nthe overrun as kOverloaded responses with "
+      "zero protocol errors (info-only metrics).\n");
+  return rc;
+}

@@ -24,8 +24,16 @@
 //                              sync = acked mutations are fsynced)
 //   --durability-dir=PATH      snapshot + WAL directory (default pwss-data;
 //                              sharded backends use PATH/shard-N)
+//   --serve=ADDR               serve the backend over TCP ([host]:port;
+//                              port 0 = kernel-assigned) instead of running
+//                              a workload — tools/pwss_serve.cpp honours it
+//   --socket=PATH              serve over a Unix-domain socket (may be
+//                              combined with --serve for both listeners)
+//   --net-window=N             per-connection pipeline window when serving
+//                              (requests beyond it are answered kOverloaded
+//                              on the wire; default 64)
 //   --stats                    print the driver's counter snapshot at exit
-//                              (admission/retry + durability)
+//                              (admission/retry + durability + net)
 //   --validate                 run the deep validators after the workload;
 //                              a report makes the binary exit nonzero
 //   --list-backends            print the registry and exit
@@ -58,6 +66,9 @@ struct CliOptions {
   bool mix_given = false;             // --mix was present
   bool print_stats = false;           // --stats was present
   bool validate = false;              // --validate was present
+  std::string serve_addr;             // --serve TCP listen address ("" = off)
+  std::string socket_path;            // --socket Unix listen path ("" = off)
+  unsigned net_window = 64;           // --net-window pipeline depth per conn
 };
 
 namespace detail {
@@ -167,6 +178,7 @@ CliOptions parse(int argc, char** argv,
           "[--admission=reject|block]\n"
           "          [--mix=S,I,E[,P,Su,R]] [--range-span=N]\n"
           "          [--durability=off|async|sync] [--durability-dir=PATH]\n"
+          "          [--serve=[host]:port] [--socket=PATH] [--net-window=N]\n"
           "          [--stats] [--validate] [--list-backends]\n"
           "       (NAME may be sharded:NAME, e.g. --backend=sharded:m1)\n",
           argv[0]);
@@ -223,6 +235,14 @@ CliOptions parse(int argc, char** argv,
     } else if (arg.starts_with("--durability-dir=")) {
       cli.driver.durability_dir =
           arg.substr(std::string_view("--durability-dir=").size());
+    } else if (arg.starts_with("--serve=")) {
+      cli.serve_addr = arg.substr(std::string_view("--serve=").size());
+    } else if (arg.starts_with("--socket=")) {
+      cli.socket_path = arg.substr(std::string_view("--socket=").size());
+    } else if (arg.starts_with("--net-window=")) {
+      cli.net_window = detail::parse_unsigned(
+          argv[0], "--net-window",
+          arg.substr(std::string_view("--net-window=").size()));
     } else if (arg == "--stats") {
       cli.print_stats = true;
     } else if (arg == "--validate") {
@@ -287,11 +307,11 @@ CliOptions parse(int argc, char** argv,
   return cli;
 }
 
-/// Prints one driver's counter snapshot (--stats) to stderr so it never
-/// mixes with result output on stdout.
+/// Prints a counter snapshot (--stats) to stderr so it never mixes with
+/// result output on stdout. The snapshot is a parameter so callers that
+/// fold in extra counters (net::Server::add_stats) print one line set.
 template <typename K, typename V>
-void print_stats(const Driver<K, V>& driver) {
-  const DriverStats s = driver.stats();
+void print_stats(const Driver<K, V>& driver, const DriverStats& s) {
   std::fprintf(stderr,
                "stats[%s]: admitted=%llu shed=%llu timed_out=%llu "
                "retries=%llu in_flight=%llu\n",
@@ -315,6 +335,24 @@ void print_stats(const Driver<K, V>& driver) {
         static_cast<unsigned long long>(s.torn_tail_truncations),
         static_cast<unsigned long long>(s.checkpoints));
   }
+  if (s.serving) {
+    std::fprintf(
+        stderr,
+        "stats[%s]: net accepted=%llu active=%llu frames_in=%llu "
+        "frames_out=%llu protocol_errors=%llu shed_on_wire=%llu\n",
+        driver.name().c_str(),
+        static_cast<unsigned long long>(s.net_accepted),
+        static_cast<unsigned long long>(s.net_active),
+        static_cast<unsigned long long>(s.net_frames_in),
+        static_cast<unsigned long long>(s.net_frames_out),
+        static_cast<unsigned long long>(s.net_protocol_errors),
+        static_cast<unsigned long long>(s.net_shed_on_wire));
+  }
+}
+
+template <typename K, typename V>
+void print_stats(const Driver<K, V>& driver) {
+  print_stats(driver, driver.stats());
 }
 
 /// Post-workload epilogue for --stats/--validate: prints the counter

@@ -118,6 +118,15 @@ struct DriverStats {
   std::uint64_t recovered_entries = 0;  ///< snapshot entries restored
   std::uint64_t torn_tail_truncations = 0;
   std::uint64_t checkpoints = 0;
+  // network serving layer (src/net/server.hpp; folded in by
+  // net::Server::add_stats() — zero and unprinted when not serving)
+  bool serving = false;               ///< a net::Server reported counters
+  std::uint64_t net_accepted = 0;     ///< connections accepted (lifetime)
+  std::uint64_t net_active = 0;       ///< connections currently open
+  std::uint64_t net_frames_in = 0;    ///< verified frames parsed
+  std::uint64_t net_frames_out = 0;   ///< frames written (responses etc.)
+  std::uint64_t net_protocol_errors = 0;  ///< connections refused for cause
+  std::uint64_t net_shed_on_wire = 0;     ///< kOverloaded at the conn window
 
   DriverStats& operator+=(const DriverStats& o) {
     admitted += o.admitted;
@@ -133,6 +142,13 @@ struct DriverStats {
     recovered_entries += o.recovered_entries;
     torn_tail_truncations += o.torn_tail_truncations;
     checkpoints += o.checkpoints;
+    serving = serving || o.serving;
+    net_accepted += o.net_accepted;
+    net_active += o.net_active;
+    net_frames_in += o.net_frames_in;
+    net_frames_out += o.net_frames_out;
+    net_protocol_errors += o.net_protocol_errors;
+    net_shed_on_wire += o.net_shed_on_wire;
     return *this;
   }
 };

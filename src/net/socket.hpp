@@ -1,0 +1,233 @@
+#pragma once
+// Socket plumbing for the network serving layer: TCP (IPv4) and
+// Unix-domain listeners/connectors behind a minimal RAII fd owner, plus
+// the address grammar the --serve/--socket CLI flags accept.
+//
+//   TCP address  :=  [host]":"port      "127.0.0.1:7070", ":7070" (any),
+//                                       port 0 = kernel-assigned (tests)
+//   Unix address :=  filesystem path    stale socket files are unlinked
+//
+// All listeners and accepted connections are nonblocking (the server is
+// a poll reactor); client connections stay blocking (the client library
+// reads on a dedicated thread). Failures throw NetError with the peer
+// address in the message.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pwss::net {
+
+struct NetError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void throw_net_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+inline void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_net_errno("fcntl O_NONBLOCK");
+  }
+}
+
+/// Disables Nagle on TCP sockets: the protocol is request/response with
+/// small frames, so coalescing delay is pure added latency. A no-op
+/// (EOPNOTSUPP) on Unix-domain sockets is ignored.
+inline void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Parses "host:port" / ":port"; host defaults to 0.0.0.0 (any).
+struct TcpAddr {
+  std::string host;
+  std::uint16_t port = 0;
+
+  static TcpAddr parse(std::string_view text) {
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string_view::npos) {
+      throw NetError("TCP address must be [host]:port, got '" +
+                     std::string(text) + "'");
+    }
+    TcpAddr a;
+    a.host = std::string(text.substr(0, colon));
+    if (a.host.empty()) a.host = "0.0.0.0";
+    const std::string_view port_text = text.substr(colon + 1);
+    std::uint32_t port = 0;
+    bool ok = !port_text.empty() && port_text.size() <= 5;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') {
+        ok = false;
+        break;
+      }
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (!ok || port > 0xFFFF) {
+      throw NetError("bad TCP port in '" + std::string(text) + "'");
+    }
+    a.port = static_cast<std::uint16_t>(port);
+    return a;
+  }
+};
+
+inline sockaddr_in to_sockaddr(const TcpAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    throw NetError("bad IPv4 host '" + addr.host + "'");
+  }
+  return sa;
+}
+
+// store::Fd only opens by path, so listeners/connections adopt raw fds
+// through this minimal owner instead (close-on-destroy, movable).
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) noexcept : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int get() const noexcept { return fd_; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket as an OwnedFd (the usable variant; the store::Fd
+/// version above cannot adopt raw descriptors).
+inline OwnedFd listen_tcp_fd(const TcpAddr& addr, int backlog = 128) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_net_errno("socket(AF_INET)");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw_net_errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in sa = to_sockaddr(addr);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    throw_net_errno("bind " + addr.host + ":" + std::to_string(addr.port));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_net_errno("listen " + addr.host + ":" + std::to_string(addr.port));
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+/// The port a listening TCP socket actually bound (differs from the
+/// requested one only for port 0).
+inline std::uint16_t bound_tcp_port(const OwnedFd& fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_net_errno("getsockname");
+  }
+  return ntohs(sa.sin_port);
+}
+
+/// Listening Unix-domain socket; a stale socket file at `path` (from a
+/// previous process) is unlinked first.
+inline OwnedFd listen_unix_fd(const std::string& path, int backlog = 128) {
+  sockaddr_un sa{};
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw NetError("unix socket path too long: " + path);
+  }
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_net_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    throw_net_errno("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_net_errno("listen " + path);
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+/// Blocking client connect (TCP). The client library reads on its own
+/// thread, so blocking sockets keep it simple.
+inline OwnedFd connect_tcp(const TcpAddr& addr) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_net_errno("socket(AF_INET)");
+  const sockaddr_in sa = to_sockaddr(addr);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa)) != 0) {
+    throw_net_errno("connect " + addr.host + ":" + std::to_string(addr.port));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+inline OwnedFd connect_unix(const std::string& path) {
+  sockaddr_un sa{};
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw NetError("unix socket path too long: " + path);
+  }
+  OwnedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_net_errno("socket(AF_UNIX)");
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa)) != 0) {
+    throw_net_errno("connect " + path);
+  }
+  return fd;
+}
+
+/// Sends the whole buffer on a BLOCKING socket (client side); EINTR
+/// retried, hard errors throw. MSG_NOSIGNAL: a peer that closed mid-send
+/// must surface as EPIPE (an exception), never as a process-killing
+/// SIGPIPE.
+inline void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_net_errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace pwss::net

@@ -44,6 +44,13 @@
 //                                      emitting a snapshot       reports error;
 //                                                                driver sticky
 //                                                                read-only
+//   net.write.partial                  short write(2) on a       response frame
+//                                      response socket (kernel   resumes via
+//                                      buffer pressure)          POLLOUT; no
+//                                                                torn frames
+//   net.accept.fail                    accept(2) failing under   connection
+//                                      fd pressure               dropped; server
+//                                                                keeps serving
 //
 // The registry mirrors util/schedule_points.hpp: function-local static
 // Sites link into a push-only list on first hit, counters are relaxed,
